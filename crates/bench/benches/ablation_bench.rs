@@ -1,0 +1,136 @@
+//! Criterion benchmarks for the design-choice ablations:
+//!
+//! * direct vs type-aware transformation (Table 7 / Figure 6),
+//! * the four optimizations applied separately on Q2 / Q9 (Figure 15),
+//! * parallel execution with 1–8 threads (Figure 16),
+//! * the matching-order example of Figure 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use turbohom_bench::{lubm_parallel_store, lubm_store};
+use turbohom_core::{OptimizationName, Optimizations, TurboHomConfig};
+use turbohom_datasets::{lubm, micro};
+use turbohom_engine::{EngineKind, Store};
+
+fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500));
+}
+
+/// Table 7: the same (unoptimized) engine over the direct vs the type-aware
+/// transformed graph.
+fn transformation_ablation(c: &mut Criterion) {
+    let store = lubm_store(4);
+    let queries = lubm::queries();
+    let config = TurboHomConfig::default().with_optimizations(Optimizations::none());
+    let mut group = c.benchmark_group("table7_transformation");
+    configure(&mut group);
+    for query in queries.iter().filter(|q| ["Q2", "Q6", "Q9", "Q13", "Q14"].contains(&q.id.as_str())) {
+        group.bench_with_input(BenchmarkId::new("direct", &query.id), &query.sparql, |b, s| {
+            b.iter(|| store.execute_turbohom(s, config, true).unwrap().len());
+        });
+        group.bench_with_input(
+            BenchmarkId::new("type-aware", &query.id),
+            &query.sparql,
+            |b, s| {
+                b.iter(|| store.execute_turbohom(s, config, false).unwrap().len());
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Figure 15: each optimization applied separately on Q2 and Q9.
+fn optimization_ablation(c: &mut Criterion) {
+    let store = lubm_store(8);
+    let queries: Vec<_> = lubm::queries()
+        .into_iter()
+        .filter(|q| q.id == "Q2" || q.id == "Q9")
+        .collect();
+    let mut group = c.benchmark_group("figure15_optimizations");
+    configure(&mut group);
+    for query in &queries {
+        group.bench_with_input(
+            BenchmarkId::new("no-optimizations", &query.id),
+            &query.sparql,
+            |b, s| {
+                let config = TurboHomConfig::default().with_optimizations(Optimizations::none());
+                b.iter(|| store.execute_turbohom(s, config, false).unwrap().len());
+            },
+        );
+        for opt in OptimizationName::all() {
+            group.bench_with_input(
+                BenchmarkId::new(opt.label(), &query.id),
+                &query.sparql,
+                |b, s| {
+                    let config =
+                        TurboHomConfig::default().with_optimizations(Optimizations::only(opt));
+                    b.iter(|| store.execute_turbohom(s, config, false).unwrap().len());
+                },
+            );
+        }
+        group.bench_with_input(
+            BenchmarkId::new("all-optimizations", &query.id),
+            &query.sparql,
+            |b, s| {
+                let config = TurboHomConfig::default().with_optimizations(Optimizations::all());
+                b.iter(|| store.execute_turbohom(s, config, false).unwrap().len());
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Figure 16: parallel speed-up on Q2 / Q9.
+fn parallel_speedup(c: &mut Criterion) {
+    let store = lubm_parallel_store(16, 1);
+    let queries: Vec<_> = lubm::queries()
+        .into_iter()
+        .filter(|q| q.id == "Q2" || q.id == "Q9")
+        .collect();
+    let mut group = c.benchmark_group("figure16_parallel");
+    configure(&mut group);
+    for query in &queries {
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}threads", threads), &query.id),
+                &query.sparql,
+                |b, s| {
+                    let config = TurboHomConfig::turbohom_plus_plus().with_threads(threads);
+                    b.iter(|| store.execute_turbohom(s, config, false).unwrap().len());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Figure 2: the matching-order example — region-driven ordering vs the
+/// join-based engines on the skewed star graph. The skew (few X/Z, many Y)
+/// is exactly what blows up a bad join/matching order, so the Y fan-out is
+/// kept moderate here to keep the baseline's intermediate results bounded;
+/// the `experiments` harness and the integration tests exercise larger
+/// instances.
+fn matching_order_example(c: &mut Criterion) {
+    let store = Store::from_dataset(micro::figure2(10, 400, 5));
+    let query = micro::figure2_query();
+    let mut group = c.benchmark_group("figure2_matching_order");
+    configure(&mut group);
+    for kind in [EngineKind::TurboHomPlusPlus, EngineKind::MergeJoin] {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| store.execute(&query.sparql, kind).unwrap().len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    transformation_ablation,
+    optimization_ablation,
+    parallel_speedup,
+    matching_order_example
+);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion benchmarks for the LUBM workload (the Table 2 / Table 3 /
+//! Figure 6 experiments): all 14 queries, every engine, one scale factor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use turbohom_bench::lubm_store;
+use turbohom_datasets::lubm;
+use turbohom_engine::EngineKind;
+
+fn lubm_queries(c: &mut Criterion) {
+    let store = lubm_store(4);
+    let queries = lubm::queries();
+    let mut group = c.benchmark_group("lubm_table3");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500));
+    for query in &queries {
+        for kind in EngineKind::all() {
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), &query.id),
+                &query.sparql,
+                |b, sparql| {
+                    b.iter(|| store.execute(sparql, kind).unwrap().len());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, lubm_queries);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion benchmarks for the YAGO-like, BTC-like and BSBM-like workloads
+//! (the Table 4 / Table 5 / Table 6 experiments).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use turbohom_bench::{bsbm_store, btc_store, yago_store};
+use turbohom_datasets::{bsbm, btc, yago, BenchmarkQuery};
+use turbohom_engine::{EngineKind, Store};
+
+fn bench_workload(
+    c: &mut Criterion,
+    group_name: &str,
+    store: &Store,
+    queries: &[BenchmarkQuery],
+    engines: &[EngineKind],
+) {
+    let mut group = c.benchmark_group(group_name);
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500));
+    for query in queries {
+        for kind in engines {
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), &query.id),
+                &query.sparql,
+                |b, sparql| {
+                    b.iter(|| store.execute(sparql, *kind).unwrap().len());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn yago_queries(c: &mut Criterion) {
+    let store = yago_store(1);
+    bench_workload(
+        c,
+        "yago_table4",
+        &store,
+        &yago::queries(),
+        &[EngineKind::TurboHomPlusPlus, EngineKind::MergeJoin],
+    );
+}
+
+fn btc_queries(c: &mut Criterion) {
+    let store = btc_store(1);
+    bench_workload(
+        c,
+        "btc_table5",
+        &store,
+        &btc::queries(),
+        &[EngineKind::TurboHomPlusPlus, EngineKind::MergeJoin],
+    );
+}
+
+fn bsbm_queries(c: &mut Criterion) {
+    let store = bsbm_store(1);
+    bench_workload(
+        c,
+        "bsbm_table6",
+        &store,
+        &bsbm::queries(),
+        &[EngineKind::TurboHomPlusPlus, EngineKind::HashJoin],
+    );
+}
+
+criterion_group!(benches, yago_queries, btc_queries, bsbm_queries);
+criterion_main!(benches);

@@ -1,0 +1,169 @@
+//! Shared harness utilities for the experiment reproduction.
+//!
+//! The paper's measurement protocol (Section 7.1): every query is executed
+//! five times with a warm cache, the best and worst runs are dropped, and
+//! the remaining three are averaged; dictionary look-up time is excluded
+//! (our engines time only the pattern matching). [`measure`] implements that
+//! protocol; [`Workloads`] builds the stores for each benchmark dataset at
+//! the laptop-sized scale factors used throughout DESIGN.md §2.
+
+use std::time::Duration;
+use turbohom_core::TurboHomConfig;
+use turbohom_datasets::{bsbm, btc, lubm, yago, BenchmarkQuery};
+use turbohom_engine::{EngineKind, QueryResults, Store, StoreOptions};
+
+/// The LUBM scale factors standing in for LUBM80 / LUBM800 / LUBM8000.
+pub const LUBM_SCALES: [(&str, usize); 3] = [("LUBM-S", 2), ("LUBM-M", 8), ("LUBM-L", 32)];
+
+/// Executes a closure following the paper's 5-run / drop-best-and-worst /
+/// average-the-rest protocol and returns the averaged duration together with
+/// the result of the last run.
+pub fn measure<F>(mut run: F) -> (Duration, QueryResults)
+where
+    F: FnMut() -> QueryResults,
+{
+    let mut durations = Vec::with_capacity(5);
+    let mut last = QueryResults::default();
+    for _ in 0..5 {
+        let result = run();
+        durations.push(result.elapsed);
+        last = result;
+    }
+    durations.sort();
+    let kept = &durations[1..4];
+    let avg = kept.iter().sum::<Duration>() / kept.len() as u32;
+    (avg, last)
+}
+
+/// Runs `query` on `store` with `kind`, measured per the paper's protocol.
+pub fn measure_engine(store: &Store, query: &BenchmarkQuery, kind: EngineKind) -> (Duration, usize) {
+    let (elapsed, result) = measure(|| {
+        store
+            .execute(&query.sparql, kind)
+            .unwrap_or_else(|e| panic!("{} failed on {}: {e}", kind.label(), query.id))
+    });
+    (elapsed, result.len())
+}
+
+/// Runs `query` with an explicit TurboHOM configuration (ablations, threads).
+pub fn measure_turbohom(
+    store: &Store,
+    query: &BenchmarkQuery,
+    config: TurboHomConfig,
+    force_direct: bool,
+) -> (Duration, usize) {
+    let (elapsed, result) = measure(|| {
+        store
+            .execute_turbohom(&query.sparql, config, force_direct)
+            .unwrap_or_else(|e| panic!("TurboHOM failed on {}: {e}", query.id))
+    });
+    (elapsed, result.len())
+}
+
+/// Formats a duration in milliseconds with three decimals (the paper's unit).
+pub fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1000.0)
+}
+
+/// Builds the LUBM store at one scale factor (the generator already
+/// materializes the RDFS closure, matching the paper's loading protocol).
+pub fn lubm_store(scale: usize) -> Store {
+    let dataset = lubm::LubmGenerator::new(lubm::LubmConfig::scale(scale)).generate();
+    Store::from_dataset_with(dataset, StoreOptions::default())
+}
+
+/// A larger LUBM configuration used for the parallel-speed-up experiment
+/// (bigger departments so Q2/Q9 run long enough for threading to matter).
+pub fn lubm_parallel_store(universities: usize, threads: usize) -> Store {
+    let config = lubm::LubmConfig {
+        universities,
+        departments_per_university: 6,
+        undergraduates_per_department: 80,
+        graduates_per_department: 48,
+        courses_per_department: 12,
+        graduate_courses_per_department: 8,
+        ..lubm::LubmConfig::default()
+    };
+    let dataset = lubm::LubmGenerator::new(config).generate();
+    Store::from_dataset_with(
+        dataset,
+        StoreOptions {
+            inference: false,
+            threads,
+        },
+    )
+}
+
+/// Builds the YAGO-like store.
+pub fn yago_store(scale: usize) -> Store {
+    let dataset = yago::YagoGenerator::new(yago::YagoConfig::scale(scale)).generate();
+    Store::from_dataset_with(
+        dataset,
+        StoreOptions {
+            inference: true,
+            threads: 1,
+        },
+    )
+}
+
+/// Builds the BTC-like store (no inference, as in the paper).
+pub fn btc_store(scale: usize) -> Store {
+    let dataset = btc::BtcGenerator::new(btc::BtcConfig::scale(scale)).generate();
+    Store::from_dataset_with(dataset, StoreOptions::default())
+}
+
+/// Builds the BSBM-like store.
+pub fn bsbm_store(scale: usize) -> Store {
+    let dataset = bsbm::BsbmGenerator::new(bsbm::BsbmConfig::scale(scale)).generate();
+    Store::from_dataset_with(dataset, StoreOptions::default())
+}
+
+/// All benchmark workloads, built once and shared between experiments.
+pub struct Workloads {
+    /// LUBM stores at the three scale factors, smallest first.
+    pub lubm: Vec<(&'static str, Store)>,
+    /// The YAGO-like store.
+    pub yago: Store,
+    /// The BTC-like store.
+    pub btc: Store,
+    /// The BSBM-like store.
+    pub bsbm: Store,
+}
+
+impl Workloads {
+    /// Builds every workload (a few seconds of generation time).
+    pub fn build() -> Self {
+        Workloads {
+            lubm: LUBM_SCALES
+                .iter()
+                .map(|(name, scale)| (*name, lubm_store(*scale)))
+                .collect(),
+            yago: yago_store(2),
+            btc: btc_store(2),
+            bsbm: bsbm_store(2),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_follows_drop_best_and_worst_protocol() {
+        let store = lubm_store(1);
+        let queries = lubm::queries();
+        let (elapsed, count) = measure_engine(&store, &queries[0], EngineKind::TurboHomPlusPlus);
+        assert!(count > 0);
+        assert!(elapsed > Duration::ZERO);
+        assert!(!ms(elapsed).is_empty());
+    }
+
+    #[test]
+    fn stores_build_for_every_workload() {
+        assert!(lubm_store(1).triple_count() > 1000);
+        assert!(yago_store(1).triple_count() > 1000);
+        assert!(btc_store(1).triple_count() > 1000);
+        assert!(bsbm_store(1).triple_count() > 1000);
+    }
+}

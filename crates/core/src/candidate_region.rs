@@ -1,0 +1,351 @@
+//! `ExploreCandidateRegion` (paper Section 2.2 / 4.2).
+//!
+//! Starting from one qualifying data vertex for the starting query vertex,
+//! the data graph is explored depth-first *following the query tree
+//! topology*: the candidates of a child query vertex are looked up in the
+//! adjacency of its parent's data vertex, constrained by edge label, vertex
+//! labels and (optionally) the degree and NLF filters. A child that is part
+//! of the *required* query with no candidates kills the whole region; a
+//! child inside an OPTIONAL clause merely records an empty candidate list
+//! (the nullify-and-keep-searching strategy of Section 5.1).
+
+use crate::config::{MatchSemantics, TurboHomConfig};
+use crate::filters;
+use crate::query_tree::QueryTree;
+use crate::stats::MatchStats;
+use std::collections::HashMap;
+use turbohom_graph::VertexId;
+use turbohom_transform::{TransformedGraph, TransformedQuery};
+
+/// The candidate region rooted at one starting data vertex.
+///
+/// `CR(u, v)` — the candidate data vertices of query vertex `u` that are
+/// adjacent to `v`, where `v` is a candidate of `u`'s query-tree parent —
+/// is stored as a map keyed by `(u, v)`.
+#[derive(Debug, Clone)]
+pub struct CandidateRegion {
+    /// The starting data vertex this region was grown from.
+    pub start_vertex: VertexId,
+    entries: HashMap<(usize, VertexId), Vec<VertexId>>,
+    /// Total candidate vertices per query vertex (used to pick the matching
+    /// order).
+    counts: Vec<usize>,
+}
+
+impl CandidateRegion {
+    /// The candidates `CR(u, parent_vertex)`, empty if none were recorded.
+    pub fn candidates(&self, u: usize, parent_vertex: VertexId) -> &[VertexId] {
+        self.entries
+            .get(&(u, parent_vertex))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Total number of candidate vertices recorded for query vertex `u`
+    /// across all parents (the paper's `|CR_vs(u)|`).
+    pub fn count(&self, u: usize) -> usize {
+        self.counts.get(u).copied().unwrap_or(0)
+    }
+
+    /// Total number of candidate vertices in the region.
+    pub fn total_candidates(&self) -> usize {
+        self.counts.iter().sum()
+    }
+}
+
+/// Grows the candidate region rooted at `start`. Returns `None` if some
+/// *required* query vertex has no candidates anywhere in the region, which
+/// means the region cannot contribute any solution and is skipped
+/// (Algorithm 1, line 10).
+pub fn explore_candidate_region(
+    data: &TransformedGraph,
+    config: &TurboHomConfig,
+    query: &TransformedQuery,
+    tree: &QueryTree,
+    start: VertexId,
+    stats: &mut MatchStats,
+) -> Option<CandidateRegion> {
+    let mut region = CandidateRegion {
+        start_vertex: start,
+        entries: HashMap::new(),
+        counts: vec![0; query.graph.vertex_count()],
+    };
+    region.counts[tree.root] = 1;
+    let mut path: Vec<VertexId> = vec![start];
+    let ok = explore(data, config, query, tree, tree.root, start, &mut region, &mut path, stats);
+    if ok {
+        stats.candidate_vertices += region.total_candidates();
+        Some(region)
+    } else {
+        None
+    }
+}
+
+/// Recursive exploration of the subtree rooted at query vertex `u`, whose
+/// candidate data vertex is `v`. Returns `false` if a required descendant
+/// cannot be matched under `v`.
+#[allow(clippy::too_many_arguments)]
+fn explore(
+    data: &TransformedGraph,
+    config: &TurboHomConfig,
+    query: &TransformedQuery,
+    tree: &QueryTree,
+    u: usize,
+    v: VertexId,
+    region: &mut CandidateRegion,
+    path: &mut Vec<VertexId>,
+    stats: &mut MatchStats,
+) -> bool {
+    for &child in &tree.children[u] {
+        let edge_info = tree.parent[child].expect("child has a parent tree edge");
+        let qedge = query.graph.edge(edge_info.edge);
+        let child_labels = &query.graph.vertex(child).labels;
+        let raw = filters::adjacent_candidates(data, v, edge_info.direction, qedge.label, child_labels);
+        stats.explored_vertices += raw.len();
+
+        let mut valid = Vec::with_capacity(raw.len());
+        for c in raw {
+            if !filters::qualifies(data, config, &query.graph, child, c, stats) {
+                continue;
+            }
+            if config.semantics == MatchSemantics::Isomorphism && path.contains(&c) {
+                // Injectivity is enforced along the exploration path for the
+                // isomorphism semantics (Section 2.2).
+                continue;
+            }
+            path.push(c);
+            let subtree_ok = explore(data, config, query, tree, child, c, region, path, stats);
+            path.pop();
+            if subtree_ok {
+                valid.push(c);
+            }
+        }
+
+        let child_is_required = query.vertex_clause[child].is_none();
+        if valid.is_empty() && child_is_required {
+            return false;
+        }
+        region.counts[child] += valid.len();
+        region.entries.insert((child, v), valid);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::start_vertex;
+    use turbohom_rdf::{vocab, Dataset};
+    use turbohom_sparql::parse_query;
+    use turbohom_transform::{transform_query, type_aware_transform};
+
+    fn ub(l: &str) -> String {
+        format!("http://ub.org/{l}")
+    }
+
+    /// Builds the data graph of paper Figure 2b (the matching-order example):
+    /// one A vertex connected to 10 X vertices, 10000 scaled down to 100 Y
+    /// vertices, and 5 Z vertices; each X vertex also connects to 10 Ys and
+    /// each Y to nothing else; Zs hang off the A vertex only.
+    fn figure2_dataset(ys: usize) -> Dataset {
+        let mut ds = Dataset::new();
+        ds.insert_iris(&ub("a0"), vocab::RDF_TYPE, &ub("A"));
+        for i in 0..10 {
+            let x = ub(&format!("x{i}"));
+            ds.insert_iris(&x, vocab::RDF_TYPE, &ub("X"));
+            ds.insert_iris(&ub("a0"), &ub("edge"), &x);
+        }
+        for i in 0..ys {
+            let y = ub(&format!("y{i}"));
+            ds.insert_iris(&y, vocab::RDF_TYPE, &ub("Y"));
+            ds.insert_iris(&ub("a0"), &ub("edge"), &y);
+        }
+        for i in 0..5 {
+            let z = ub(&format!("z{i}"));
+            ds.insert_iris(&z, vocab::RDF_TYPE, &ub("Z"));
+            ds.insert_iris(&ub("a0"), &ub("edge"), &z);
+        }
+        ds
+    }
+
+    const STAR_QUERY: &str = r#"
+        PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+        PREFIX ub: <http://ub.org/>
+        SELECT ?a ?x ?y ?z WHERE {
+            ?a rdf:type ub:A .
+            ?x rdf:type ub:X . ?y rdf:type ub:Y . ?z rdf:type ub:Z .
+            ?a ub:edge ?x . ?a ub:edge ?y . ?a ub:edge ?z .
+        }"#;
+
+    fn setup(ys: usize) -> (Dataset, TransformedGraph, TransformedQuery) {
+        let ds = figure2_dataset(ys);
+        let t = type_aware_transform(&ds);
+        let q = parse_query(STAR_QUERY).unwrap();
+        let tq = transform_query(&q.pattern, &t, &ds.dictionary).unwrap();
+        (ds, t, tq)
+    }
+
+    #[test]
+    fn region_counts_match_figure2_structure() {
+        let (_, t, tq) = setup(100);
+        let config = TurboHomConfig::default();
+        let mut stats = MatchStats::default();
+        let sel = start_vertex::choose_start_vertex(&t, &config, &tq, &mut stats);
+        // The A vertex has one candidate region.
+        assert_eq!(sel.start_vertices.len(), 1);
+        let a = tq.graph.vertex_of_variable("a").unwrap();
+        assert_eq!(sel.query_vertex, a);
+        let tree = QueryTree::build(&tq.graph, sel.query_vertex);
+        let region = explore_candidate_region(
+            &t,
+            &config,
+            &tq,
+            &tree,
+            sel.start_vertices[0],
+            &mut stats,
+        )
+        .expect("region exists");
+        let x = tq.graph.vertex_of_variable("x").unwrap();
+        let y = tq.graph.vertex_of_variable("y").unwrap();
+        let z = tq.graph.vertex_of_variable("z").unwrap();
+        assert_eq!(region.count(x), 10);
+        assert_eq!(region.count(y), 100);
+        assert_eq!(region.count(z), 5);
+        assert_eq!(region.count(a), 1);
+        assert_eq!(region.total_candidates(), 116);
+        assert_eq!(stats.candidate_vertices, 116);
+    }
+
+    #[test]
+    fn missing_required_child_kills_the_region() {
+        // No Z vertices at all → the region from a0 must fail.
+        let mut ds = Dataset::new();
+        ds.insert_iris(&ub("a0"), vocab::RDF_TYPE, &ub("A"));
+        ds.insert_iris(&ub("x0"), vocab::RDF_TYPE, &ub("X"));
+        ds.insert_iris(&ub("y0"), vocab::RDF_TYPE, &ub("Y"));
+        ds.insert_iris(&ub("a0"), &ub("edge"), &ub("x0"));
+        ds.insert_iris(&ub("a0"), &ub("edge"), &ub("y0"));
+        // Note: no Z typed vertex and no third edge.
+        let t = type_aware_transform(&ds);
+        let q = parse_query(STAR_QUERY).unwrap();
+        let tq = transform_query(&q.pattern, &t, &ds.dictionary).unwrap();
+        // The query mentions class Z which exists nowhere: already
+        // unsatisfiable at transformation time.
+        assert!(tq.unsatisfiable);
+    }
+
+    #[test]
+    fn region_fails_when_edge_exists_but_label_mismatches() {
+        let (ds, _, _) = {
+            let ds = figure2_dataset(3);
+            let t = type_aware_transform(&ds);
+            let q = parse_query(STAR_QUERY).unwrap();
+            let tq = transform_query(&q.pattern, &t, &ds.dictionary).unwrap();
+            (ds, t, tq)
+        };
+        // Query asking for a `wrongEdge` predicate that exists in the data
+        // dictionary but never with an A-subject.
+        let mut ds2 = ds.clone();
+        ds2.insert_iris(&ub("y0"), &ub("wrongEdge"), &ub("y1"));
+        let t2 = type_aware_transform(&ds2);
+        let q2 = parse_query(
+            r#"PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+               PREFIX ub: <http://ub.org/>
+               SELECT ?a ?x WHERE { ?a rdf:type ub:A . ?x rdf:type ub:X . ?a ub:wrongEdge ?x . }"#,
+        )
+        .unwrap();
+        let tq2 = transform_query(&q2.pattern, &t2, &ds2.dictionary).unwrap();
+        assert!(!tq2.unsatisfiable);
+        let config = TurboHomConfig::default();
+        let mut stats = MatchStats::default();
+        let sel = start_vertex::choose_start_vertex(&t2, &config, &tq2, &mut stats);
+        let tree = QueryTree::build(&tq2.graph, sel.query_vertex);
+        for &vs in &sel.start_vertices {
+            assert!(explore_candidate_region(&t2, &config, &tq2, &tree, vs, &mut stats).is_none());
+        }
+    }
+
+    #[test]
+    fn optional_child_with_no_candidates_keeps_region_alive() {
+        let mut ds = Dataset::new();
+        ds.insert_iris(&ub("p1"), vocab::RDF_TYPE, &ub("Product"));
+        ds.insert_iris(&ub("p1"), &ub("price"), &ub("cheap"));
+        let t = type_aware_transform(&ds);
+        let q = parse_query(
+            r#"PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+               PREFIX ub: <http://ub.org/>
+               SELECT ?p ?price ?r WHERE {
+                 ?p rdf:type ub:Product . ?p ub:price ?price .
+                 OPTIONAL { ?p ub:rating ?r . }
+               }"#,
+        )
+        .unwrap();
+        let tq = transform_query(&q.pattern, &t, &ds.dictionary).unwrap();
+        // `rating` is unknown, but it only occurs in an OPTIONAL clause: the
+        // query stays satisfiable and the region exploration must not fail —
+        // the optional child simply has no candidates.
+        assert!(!tq.unsatisfiable);
+        let config = TurboHomConfig::default();
+        let mut stats = MatchStats::default();
+        let p = tq.graph.vertex_of_variable("p").unwrap();
+        let tree = QueryTree::build(&tq.graph, p);
+        let start = t
+            .mappings
+            .vertex_of(ds.dictionary.id_of_iri(&ub("p1")).unwrap())
+            .unwrap();
+        let region = explore_candidate_region(&t, &config, &tq, &tree, start, &mut stats);
+        assert!(region.is_some());
+        let region = region.unwrap();
+        let r = tq.graph.vertex_of_variable("r").unwrap();
+        assert_eq!(region.count(r), 0);
+        assert!(region.candidates(r, start).is_empty());
+    }
+
+    #[test]
+    fn isomorphism_path_injectivity_prunes_revisits() {
+        // Data: a → b → a (cycle). Query path x -e-> y -e-> z.
+        let mut ds = Dataset::new();
+        ds.insert_iris(&ub("a"), &ub("e"), &ub("b"));
+        ds.insert_iris(&ub("b"), &ub("e"), &ub("a"));
+        let t = type_aware_transform(&ds);
+        let q = parse_query(
+            r#"PREFIX ub: <http://ub.org/>
+               SELECT ?x ?y ?z WHERE { ?x ub:e ?y . ?y ub:e ?z . }"#,
+        )
+        .unwrap();
+        let tq = transform_query(&q.pattern, &t, &ds.dictionary).unwrap();
+        let x = tq.graph.vertex_of_variable("x").unwrap();
+        let z = tq.graph.vertex_of_variable("z").unwrap();
+        let tree = QueryTree::build(&tq.graph, x);
+        let a = t
+            .mappings
+            .vertex_of(ds.dictionary.id_of_iri(&ub("a")).unwrap())
+            .unwrap();
+        let mut stats = MatchStats::default();
+
+        // Homomorphism: z may map back onto a (the path a→b→a is allowed).
+        let hom = explore_candidate_region(
+            &t,
+            &TurboHomConfig::default(),
+            &tq,
+            &tree,
+            a,
+            &mut stats,
+        )
+        .unwrap();
+        assert_eq!(hom.count(z), 1);
+
+        // Isomorphism: revisiting a on the exploration path is pruned, so the
+        // region dies (z has no candidate distinct from a and b... b is the
+        // y-mapping, a is on the path).
+        let iso = explore_candidate_region(
+            &t,
+            &TurboHomConfig::isomorphism(),
+            &tq,
+            &tree,
+            a,
+            &mut stats,
+        );
+        assert!(iso.is_none());
+    }
+}

@@ -1,0 +1,647 @@
+//! The top-level engine: orchestrates start-vertex selection, candidate
+//! region exploration, matching-order determination, subgraph search,
+//! FILTER application and (optionally) parallel execution over starting
+//! vertices (paper Algorithm 1 + Sections 4.3, 5.1, 5.2).
+
+use crate::candidate_region::explore_candidate_region;
+use crate::config::TurboHomConfig;
+use crate::matching_order::MatchingOrder;
+use crate::query_tree::QueryTree;
+use crate::result::{MatchResult, Solution};
+use crate::start_vertex::choose_start_vertex;
+use crate::stats::MatchStats;
+use crate::subgraph_search::SubgraphSearcher;
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use turbohom_graph::VertexId;
+use turbohom_rdf::Dictionary;
+use turbohom_sparql::{EvalContext, Expression};
+use turbohom_transform::{TransformedGraph, TransformedQuery};
+
+/// Upper bound on how many starting vertices one thread claims at a time.
+/// Small chunks keep the load balanced (Section 5.2: "we assign a small
+/// chunk of the starting data vertices to threads dynamically"); the actual
+/// chunk size additionally shrinks when there are few starting vertices so
+/// that every worker gets something to do.
+const PARALLEL_CHUNK: usize = 16;
+
+/// Picks the dynamic chunk size for `starts` starting vertices and `threads`
+/// workers: roughly eight chunks per worker, capped at [`PARALLEL_CHUNK`].
+fn chunk_size(starts: usize, threads: usize) -> usize {
+    (starts / (threads * 8)).clamp(1, PARALLEL_CHUNK)
+}
+
+/// Errors reported by the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The (required part of the) query graph is not connected; evaluating it
+    /// would be a cartesian product, which this engine does not support.
+    DisconnectedQuery,
+    /// Every query vertex sits inside an OPTIONAL clause; there is no
+    /// required part to anchor the search.
+    NoRequiredPart,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::DisconnectedQuery => {
+                write!(f, "query graph is disconnected (cartesian products are not supported)")
+            }
+            EngineError::NoRequiredPart => {
+                write!(f, "query has no required (non-OPTIONAL) part")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// The TurboHOM / TurboHOM++ execution engine over one transformed data graph.
+pub struct TurboHomEngine<'a> {
+    data: &'a TransformedGraph,
+    dictionary: &'a Dictionary,
+    config: TurboHomConfig,
+}
+
+impl<'a> TurboHomEngine<'a> {
+    /// Creates an engine for `data`. The `dictionary` is needed to evaluate
+    /// FILTER expressions (it maps matched vertices back to RDF terms).
+    pub fn new(data: &'a TransformedGraph, dictionary: &'a Dictionary, config: TurboHomConfig) -> Self {
+        TurboHomEngine {
+            data,
+            dictionary,
+            config,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &TurboHomConfig {
+        &self.config
+    }
+
+    /// Executes one (union-free) transformed query.
+    pub fn execute(&self, query: &TransformedQuery) -> Result<MatchResult, EngineError> {
+        if query.unsatisfiable || query.graph.vertex_count() == 0 {
+            return Ok(MatchResult::default());
+        }
+        if !query.graph.is_connected() {
+            return Err(EngineError::DisconnectedQuery);
+        }
+        if query.vertex_clause.iter().all(|c| c.is_some()) {
+            return Err(EngineError::NoRequiredPart);
+        }
+
+        let mut stats = MatchStats::default();
+        let selection = choose_start_vertex(self.data, &self.config, query, &mut stats);
+        if selection.start_vertices.is_empty() {
+            let mut result = MatchResult::default();
+            result.stats = stats;
+            return Ok(result);
+        }
+        let tree = QueryTree::build(&query.graph, selection.query_vertex);
+        debug_assert!(tree.spans(&query.graph));
+
+        // Split the FILTER expressions: cheap single-variable filters on
+        // required vertices are evaluated inline while matching; the rest
+        // (join conditions, regular expressions, filters over OPTIONAL
+        // variables) are applied to complete solutions afterwards
+        // (Section 5.1).
+        let (inline_filters, post_filters) = self.split_filters(query);
+        // With expensive filters pending, the search must materialize
+        // solutions and must not cut off at the limit prematurely.
+        let mut search_config = self.config;
+        if !post_filters.is_empty() {
+            search_config.count_only = false;
+            search_config.max_solutions = None;
+        }
+
+        let result = if self.config.threads <= 1 {
+            self.run_sequential(query, &tree, &selection.start_vertices, &search_config, &inline_filters, stats)
+        } else {
+            self.run_parallel(query, &tree, &selection.start_vertices, &search_config, &inline_filters, stats)
+        };
+        let mut result = result;
+
+        if !post_filters.is_empty() {
+            self.apply_post_filters(query, &post_filters, &mut result);
+        }
+        if let Some(limit) = self.config.max_solutions {
+            if result.solutions.len() > limit {
+                result.solutions.truncate(limit);
+            }
+            result.solution_count = result.solution_count.min(limit);
+        }
+        if self.config.count_only {
+            result.solutions.clear();
+        }
+        Ok(result)
+    }
+
+    /// Sequential execution (Algorithm 1's outer loop).
+    #[allow(clippy::too_many_arguments)]
+    fn run_sequential(
+        &self,
+        query: &TransformedQuery,
+        tree: &QueryTree,
+        starts: &[VertexId],
+        config: &TurboHomConfig,
+        inline_filters: &[Vec<&Expression>],
+        mut stats: MatchStats,
+    ) -> MatchResult {
+        let mut solutions = Vec::new();
+        let mut count = 0usize;
+        let mut shared_order: Option<MatchingOrder> = None;
+        for &vs in starts {
+            stats.candidate_regions += 1;
+            let Some(region) = explore_candidate_region(self.data, config, query, tree, vs, &mut stats)
+            else {
+                continue;
+            };
+            stats.nonempty_regions += 1;
+            let order_storage;
+            let order = if config.optimizations.reuse_matching_order {
+                if shared_order.is_none() {
+                    shared_order = Some(MatchingOrder::determine(query, tree, &region));
+                    stats.matching_orders_computed += 1;
+                }
+                shared_order.as_ref().unwrap()
+            } else {
+                order_storage = MatchingOrder::determine(query, tree, &region);
+                stats.matching_orders_computed += 1;
+                &order_storage
+            };
+            let mut searcher = SubgraphSearcher::new(
+                self.data,
+                config,
+                query,
+                tree,
+                order,
+                self.dictionary,
+                inline_filters.to_vec(),
+            );
+            searcher.search_region(&region, vs);
+            count += searcher.solution_count;
+            solutions.append(&mut searcher.solutions);
+            stats.merge(&searcher.stats);
+            if let Some(limit) = config.max_solutions {
+                if count >= limit {
+                    break;
+                }
+            }
+        }
+        MatchResult {
+            solutions,
+            solution_count: count,
+            stats,
+        }
+    }
+
+    /// Parallel execution: starting vertices are handed to worker threads in
+    /// small dynamic chunks (Section 5.2). Each candidate region is explored
+    /// and searched entirely by one thread; results are merged at the end.
+    #[allow(clippy::too_many_arguments)]
+    fn run_parallel(
+        &self,
+        query: &TransformedQuery,
+        tree: &QueryTree,
+        starts: &[VertexId],
+        config: &TurboHomConfig,
+        inline_filters: &[Vec<&Expression>],
+        mut stats: MatchStats,
+    ) -> MatchResult {
+        // With +REUSE the matching order comes from the first non-empty
+        // region; compute it up front so every worker can share it.
+        let mut shared_order: Option<MatchingOrder> = None;
+        if config.optimizations.reuse_matching_order {
+            for &vs in starts {
+                stats.candidate_regions += 1;
+                if let Some(region) =
+                    explore_candidate_region(self.data, config, query, tree, vs, &mut stats)
+                {
+                    stats.nonempty_regions += 1;
+                    shared_order = Some(MatchingOrder::determine(query, tree, &region));
+                    stats.matching_orders_computed += 1;
+                    // This region is searched again by a worker below; the
+                    // duplicate exploration is negligible (one region).
+                    stats.candidate_regions -= 1;
+                    stats.nonempty_regions -= 1;
+                    break;
+                }
+            }
+        }
+
+        let next = AtomicUsize::new(0);
+        let merged: Mutex<(Vec<Solution>, usize, MatchStats)> =
+            Mutex::new((Vec::new(), 0, stats));
+        let shared_order_ref = shared_order.as_ref();
+        let chunk = chunk_size(starts.len(), config.threads);
+
+        std::thread::scope(|scope| {
+            for _ in 0..config.threads {
+                scope.spawn(|| {
+                    let mut local_solutions: Vec<Solution> = Vec::new();
+                    let mut local_count = 0usize;
+                    let mut local_stats = MatchStats::default();
+                    loop {
+                        let begin = next.fetch_add(chunk, Ordering::Relaxed);
+                        if begin >= starts.len() {
+                            break;
+                        }
+                        let end = (begin + chunk).min(starts.len());
+                        for &vs in &starts[begin..end] {
+                            local_stats.candidate_regions += 1;
+                            let Some(region) = explore_candidate_region(
+                                self.data,
+                                config,
+                                query,
+                                tree,
+                                vs,
+                                &mut local_stats,
+                            ) else {
+                                continue;
+                            };
+                            local_stats.nonempty_regions += 1;
+                            let order_storage;
+                            let order = match shared_order_ref {
+                                Some(o) => o,
+                                None => {
+                                    order_storage =
+                                        MatchingOrder::determine(query, tree, &region);
+                                    local_stats.matching_orders_computed += 1;
+                                    &order_storage
+                                }
+                            };
+                            let mut searcher = SubgraphSearcher::new(
+                                self.data,
+                                config,
+                                query,
+                                tree,
+                                order,
+                                self.dictionary,
+                                inline_filters.to_vec(),
+                            );
+                            searcher.search_region(&region, vs);
+                            local_count += searcher.solution_count;
+                            local_solutions.append(&mut searcher.solutions);
+                            local_stats.merge(&searcher.stats);
+                        }
+                    }
+                    let mut guard = merged.lock();
+                    guard.0.append(&mut local_solutions);
+                    guard.1 += local_count;
+                    guard.2.merge(&local_stats);
+                });
+            }
+        });
+
+        let (solutions, count, stats) = merged.into_inner();
+        MatchResult {
+            solutions,
+            solution_count: count,
+            stats,
+        }
+    }
+
+    /// Splits the query's filters into per-vertex inline filters and
+    /// post-hoc filters.
+    fn split_filters<'q>(
+        &self,
+        query: &'q TransformedQuery,
+    ) -> (Vec<Vec<&'q Expression>>, Vec<&'q Expression>) {
+        let mut inline: Vec<Vec<&Expression>> = vec![Vec::new(); query.graph.vertex_count()];
+        let mut post: Vec<&Expression> = Vec::new();
+        for filter in &query.filters {
+            let mut vars = filter.variables();
+            vars.sort();
+            vars.dedup();
+            let single_required_vertex = if vars.len() == 1 && !filter.is_expensive() {
+                query
+                    .graph
+                    .vertex_of_variable(&vars[0])
+                    .filter(|&u| query.vertex_clause[u].is_none())
+            } else {
+                None
+            };
+            match single_required_vertex {
+                Some(u) => inline[u].push(filter),
+                None => post.push(filter),
+            }
+        }
+        (inline, post)
+    }
+
+    /// Applies the expensive filters to the materialized solutions.
+    fn apply_post_filters(
+        &self,
+        query: &TransformedQuery,
+        filters: &[&Expression],
+        result: &mut MatchResult,
+    ) {
+        let before = result.solutions.len();
+        let solutions = std::mem::take(&mut result.solutions);
+        result.solutions = solutions
+            .into_iter()
+            .filter(|s| {
+                let ctx = self.binding_context(query, s);
+                filters.iter().all(|f| f.evaluate_bool(&ctx))
+            })
+            .collect();
+        let removed = before - result.solutions.len();
+        result.stats.filtered_post += removed;
+        result.solution_count = result.solutions.len();
+    }
+
+    /// Builds the variable → term context of one solution (vertex variables
+    /// and variable predicates).
+    fn binding_context(&self, query: &TransformedQuery, solution: &Solution) -> EvalContext {
+        let mut ctx = EvalContext::new();
+        for (i, qv) in query.graph.vertices().iter().enumerate() {
+            if let (Some(var), Some(Some(v))) = (&qv.variable, solution.vertices.get(i)) {
+                if let Some(term) = self
+                    .data
+                    .mappings
+                    .term_of_vertex(*v)
+                    .and_then(|tid| self.dictionary.term(tid).cloned())
+                {
+                    ctx.insert(var.clone(), term);
+                }
+            }
+        }
+        for (ei, qe) in query.graph.edges().iter().enumerate() {
+            if let (Some(var), Some(Some(el))) = (&qe.variable, solution.edge_labels.get(ei)) {
+                if let Some(term) = self
+                    .data
+                    .mappings
+                    .term_of_elabel(*el)
+                    .and_then(|tid| self.dictionary.term(tid).cloned())
+                {
+                    ctx.insert(var.clone(), term);
+                }
+            }
+        }
+        ctx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbohom_rdf::{vocab, Dataset, Term};
+    use turbohom_sparql::parse_query;
+    use turbohom_transform::{transform_query, type_aware_transform};
+
+    fn ub(l: &str) -> String {
+        format!("http://ub.org/{l}")
+    }
+
+    /// A small university dataset: 3 universities, each with 2 departments,
+    /// each with 4 students who hold an undergraduate degree from the
+    /// *same* university their department belongs to (so the triangle query
+    /// has 3 × 2 × 4 = 24 solutions).
+    fn university_dataset() -> Dataset {
+        let mut ds = Dataset::new();
+        for u in 0..3 {
+            let univ = ub(&format!("univ{u}"));
+            ds.insert_iris(&univ, vocab::RDF_TYPE, &ub("University"));
+            for d in 0..2 {
+                let dept = ub(&format!("dept{u}_{d}"));
+                ds.insert_iris(&dept, vocab::RDF_TYPE, &ub("Department"));
+                ds.insert_iris(&dept, &ub("subOrganizationOf"), &univ);
+                for s in 0..4 {
+                    let student = ub(&format!("student{u}_{d}_{s}"));
+                    ds.insert_iris(&student, vocab::RDF_TYPE, &ub("GraduateStudent"));
+                    ds.insert_iris(&student, vocab::RDF_TYPE, &ub("Student"));
+                    ds.insert_iris(&student, &ub("memberOf"), &dept);
+                    ds.insert_iris(&student, &ub("undergraduateDegreeFrom"), &univ);
+                    ds.insert(
+                        &Term::iri(student.clone()),
+                        &Term::iri(ub("age")),
+                        &Term::integer(20 + s as i64),
+                    );
+                }
+            }
+        }
+        ds
+    }
+
+    const TRIANGLE: &str = r#"
+        PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+        PREFIX ub: <http://ub.org/>
+        SELECT ?x ?y ?z WHERE {
+            ?x rdf:type ub:Student . ?y rdf:type ub:University . ?z rdf:type ub:Department .
+            ?x ub:undergraduateDegreeFrom ?y . ?x ub:memberOf ?z . ?z ub:subOrganizationOf ?y .
+        }"#;
+
+    fn execute(
+        ds: &Dataset,
+        data: &TransformedGraph,
+        sparql: &str,
+        config: TurboHomConfig,
+    ) -> MatchResult {
+        let q = parse_query(sparql).unwrap();
+        let tq = transform_query(&q.pattern, data, &ds.dictionary).unwrap();
+        TurboHomEngine::new(data, &ds.dictionary, config)
+            .execute(&tq)
+            .unwrap()
+    }
+
+    #[test]
+    fn triangle_query_counts_solutions() {
+        let ds = university_dataset();
+        let data = type_aware_transform(&ds);
+        let result = execute(&ds, &data, TRIANGLE, TurboHomConfig::default());
+        assert_eq!(result.len(), 24);
+        assert_eq!(result.solutions.len(), 24);
+        assert!(result.stats.nonempty_regions > 0);
+    }
+
+    #[test]
+    fn turbohom_and_turbohom_plus_plus_agree() {
+        let ds = university_dataset();
+        let data = type_aware_transform(&ds);
+        let plus = execute(&ds, &data, TRIANGLE, TurboHomConfig::turbohom_plus_plus());
+        let plain = execute(&ds, &data, TRIANGLE, TurboHomConfig::turbohom());
+        assert_eq!(plus.len(), plain.len());
+    }
+
+    #[test]
+    fn parallel_execution_matches_sequential() {
+        let ds = university_dataset();
+        let data = type_aware_transform(&ds);
+        let seq = execute(&ds, &data, TRIANGLE, TurboHomConfig::default());
+        for threads in [2, 4, 8] {
+            let par = execute(
+                &ds,
+                &data,
+                TRIANGLE,
+                TurboHomConfig::default().with_threads(threads),
+            );
+            assert_eq!(par.len(), seq.len(), "threads = {threads}");
+            // Same multiset of solutions.
+            let mut a: Vec<_> = seq.solutions.iter().map(|s| s.vertices.clone()).collect();
+            let mut b: Vec<_> = par.solutions.iter().map(|s| s.vertices.clone()).collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn cheap_filter_is_applied_inline() {
+        let ds = university_dataset();
+        let data = type_aware_transform(&ds);
+        let result = execute(
+            &ds,
+            &data,
+            r#"PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+               PREFIX ub: <http://ub.org/>
+               SELECT ?x ?age WHERE {
+                 ?x rdf:type ub:Student . ?x ub:age ?age . FILTER (?age >= 22)
+               }"#,
+            TurboHomConfig::default(),
+        );
+        // Ages are 20..=23 per department, 6 departments → ages 22 and 23 → 12 students.
+        assert_eq!(result.len(), 12);
+        assert!(result.stats.filtered_inline > 0);
+        assert_eq!(result.stats.filtered_post, 0);
+    }
+
+    #[test]
+    fn expensive_join_filter_is_applied_post_hoc() {
+        let ds = university_dataset();
+        let data = type_aware_transform(&ds);
+        let result = execute(
+            &ds,
+            &data,
+            r#"PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+               PREFIX ub: <http://ub.org/>
+               SELECT ?a ?b WHERE {
+                 ?a rdf:type ub:Student . ?b rdf:type ub:Student .
+                 ?a ub:memberOf ?d . ?b ub:memberOf ?d .
+                 ?a ub:age ?agea . ?b ub:age ?ageb .
+                 FILTER (?agea > ?ageb)
+               }"#,
+            TurboHomConfig::default(),
+        );
+        // Per department: pairs (a, b) with age_a > age_b out of 4 students
+        // with distinct ages = C(4,2) = 6; times 6 departments = 36.
+        assert_eq!(result.len(), 36);
+        assert!(result.stats.filtered_post > 0);
+    }
+
+    #[test]
+    fn unsatisfiable_query_returns_empty_without_search() {
+        let ds = university_dataset();
+        let data = type_aware_transform(&ds);
+        let q = parse_query(
+            r#"PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+               PREFIX ub: <http://ub.org/>
+               SELECT ?x WHERE { ?x rdf:type ub:Starship . }"#,
+        )
+        .unwrap();
+        let tq = transform_query(&q.pattern, &data, &ds.dictionary).unwrap();
+        let result = TurboHomEngine::new(&data, &ds.dictionary, TurboHomConfig::default())
+            .execute(&tq)
+            .unwrap();
+        assert!(result.is_empty());
+        assert_eq!(result.stats.candidate_regions, 0);
+    }
+
+    #[test]
+    fn disconnected_query_is_rejected() {
+        let ds = university_dataset();
+        let data = type_aware_transform(&ds);
+        let q = parse_query(
+            r#"PREFIX ub: <http://ub.org/>
+               SELECT ?a ?b WHERE { ?a ub:memberOf ?d . ?b ub:subOrganizationOf ?u . }"#,
+        )
+        .unwrap();
+        let tq = transform_query(&q.pattern, &data, &ds.dictionary).unwrap();
+        let err = TurboHomEngine::new(&data, &ds.dictionary, TurboHomConfig::default())
+            .execute(&tq)
+            .unwrap_err();
+        assert_eq!(err, EngineError::DisconnectedQuery);
+        assert!(err.to_string().contains("disconnected"));
+    }
+
+    #[test]
+    fn direct_and_type_aware_transformations_agree() {
+        let ds = university_dataset();
+        let aware = type_aware_transform(&ds);
+        let direct = turbohom_transform::direct_transform(&ds);
+        let a = execute(&ds, &aware, TRIANGLE, TurboHomConfig::default());
+        let q = parse_query(TRIANGLE).unwrap();
+        let tq = transform_query(&q.pattern, &direct, &ds.dictionary).unwrap();
+        let d = TurboHomEngine::new(&direct, &ds.dictionary, TurboHomConfig::turbohom())
+            .execute(&tq)
+            .unwrap();
+        assert_eq!(a.len(), d.len());
+        assert_eq!(a.len(), 24);
+    }
+
+    #[test]
+    fn reuse_matching_order_computes_it_once() {
+        let ds = university_dataset();
+        let data = type_aware_transform(&ds);
+        let with_reuse = execute(&ds, &data, TRIANGLE, TurboHomConfig::default());
+        assert_eq!(with_reuse.stats.matching_orders_computed, 1);
+        let without = execute(
+            &ds,
+            &data,
+            TRIANGLE,
+            TurboHomConfig::default()
+                .with_optimizations(crate::config::Optimizations::none()),
+        );
+        assert!(without.stats.matching_orders_computed >= 1);
+        assert_eq!(
+            without.stats.matching_orders_computed,
+            without.stats.nonempty_regions
+        );
+    }
+
+    #[test]
+    fn bound_entity_query_explores_single_region() {
+        let ds = university_dataset();
+        let data = type_aware_transform(&ds);
+        let result = execute(
+            &ds,
+            &data,
+            r#"PREFIX ub: <http://ub.org/>
+               SELECT ?d WHERE { <http://ub.org/student0_0_0> ub:memberOf ?d . }"#,
+            TurboHomConfig::default(),
+        );
+        assert_eq!(result.len(), 1);
+        assert_eq!(result.stats.candidate_regions, 1);
+    }
+
+    #[test]
+    fn simple_entailment_restricts_matches() {
+        let ds = {
+            let mut ds = Dataset::new();
+            ds.insert_iris(&ub("g1"), vocab::RDF_TYPE, &ub("GraduateStudent"));
+            ds.insert_iris(&ub("GraduateStudent"), vocab::RDFS_SUBCLASSOF, &ub("Student"));
+            ds.insert_iris(&ub("u1"), vocab::RDF_TYPE, &ub("Student"));
+            ds.insert_iris(&ub("g1"), &ub("knows"), &ub("u1"));
+            ds.insert_iris(&ub("u1"), &ub("knows"), &ub("g1"));
+            ds
+        };
+        let data = type_aware_transform(&ds);
+        let query = r#"PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+                       PREFIX ub: <http://ub.org/>
+                       SELECT ?x WHERE { ?x rdf:type ub:Student . ?x ub:knows ?y . }"#;
+        let full = execute(&ds, &data, query, TurboHomConfig::default());
+        assert_eq!(full.len(), 2);
+        let simple = execute(
+            &ds,
+            &data,
+            query,
+            TurboHomConfig {
+                simple_entailment: true,
+                ..TurboHomConfig::default()
+            },
+        );
+        assert_eq!(simple.len(), 1);
+    }
+}

@@ -1,0 +1,81 @@
+//! Match results: solutions and their rendering helpers.
+
+use crate::stats::MatchStats;
+use turbohom_graph::{ELabel, VertexId};
+
+/// One e-graph homomorphism: the data vertex assigned to every query vertex
+/// (by query-vertex index) plus the edge label chosen for every query edge
+/// that carries a variable predicate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Solution {
+    /// `vertices[i]` is the data vertex matched to query vertex `i`, or
+    /// `None` when the vertex belongs to an OPTIONAL clause that did not
+    /// match (Section 5.1's nullified mapping).
+    pub vertices: Vec<Option<VertexId>>,
+    /// `edge_labels[j]` is the edge label assigned to query edge `j` by the
+    /// `Me` mapping of Definition 2. It is `Some` only for edges whose
+    /// predicate is a variable and whose endpoints are both bound.
+    pub edge_labels: Vec<Option<ELabel>>,
+}
+
+impl Solution {
+    /// Creates a solution with the given vertex assignment and no
+    /// variable-predicate assignments.
+    pub fn from_vertices(vertices: Vec<Option<VertexId>>, edge_count: usize) -> Self {
+        Solution {
+            vertices,
+            edge_labels: vec![None; edge_count],
+        }
+    }
+
+    /// The number of bound (non-null) query vertices.
+    pub fn bound_count(&self) -> usize {
+        self.vertices.iter().filter(|v| v.is_some()).count()
+    }
+}
+
+/// The outcome of one query execution.
+#[derive(Debug, Clone, Default)]
+pub struct MatchResult {
+    /// The solutions, unless the engine ran in count-only mode.
+    pub solutions: Vec<Solution>,
+    /// The number of solutions found (equals `solutions.len()` unless
+    /// count-only mode was enabled).
+    pub solution_count: usize,
+    /// Execution counters.
+    pub stats: MatchStats,
+}
+
+impl MatchResult {
+    /// Number of solutions found.
+    pub fn len(&self) -> usize {
+        self.solution_count
+    }
+
+    /// Returns `true` if no solution was found.
+    pub fn is_empty(&self) -> bool {
+        self.solution_count == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_count_ignores_nulls() {
+        let s = Solution::from_vertices(vec![Some(VertexId(1)), None, Some(VertexId(3))], 2);
+        assert_eq!(s.bound_count(), 2);
+        assert_eq!(s.edge_labels.len(), 2);
+    }
+
+    #[test]
+    fn result_len_tracks_solution_count() {
+        let mut r = MatchResult::default();
+        assert!(r.is_empty());
+        r.solutions.push(Solution::from_vertices(vec![Some(VertexId(0))], 0));
+        r.solution_count = 1;
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_empty());
+    }
+}

@@ -1,0 +1,298 @@
+//! `ChooseStartQueryVertex` (paper Section 2.2 / 4.2).
+//!
+//! The starting query vertex determines the candidate regions: one region is
+//! explored per data vertex that qualifies for the start vertex, so the
+//! engine wants the query vertex with the *fewest* qualifying data vertices.
+//! The paper ranks query vertices by `rank(u) = freq(g, L(u)) / deg(u)`
+//! (preferring rare labels and high degree), then refines the top-k by
+//! actually counting candidates with the degree and NLF filters applied.
+
+use crate::config::TurboHomConfig;
+use crate::filters;
+use crate::stats::MatchStats;
+use turbohom_graph::{ops, VertexId};
+use turbohom_transform::{TransformedGraph, TransformedQuery};
+
+/// How many of the lowest-ranked query vertices are refined by exact
+/// candidate counting (the paper's "top-k"). Three is TurboISO's default.
+const TOP_K: usize = 3;
+
+/// The outcome of start-vertex selection: the chosen query vertex and the
+/// data vertices that start a candidate region each.
+#[derive(Debug, Clone)]
+pub struct StartSelection {
+    /// The chosen starting query vertex (index into the query graph).
+    pub query_vertex: usize,
+    /// The qualifying starting data vertices, sorted.
+    pub start_vertices: Vec<VertexId>,
+}
+
+/// Estimates `freq(g, L(u))` — the number of data vertices that could match
+/// query vertex `u` — without enumerating them (used for the coarse ranking).
+fn rough_frequency(data: &TransformedGraph, query: &TransformedQuery, u: usize) -> usize {
+    let qv = query.graph.vertex(u);
+    if qv.bound.is_some() {
+        return 1;
+    }
+    if !qv.labels.is_empty() {
+        return data
+            .inverse_labels
+            .frequency_of_set(&qv.labels)
+            .unwrap_or(usize::MAX);
+    }
+    // No label, no ID: use the predicate index over the incident edges with
+    // constant predicates (Section 4.2), taking the most selective one.
+    let mut best = usize::MAX;
+    for &(ei, dir) in query.graph.incident_edges(u) {
+        if let Some(el) = query.graph.edge(ei).label {
+            let endpoints = data.predicates.endpoints(el, dir).len();
+            best = best.min(endpoints);
+        }
+    }
+    if best == usize::MAX {
+        data.graph.vertex_count()
+    } else {
+        best
+    }
+}
+
+/// Enumerates the data vertices that qualify as starting vertices for query
+/// vertex `u` (ID attribute, label set, degree/NLF filters).
+pub fn enumerate_start_vertices(
+    data: &TransformedGraph,
+    config: &TurboHomConfig,
+    query: &TransformedQuery,
+    u: usize,
+    stats: &mut MatchStats,
+) -> Vec<VertexId> {
+    let qv = query.graph.vertex(u);
+    let base: Vec<VertexId> = if let Some(bound) = qv.bound {
+        vec![bound]
+    } else if !qv.labels.is_empty() {
+        match data.inverse_labels.vertices_with_all_labels(&qv.labels) {
+            Some(v) => v,
+            None => Vec::new(),
+        }
+    } else {
+        // No label, no ID: take the most selective constant-predicate
+        // incidence list, or every vertex as a last resort.
+        let mut best: Option<Vec<VertexId>> = None;
+        for &(ei, dir) in query.graph.incident_edges(u) {
+            if let Some(el) = query.graph.edge(ei).label {
+                let endpoints = data.predicates.endpoints(el, dir);
+                if best.as_ref().map_or(true, |b| endpoints.len() < b.len()) {
+                    best = Some(endpoints.to_vec());
+                }
+            }
+        }
+        best.unwrap_or_else(|| data.graph.vertices().collect())
+    };
+    let mut out: Vec<VertexId> = base
+        .into_iter()
+        .filter(|&v| filters::qualifies(data, config, &query.graph, u, v, stats))
+        .collect();
+    ops::canonicalize(&mut out);
+    out
+}
+
+/// Chooses the starting query vertex and enumerates its starting data
+/// vertices.
+///
+/// Only vertices of the *required* part of the query are eligible: the
+/// OPTIONAL strategy of Section 5.1 demands that "TurboHOM++ selects a start
+/// query vertex which is not specified in an OPTIONAL clause".
+pub fn choose_start_vertex(
+    data: &TransformedGraph,
+    config: &TurboHomConfig,
+    query: &TransformedQuery,
+    stats: &mut MatchStats,
+) -> StartSelection {
+    let eligible: Vec<usize> = (0..query.graph.vertex_count())
+        .filter(|&u| query.vertex_clause[u].is_none())
+        .collect();
+    debug_assert!(!eligible.is_empty(), "query must have a required part");
+
+    // Coarse ranking: freq / deg, lower is better.
+    let mut ranked: Vec<(f64, usize)> = eligible
+        .iter()
+        .map(|&u| {
+            let freq = rough_frequency(data, query, u) as f64;
+            let deg = query.graph.degree(u).max(1) as f64;
+            (freq / deg, u)
+        })
+        .collect();
+    ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    // Refine the top-k by exact candidate counting.
+    let mut best: Option<(usize, Vec<VertexId>)> = None;
+    for &(_, u) in ranked.iter().take(TOP_K) {
+        let candidates = enumerate_start_vertices(data, config, query, u, stats);
+        match &best {
+            Some((_, current)) if candidates.len() >= current.len() => {}
+            _ => best = Some((u, candidates)),
+        }
+        if let Some((_, c)) = &best {
+            if c.is_empty() {
+                break;
+            }
+        }
+    }
+    let (query_vertex, start_vertices) = best.expect("at least one eligible vertex");
+    StartSelection {
+        query_vertex,
+        start_vertices,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbohom_rdf::{vocab, Dataset};
+    use turbohom_sparql::parse_query;
+    use turbohom_transform::{transform_query, type_aware_transform};
+
+    fn ub(l: &str) -> String {
+        format!("http://ub.org/{l}")
+    }
+
+    /// One university, two departments, many students.
+    fn data() -> (Dataset, TransformedGraph) {
+        let mut ds = Dataset::new();
+        ds.insert_iris(&ub("univ0"), vocab::RDF_TYPE, &ub("University"));
+        for d in 0..2 {
+            let dept = ub(&format!("dept{d}"));
+            ds.insert_iris(&dept, vocab::RDF_TYPE, &ub("Department"));
+            ds.insert_iris(&dept, &ub("subOrganizationOf"), &ub("univ0"));
+            for s in 0..5 {
+                let student = ub(&format!("student{d}_{s}"));
+                ds.insert_iris(&student, vocab::RDF_TYPE, &ub("Student"));
+                ds.insert_iris(&student, &ub("memberOf"), &dept);
+                ds.insert_iris(&student, &ub("undergraduateDegreeFrom"), &ub("univ0"));
+            }
+        }
+        let t = type_aware_transform(&ds);
+        (ds, t)
+    }
+
+    fn transformed(ds: &Dataset, t: &TransformedGraph, sparql: &str) -> TransformedQuery {
+        let q = parse_query(sparql).unwrap();
+        transform_query(&q.pattern, t, &ds.dictionary).unwrap()
+    }
+
+    #[test]
+    fn prefers_rarest_label_adjusted_by_degree() {
+        let (ds, t) = data();
+        // University (1 instance) vs Student (10) vs Department (2): the
+        // University vertex has the fewest candidates.
+        let tq = transformed(
+            &ds,
+            &t,
+            r#"PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+               PREFIX ub: <http://ub.org/>
+               SELECT ?x ?y ?z WHERE {
+                 ?x rdf:type ub:Student . ?y rdf:type ub:University . ?z rdf:type ub:Department .
+                 ?x ub:undergraduateDegreeFrom ?y . ?x ub:memberOf ?z . ?z ub:subOrganizationOf ?y .
+               }"#,
+        );
+        let mut stats = MatchStats::default();
+        let sel = choose_start_vertex(&t, &TurboHomConfig::default(), &tq, &mut stats);
+        let chosen_var = tq.graph.vertex(sel.query_vertex).variable.clone();
+        assert_eq!(chosen_var.as_deref(), Some("y"));
+        assert_eq!(sel.start_vertices.len(), 1);
+    }
+
+    #[test]
+    fn bound_vertex_always_wins() {
+        let (ds, t) = data();
+        let tq = transformed(
+            &ds,
+            &t,
+            r#"PREFIX ub: <http://ub.org/>
+               SELECT ?d WHERE { <http://ub.org/student0_0> ub:memberOf ?d . }"#,
+        );
+        let mut stats = MatchStats::default();
+        let sel = choose_start_vertex(&t, &TurboHomConfig::default(), &tq, &mut stats);
+        assert!(tq.graph.vertex(sel.query_vertex).bound.is_some());
+        assert_eq!(sel.start_vertices.len(), 1);
+    }
+
+    #[test]
+    fn unconstrained_vertex_uses_predicate_index() {
+        let (ds, t) = data();
+        // ?x subOrganizationOf ?y — neither side has a label; the predicate
+        // index bounds the candidates to the two departments / one university.
+        let tq = transformed(
+            &ds,
+            &t,
+            r#"PREFIX ub: <http://ub.org/>
+               SELECT ?x ?y WHERE { ?x ub:subOrganizationOf ?y . }"#,
+        );
+        let mut stats = MatchStats::default();
+        let sel = choose_start_vertex(&t, &TurboHomConfig::default(), &tq, &mut stats);
+        // Either end qualifies; whichever is chosen, the candidate set must
+        // come from the predicate index, not the whole vertex set.
+        assert!(sel.start_vertices.len() <= 2);
+        assert!(!sel.start_vertices.is_empty());
+    }
+
+    #[test]
+    fn optional_vertices_are_not_eligible() {
+        let (ds, t) = data();
+        // The bound dept0 vertex would be the cheapest start (one candidate),
+        // but it sits in an OPTIONAL clause and is therefore not eligible.
+        let tq2 = transformed(
+            &ds,
+            &t,
+            r#"PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+               PREFIX ub: <http://ub.org/>
+               SELECT ?x ?u WHERE {
+                 ?x rdf:type ub:Student .
+                 OPTIONAL { <http://ub.org/dept0> ub:subOrganizationOf ?u . }
+               }"#,
+        );
+        let mut stats = MatchStats::default();
+        let sel = choose_start_vertex(&t, &TurboHomConfig::default(), &tq2, &mut stats);
+        assert_eq!(tq2.vertex_clause[sel.query_vertex], None);
+        // The bound dept0 vertex is in the OPTIONAL clause, so the start is
+        // the Student vertex with its 10 candidates.
+        assert_eq!(sel.start_vertices.len(), 10);
+    }
+
+    #[test]
+    fn unknown_class_yields_no_start_vertices() {
+        let (ds, t) = data();
+        let q = parse_query(
+            r#"PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+               PREFIX ub: <http://ub.org/>
+               SELECT ?x WHERE { ?x rdf:type ub:Student . ?x ub:memberOf ?d . }"#,
+        )
+        .unwrap();
+        let mut tq = transform_query(&q.pattern, &t, &ds.dictionary).unwrap();
+        // Artificially constrain the student vertex to an impossible bound id
+        // to check the empty-candidate path.
+        let u = tq.graph.vertex_of_variable("x").unwrap();
+        let mut stats = MatchStats::default();
+        let cands = enumerate_start_vertices(&t, &TurboHomConfig::default(), &tq, u, &mut stats);
+        assert_eq!(cands.len(), 10);
+        // Bound to a non-Student vertex: label check rejects it.
+        let univ = t
+            .mappings
+            .vertex_of(ds.dictionary.id_of_iri(&ub("univ0")).unwrap())
+            .unwrap();
+        let graph = std::mem::take(&mut tq.graph);
+        let mut vertices_rebuilt = turbohom_graph::QueryGraph::new();
+        for (i, v) in graph.vertices().iter().enumerate() {
+            let mut v = v.clone();
+            if i == u {
+                v.bound = Some(univ);
+            }
+            vertices_rebuilt.add_vertex(v);
+        }
+        for e in graph.edges() {
+            vertices_rebuilt.add_edge(e.clone());
+        }
+        tq.graph = vertices_rebuilt;
+        let cands = enumerate_start_vertices(&t, &TurboHomConfig::default(), &tq, u, &mut stats);
+        assert!(cands.is_empty());
+    }
+}

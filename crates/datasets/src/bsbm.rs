@@ -1,0 +1,384 @@
+//! The BSBM-like e-commerce benchmark: generator and the 12 explore queries.
+//!
+//! The Berlin SPARQL Benchmark models an e-commerce scenario (products,
+//! producers, vendors, offers, reviews) and its *explore use case* is the
+//! query mix the paper runs in Table 6 — it is the workload that exercises
+//! the general SPARQL features OPTIONAL, FILTER and UNION (Section 5.1).
+//! The generator below reproduces the schema shape and the query set keeps
+//! the features and selectivity pattern of the originals: most queries are
+//! anchored to one product/offer/review and return a handful of rows, while
+//! Q5 (join-condition filters) and Q6 (regular expression over labels) are
+//! the two expensive ones.
+
+use crate::BenchmarkQuery;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use turbohom_rdf::{vocab, Dataset, Term};
+
+/// Vocabulary namespace.
+pub const BSBM: &str = "http://bsbm.example.org/vocabulary/";
+/// Instance namespace.
+pub const INST: &str = "http://bsbm.example.org/instances/";
+
+fn voc(local: &str) -> Term {
+    Term::iri(format!("{BSBM}{local}"))
+}
+
+fn inst(local: &str) -> Term {
+    Term::iri(format!("{INST}{local}"))
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BsbmConfig {
+    /// Scale factor: the number of products is `100 × scale`.
+    pub scale: usize,
+    /// Number of distinct product features.
+    pub features: usize,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for BsbmConfig {
+    fn default() -> Self {
+        BsbmConfig {
+            scale: 1,
+            features: 40,
+            seed: 0xb5b_5eed,
+        }
+    }
+}
+
+impl BsbmConfig {
+    /// A configuration with the given scale factor.
+    pub fn scale(scale: usize) -> Self {
+        BsbmConfig {
+            scale,
+            ..Self::default()
+        }
+    }
+
+    /// Number of products this configuration generates.
+    pub fn products(&self) -> usize {
+        self.scale * 100
+    }
+}
+
+/// The BSBM-like data generator.
+#[derive(Debug, Clone)]
+pub struct BsbmGenerator {
+    config: BsbmConfig,
+}
+
+impl BsbmGenerator {
+    /// Creates a generator.
+    pub fn new(config: BsbmConfig) -> Self {
+        BsbmGenerator { config }
+    }
+
+    /// Generates the dataset.
+    pub fn generate(&self) -> Dataset {
+        let cfg = &self.config;
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let mut ds = Dataset::new();
+        let rdf_type = Term::iri(vocab::RDF_TYPE);
+
+        let products = cfg.products();
+        let producers = (cfg.scale * 5).max(2);
+        let vendors = (cfg.scale * 5).max(2);
+        let reviewers = (cfg.scale * 20).max(5);
+
+        // Product type hierarchy: a root type with a handful of subtypes.
+        ds.insert(&voc("ProductTypeRoot"), &rdf_type, &voc("ProductType"));
+        for t in 0..6 {
+            let ty = voc(&format!("ProductType{t}"));
+            ds.insert(&ty, &rdf_type, &voc("ProductType"));
+            ds.insert(&ty, &Term::iri(vocab::RDFS_SUBCLASSOF), &voc("ProductTypeRoot"));
+        }
+
+        // Features.
+        for f in 0..cfg.features {
+            let feature = inst(&format!("ProductFeature{f}"));
+            ds.insert(&feature, &rdf_type, &voc("ProductFeature"));
+            ds.insert(
+                &feature,
+                &voc("label"),
+                &Term::literal(format!("feature number {f}")),
+            );
+        }
+
+        // Producers.
+        for p in 0..producers {
+            let producer = inst(&format!("Producer{p}"));
+            ds.insert(&producer, &rdf_type, &voc("Producer"));
+            ds.insert(&producer, &voc("label"), &Term::literal(format!("Producer {p}")));
+            ds.insert(
+                &producer,
+                &voc("country"),
+                &Term::iri(format!("http://countries.example.org/C{}", p % 7)),
+            );
+        }
+
+        // Vendors.
+        for v in 0..vendors {
+            let vendor = inst(&format!("Vendor{v}"));
+            ds.insert(&vendor, &rdf_type, &voc("Vendor"));
+            ds.insert(&vendor, &voc("label"), &Term::literal(format!("Vendor {v}")));
+            ds.insert(
+                &vendor,
+                &voc("country"),
+                &Term::iri(format!("http://countries.example.org/C{}", v % 7)),
+            );
+        }
+
+        // Reviewers.
+        for r in 0..reviewers {
+            let reviewer = inst(&format!("Reviewer{r}"));
+            ds.insert(&reviewer, &rdf_type, &voc("Person"));
+            ds.insert(&reviewer, &voc("name"), &Term::literal(format!("Reviewer {r}")));
+            ds.insert(
+                &reviewer,
+                &voc("country"),
+                &Term::iri(format!("http://countries.example.org/C{}", r % 7)),
+            );
+        }
+
+        // Products, offers, reviews.
+        let adjectives = ["great", "solid", "cheap", "premium", "classic", "alpha", "omega"];
+        for i in 0..products {
+            let product = inst(&format!("Product{i}"));
+            ds.insert(&product, &rdf_type, &voc("Product"));
+            ds.insert(
+                &product,
+                &rdf_type,
+                &voc(&format!("ProductType{}", i % 6)),
+            );
+            ds.insert(
+                &product,
+                &voc("label"),
+                &Term::literal(format!(
+                    "{} product number {i}",
+                    adjectives[i % adjectives.len()]
+                )),
+            );
+            ds.insert(
+                &product,
+                &voc("producer"),
+                &inst(&format!("Producer{}", i % producers)),
+            );
+            // 3–5 features per product.
+            let feature_count = 3 + rng.gen_range(0..3);
+            for _ in 0..feature_count {
+                let f = rng.gen_range(0..cfg.features);
+                ds.insert(&product, &voc("productFeature"), &inst(&format!("ProductFeature{f}")));
+            }
+            ds.insert(&product, &voc("propertyNum1"), &Term::integer(rng.gen_range(1..2000)));
+            ds.insert(&product, &voc("propertyNum2"), &Term::integer(rng.gen_range(1..2000)));
+            ds.insert(&product, &voc("propertyNum3"), &Term::integer(rng.gen_range(1..2000)));
+            // 70 % of the products have a text property (used by OPTIONAL queries).
+            if rng.gen_ratio(7, 10) {
+                ds.insert(
+                    &product,
+                    &voc("propertyTex1"),
+                    &Term::literal(format!("textual description {i}")),
+                );
+            }
+
+            // Offers: two per product.
+            for k in 0..2 {
+                let offer = inst(&format!("Offer{i}_{k}"));
+                ds.insert(&offer, &rdf_type, &voc("Offer"));
+                ds.insert(&offer, &voc("product"), &product);
+                ds.insert(
+                    &offer,
+                    &voc("vendor"),
+                    &inst(&format!("Vendor{}", rng.gen_range(0..vendors))),
+                );
+                ds.insert(&offer, &voc("price"), &Term::double(rng.gen_range(10.0..5000.0)));
+                ds.insert(
+                    &offer,
+                    &voc("deliveryDays"),
+                    &Term::integer(rng.gen_range(1..14)),
+                );
+            }
+
+            // Reviews: two per product, 60 % carry a rating.
+            for k in 0..2 {
+                let review = inst(&format!("Review{i}_{k}"));
+                ds.insert(&review, &rdf_type, &voc("Review"));
+                ds.insert(&review, &voc("reviewFor"), &product);
+                ds.insert(
+                    &review,
+                    &voc("reviewer"),
+                    &inst(&format!("Reviewer{}", rng.gen_range(0..reviewers))),
+                );
+                ds.insert(
+                    &review,
+                    &voc("title"),
+                    &Term::literal(format!("review {k} of product {i}")),
+                );
+                if rng.gen_ratio(3, 5) {
+                    ds.insert(&review, &voc("rating1"), &Term::integer(rng.gen_range(1..=10)));
+                }
+            }
+        }
+        ds
+    }
+}
+
+/// The 12 explore-use-case queries, anchored to entities the generator is
+/// guaranteed to produce (`Product1`, `Offer1_0`, `Review1_0`, …).
+pub fn queries() -> Vec<BenchmarkQuery> {
+    let prologue = format!(
+        "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\nPREFIX bsbm: <{BSBM}>\nPREFIX inst: <{INST}>\n"
+    );
+    let q = |id: &str, desc: &str, body: &str| {
+        BenchmarkQuery::new(id, desc, format!("{prologue}{body}"))
+    };
+    vec![
+        q(
+            "Q1",
+            "Products of a type carrying a given feature with a large propertyNum1",
+            "SELECT ?product ?label WHERE { \
+               ?product rdf:type bsbm:Product . ?product bsbm:label ?label . \
+               ?product bsbm:productFeature inst:ProductFeature1 . \
+               ?product bsbm:propertyNum1 ?p1 . FILTER (?p1 > 1500) }",
+        ),
+        q(
+            "Q2",
+            "All core details of a specific product, with optional text property",
+            "SELECT ?label ?producer ?p1 ?tex WHERE { \
+               inst:Product1 bsbm:label ?label . \
+               inst:Product1 bsbm:producer ?producer . \
+               inst:Product1 bsbm:propertyNum1 ?p1 . \
+               OPTIONAL { inst:Product1 bsbm:propertyTex1 ?tex . } }",
+        ),
+        q(
+            "Q3",
+            "Products with a feature, a numeric range, and without a second feature",
+            "SELECT ?product WHERE { \
+               ?product rdf:type bsbm:Product . \
+               ?product bsbm:productFeature inst:ProductFeature2 . \
+               ?product bsbm:propertyNum1 ?p1 . FILTER (?p1 > 500) \
+               ?product bsbm:propertyNum3 ?p3 . FILTER (?p3 < 1500) \
+               OPTIONAL { ?product bsbm:productFeature inst:ProductFeature3 . \
+                          ?product bsbm:label ?other . } \
+               FILTER (!BOUND(?other)) }",
+        ),
+        q(
+            "Q4",
+            "Products carrying either of two features (UNION)",
+            "SELECT ?product ?label WHERE { \
+               ?product rdf:type bsbm:Product . ?product bsbm:label ?label . \
+               { ?product bsbm:productFeature inst:ProductFeature4 . } \
+               UNION \
+               { ?product bsbm:productFeature inst:ProductFeature5 . } }",
+        ),
+        q(
+            "Q5",
+            "Products with property values close to those of a given product (join-condition filters)",
+            "SELECT ?product WHERE { \
+               ?product rdf:type bsbm:Product . \
+               inst:Product1 bsbm:propertyNum1 ?orig1 . \
+               ?product bsbm:propertyNum1 ?p1 . \
+               inst:Product1 bsbm:propertyNum2 ?orig2 . \
+               ?product bsbm:propertyNum2 ?p2 . \
+               FILTER (?p1 < ?orig1 + 300 && ?p1 > ?orig1 - 300) \
+               FILTER (?p2 < ?orig2 + 300 && ?p2 > ?orig2 - 300) }",
+        ),
+        q(
+            "Q6",
+            "Products whose label matches a regular expression",
+            "SELECT ?product ?label WHERE { \
+               ?product rdf:type bsbm:Product . ?product bsbm:label ?label . \
+               FILTER regex(?label, \"alpha.*number\") }",
+        ),
+        q(
+            "Q7",
+            "Offers and reviews (with optional ratings) for a specific product",
+            "SELECT ?offer ?price ?review ?rating WHERE { \
+               ?offer bsbm:product inst:Product1 . ?offer bsbm:price ?price . \
+               ?review bsbm:reviewFor inst:Product1 . \
+               OPTIONAL { ?review bsbm:rating1 ?rating . } }",
+        ),
+        q(
+            "Q8",
+            "Reviews of a specific product with reviewer names",
+            "SELECT ?review ?title ?reviewer ?name WHERE { \
+               ?review bsbm:reviewFor inst:Product1 . ?review bsbm:title ?title . \
+               ?review bsbm:reviewer ?reviewer . ?reviewer bsbm:name ?name . }",
+        ),
+        q(
+            "Q9",
+            "Everything about the reviewer of a given review",
+            "SELECT ?reviewer ?name ?country WHERE { \
+               inst:Review1_0 bsbm:reviewer ?reviewer . \
+               ?reviewer bsbm:name ?name . ?reviewer bsbm:country ?country . }",
+        ),
+        q(
+            "Q10",
+            "Cheap, quickly delivered offers for a specific product",
+            "SELECT ?offer ?price WHERE { \
+               ?offer bsbm:product inst:Product1 . ?offer bsbm:vendor ?vendor . \
+               ?vendor bsbm:country <http://countries.example.org/C1> . \
+               ?offer bsbm:deliveryDays ?d . FILTER (?d < 10) \
+               ?offer bsbm:price ?price . FILTER (?price < 4900) }",
+        ),
+        q(
+            "Q11",
+            "All properties of a specific offer (variable predicate)",
+            "SELECT ?property ?value WHERE { inst:Offer1_0 ?property ?value . }",
+        ),
+        q(
+            "Q12",
+            "Export view of a specific offer",
+            "SELECT ?productLabel ?vendor ?price WHERE { \
+               inst:Offer1_0 bsbm:product ?product . ?product bsbm:label ?productLabel . \
+               inst:Offer1_0 bsbm:vendor ?vendor . inst:Offer1_0 bsbm:price ?price . }",
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_scales() {
+        let a = BsbmGenerator::new(BsbmConfig::scale(1)).generate();
+        let b = BsbmGenerator::new(BsbmConfig::scale(1)).generate();
+        assert_eq!(a.len(), b.len());
+        let big = BsbmGenerator::new(BsbmConfig::scale(3)).generate();
+        assert!(big.len() > 2 * a.len());
+    }
+
+    #[test]
+    fn anchor_entities_exist() {
+        let ds = BsbmGenerator::new(BsbmConfig::scale(1)).generate();
+        for iri in [
+            format!("{INST}Product1"),
+            format!("{INST}Offer1_0"),
+            format!("{INST}Review1_0"),
+            format!("{INST}ProductFeature1"),
+            format!("{INST}Vendor0"),
+        ] {
+            assert!(ds.dictionary.id_of_iri(&iri).is_some(), "missing {iri}");
+        }
+    }
+
+    #[test]
+    fn products_have_numeric_properties() {
+        let ds = BsbmGenerator::new(BsbmConfig::scale(1)).generate();
+        let p1 = ds.dictionary.id_of_iri(&format!("{BSBM}propertyNum1")).unwrap();
+        assert_eq!(ds.count_predicate(p1), BsbmConfig::scale(1).products());
+    }
+
+    #[test]
+    fn twelve_queries() {
+        let qs = queries();
+        assert_eq!(qs.len(), 12);
+        assert!(qs.iter().any(|q| q.sparql.contains("UNION")));
+        assert!(qs.iter().any(|q| q.sparql.contains("OPTIONAL")));
+        assert!(qs.iter().any(|q| q.sparql.contains("regex")));
+    }
+}

@@ -1,0 +1,78 @@
+//! Store-level errors.
+
+use std::fmt;
+use turbohom_core::EngineError;
+use turbohom_rdf::RdfError;
+use turbohom_sparql::ParseError;
+use turbohom_transform::TransformError;
+
+/// Errors surfaced by the [`Store`](crate::Store) API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The RDF input could not be parsed or was malformed.
+    Rdf(RdfError),
+    /// The SPARQL query could not be parsed.
+    Sparql(ParseError),
+    /// The query could not be transformed into a query graph.
+    Transform(TransformError),
+    /// The matching engine rejected the query.
+    Engine(EngineError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Rdf(e) => write!(f, "RDF error: {e}"),
+            StoreError::Sparql(e) => write!(f, "SPARQL error: {e}"),
+            StoreError::Transform(e) => write!(f, "transformation error: {e}"),
+            StoreError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<RdfError> for StoreError {
+    fn from(e: RdfError) -> Self {
+        StoreError::Rdf(e)
+    }
+}
+
+impl From<ParseError> for StoreError {
+    fn from(e: ParseError) -> Self {
+        StoreError::Sparql(e)
+    }
+}
+
+impl From<TransformError> for StoreError {
+    fn from(e: TransformError) -> Self {
+        StoreError::Transform(e)
+    }
+}
+
+impl From<EngineError> for StoreError {
+    fn from(e: EngineError) -> Self {
+        StoreError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: StoreError = RdfError::UnknownTermId(3).into();
+        assert!(e.to_string().contains("RDF error"));
+        let e: StoreError = ParseError {
+            message: "bad".into(),
+            offset: 2,
+        }
+        .into();
+        assert!(e.to_string().contains("SPARQL"));
+        let e: StoreError = TransformError::VariableTypeUnsupported.into();
+        assert!(e.to_string().contains("transformation"));
+        let e: StoreError = EngineError::DisconnectedQuery.into();
+        assert!(e.to_string().contains("engine"));
+    }
+}

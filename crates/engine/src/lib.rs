@@ -1,0 +1,17 @@
+//! The high-level store API tying the whole system together.
+//!
+//! A [`Store`] owns one RDF dataset and every derived structure the engines
+//! need: the type-aware and direct labeled graphs with their indexes (for
+//! the TurboHOM++ / TurboHOM engines) and the six permutation indexes (for
+//! the join-based baselines). A SPARQL query can then be executed with any
+//! [`EngineKind`] and returns uniform [`QueryResults`], which is what the
+//! examples, the cross-engine correctness tests and the benchmark harness
+//! build on.
+
+pub mod error;
+pub mod results;
+pub mod store;
+
+pub use error::StoreError;
+pub use results::{QueryResults, ResultRow};
+pub use store::{EngineKind, PreparedQuery, Store, StoreOptions};

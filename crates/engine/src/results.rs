@@ -1,0 +1,97 @@
+//! Uniform query results across all engines.
+
+use std::collections::HashMap;
+use std::time::Duration;
+use turbohom_rdf::Term;
+
+/// One result row: the terms bound to the projected variables (in the order
+/// of [`QueryResults::variables`]); `None` marks a variable left unbound by
+/// an OPTIONAL clause.
+pub type ResultRow = Vec<Option<Term>>;
+
+/// The result of executing one SPARQL query.
+#[derive(Debug, Clone, Default)]
+pub struct QueryResults {
+    /// The projected variable names (without `?`).
+    pub variables: Vec<String>,
+    /// The result rows (absent when the query ran in count-only mode).
+    pub rows: Vec<ResultRow>,
+    /// The number of solutions (equals `rows.len()` unless count-only).
+    pub solution_count: usize,
+    /// Wall-clock execution time of the pattern matching (excludes parsing
+    /// and dictionary decoding, mirroring the paper's measurement protocol).
+    pub elapsed: Duration,
+}
+
+impl QueryResults {
+    /// Number of solutions.
+    pub fn len(&self) -> usize {
+        self.solution_count
+    }
+
+    /// Returns `true` if the query produced no solutions.
+    pub fn is_empty(&self) -> bool {
+        self.solution_count == 0
+    }
+
+    /// Iterates the rows as variable → term maps (unbound variables absent).
+    pub fn iter_bindings(&self) -> impl Iterator<Item = HashMap<&str, &Term>> + '_ {
+        self.rows.iter().map(move |row| {
+            self.variables
+                .iter()
+                .zip(row.iter())
+                .filter_map(|(v, t)| t.as_ref().map(|t| (v.as_str(), t)))
+                .collect()
+        })
+    }
+
+    /// The values bound to `variable` across all rows (unbound skipped).
+    pub fn column(&self, variable: &str) -> Vec<&Term> {
+        match self.variables.iter().position(|v| v == variable) {
+            Some(i) => self.rows.iter().filter_map(|r| r[i].as_ref()).collect(),
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> QueryResults {
+        QueryResults {
+            variables: vec!["x".into(), "y".into()],
+            rows: vec![
+                vec![Some(Term::iri("http://a")), Some(Term::integer(1))],
+                vec![Some(Term::iri("http://b")), None],
+            ],
+            solution_count: 2,
+            elapsed: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let r = sample();
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        assert!(QueryResults::default().is_empty());
+    }
+
+    #[test]
+    fn bindings_skip_unbound() {
+        let r = sample();
+        let bindings: Vec<_> = r.iter_bindings().collect();
+        assert_eq!(bindings[0].len(), 2);
+        assert_eq!(bindings[1].len(), 1);
+        assert_eq!(bindings[1]["x"], &Term::iri("http://b"));
+    }
+
+    #[test]
+    fn column_extraction() {
+        let r = sample();
+        assert_eq!(r.column("x").len(), 2);
+        assert_eq!(r.column("y").len(), 1);
+        assert!(r.column("missing").is_empty());
+    }
+}

@@ -1,0 +1,694 @@
+//! The [`Store`]: one RDF dataset plus every derived structure the engines
+//! need, and the uniform query entry point.
+
+use crate::error::StoreError;
+use crate::results::{QueryResults, ResultRow};
+use std::time::Instant;
+use turbohom_baseline::{HashJoinEngine, JoinStrategy, MergeJoinEngine, PermutationIndexes};
+use turbohom_core::{MatchResult, TurboHomConfig, TurboHomEngine};
+use turbohom_rdf::{parse_ntriples, Dataset, InferenceConfig, InferenceEngine, Term};
+use turbohom_sparql::{parse_query, GroupPattern, Query, SparqlTerm};
+use turbohom_transform::{
+    direct_transform, transform_query, type_aware_transform, TransformError, TransformedGraph,
+    TransformedQuery,
+};
+
+/// Which execution engine to use for a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The paper's contribution: e-graph homomorphism matching over the
+    /// type-aware transformed graph with all optimizations
+    /// (+INT, −NLF, −DEG, +REUSE).
+    TurboHomPlusPlus,
+    /// The unoptimized port of TurboISO over the direct transformation
+    /// (the paper's "TurboHOM", Figure 6 / Table 7 baseline).
+    TurboHom,
+    /// RDF-3X-style baseline: six permutation indexes + sort-merge joins.
+    MergeJoin,
+    /// TripleBit / System-X stand-in: predicate scans + hash joins.
+    HashJoin,
+}
+
+impl EngineKind {
+    /// All engine kinds, in the order the experiment tables list them.
+    pub fn all() -> [EngineKind; 4] {
+        [
+            EngineKind::TurboHomPlusPlus,
+            EngineKind::TurboHom,
+            EngineKind::MergeJoin,
+            EngineKind::HashJoin,
+        ]
+    }
+
+    /// Human-readable label used by the experiment harness.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EngineKind::TurboHomPlusPlus => "TurboHOM++",
+            EngineKind::TurboHom => "TurboHOM (direct)",
+            EngineKind::MergeJoin => "MergeJoin (RDF-3X-like)",
+            EngineKind::HashJoin => "HashJoin (System-Y)",
+        }
+    }
+}
+
+/// Construction options for a [`Store`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreOptions {
+    /// Materialize the RDFS closure (subClassOf/subPropertyOf/domain/range)
+    /// before building the graphs — the paper's LUBM loading protocol.
+    pub inference: bool,
+    /// Number of worker threads used by the TurboHOM++ engine.
+    pub threads: usize,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            inference: false,
+            threads: 1,
+        }
+    }
+}
+
+/// An in-memory RDF store with all engine-specific structures materialized.
+pub struct Store {
+    dataset: Dataset,
+    type_aware: TransformedGraph,
+    direct: TransformedGraph,
+    permutations: PermutationIndexes,
+    options: StoreOptions,
+}
+
+impl Store {
+    /// Builds a store from an already encoded dataset with default options.
+    pub fn from_dataset(dataset: Dataset) -> Self {
+        Self::from_dataset_with(dataset, StoreOptions::default())
+    }
+
+    /// Builds a store from an already encoded dataset.
+    pub fn from_dataset_with(mut dataset: Dataset, options: StoreOptions) -> Self {
+        if options.inference {
+            InferenceEngine::new(InferenceConfig::full()).materialize(&mut dataset);
+        }
+        let type_aware = type_aware_transform(&dataset);
+        let direct = direct_transform(&dataset);
+        let permutations = PermutationIndexes::build(&dataset);
+        Store {
+            dataset,
+            type_aware,
+            direct,
+            permutations,
+            options,
+        }
+    }
+
+    /// Parses an N-Triples document and builds a store with default options.
+    pub fn from_ntriples(input: &str) -> Result<Self, StoreError> {
+        Ok(Self::from_dataset(parse_ntriples(input)?))
+    }
+
+    /// Parses an N-Triples document and builds a store.
+    pub fn from_ntriples_with(input: &str, options: StoreOptions) -> Result<Self, StoreError> {
+        Ok(Self::from_dataset_with(parse_ntriples(input)?, options))
+    }
+
+    /// The underlying dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// Number of triples loaded (after inference, if enabled).
+    pub fn triple_count(&self) -> usize {
+        self.dataset.len()
+    }
+
+    /// The type-aware transformed graph (Section 4.1).
+    pub fn type_aware_graph(&self) -> &TransformedGraph {
+        &self.type_aware
+    }
+
+    /// The direct transformed graph (Section 3.2).
+    pub fn direct_graph(&self) -> &TransformedGraph {
+        &self.direct
+    }
+
+    /// The construction options.
+    pub fn options(&self) -> &StoreOptions {
+        &self.options
+    }
+
+    /// The TurboHOM++ configuration this store uses by default.
+    pub fn default_config(&self) -> TurboHomConfig {
+        TurboHomConfig::turbohom_plus_plus().with_threads(self.options.threads)
+    }
+
+    /// Parses a SPARQL query once so it can be executed repeatedly.
+    pub fn prepare(&self, sparql: &str) -> Result<PreparedQuery<'_>, StoreError> {
+        Ok(PreparedQuery {
+            store: self,
+            query: parse_query(sparql)?,
+        })
+    }
+
+    /// Parses and executes a SPARQL query with the chosen engine.
+    pub fn execute(&self, sparql: &str, kind: EngineKind) -> Result<QueryResults, StoreError> {
+        self.prepare(sparql)?.execute(kind)
+    }
+
+    /// Executes with an explicit TurboHOM configuration (used by the
+    /// optimization-ablation and parallel-speed-up experiments).
+    /// `force_direct` runs over the direct transformation regardless of the
+    /// query shape.
+    pub fn execute_turbohom(
+        &self,
+        sparql: &str,
+        config: TurboHomConfig,
+        force_direct: bool,
+    ) -> Result<QueryResults, StoreError> {
+        let query = parse_query(sparql)?;
+        self.run_turbohom(&query, config, force_direct)
+    }
+
+    // ---- internal execution paths -------------------------------------
+
+    fn run_turbohom(
+        &self,
+        query: &Query,
+        config: TurboHomConfig,
+        force_direct: bool,
+    ) -> Result<QueryResults, StoreError> {
+        let projected = query.projected_variables();
+        let start = Instant::now();
+        let mut rows: Vec<ResultRow> = Vec::new();
+        let mut count = 0usize;
+        for branch in query.pattern.expand_unions() {
+            let (mut branch_rows, branch_count) =
+                self.run_branch(&branch, config, force_direct, &projected)?;
+            rows.append(&mut branch_rows);
+            count += branch_count;
+        }
+        Ok(QueryResults {
+            variables: projected,
+            rows,
+            solution_count: count,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Runs one union-free branch. Connected branches go straight to the
+    /// matching engine; a branch whose required BGP falls apart into several
+    /// connected components (e.g. BSBM Q5, which compares two unrelated
+    /// products through a FILTER) is evaluated component by component, the
+    /// partial results are combined by a cartesian product, and the branch
+    /// filters are applied to the combined rows.
+    fn run_branch(
+        &self,
+        branch: &GroupPattern,
+        config: TurboHomConfig,
+        force_direct: bool,
+        projected: &[String],
+    ) -> Result<(Vec<ResultRow>, usize), StoreError> {
+        let components = split_components(branch);
+        if components.len() <= 1 {
+            return self.run_connected(branch, config, force_direct, projected);
+        }
+        // Evaluate each component over its own variables.
+        let mut partials: Vec<(Vec<String>, Vec<ResultRow>)> = Vec::new();
+        for component in &components {
+            let vars = component.all_variables();
+            let (rows, _) = self.run_connected(component, config, force_direct, &vars)?;
+            partials.push((vars, rows));
+        }
+        // Cartesian product of the component results.
+        let all_vars: Vec<String> = partials.iter().flat_map(|(v, _)| v.clone()).collect();
+        let mut combined: Vec<ResultRow> = vec![Vec::new()];
+        for (_, rows) in &partials {
+            let mut next = Vec::with_capacity(combined.len() * rows.len());
+            for prefix in &combined {
+                for row in rows {
+                    let mut r = prefix.clone();
+                    r.extend(row.iter().cloned());
+                    next.push(r);
+                }
+            }
+            combined = next;
+            if combined.is_empty() {
+                break;
+            }
+        }
+        // Apply the branch filters over the combined rows.
+        let filters = collect_filters(branch);
+        let filtered: Vec<ResultRow> = combined
+            .into_iter()
+            .filter(|row| {
+                let mut ctx = turbohom_sparql::EvalContext::new();
+                for (var, term) in all_vars.iter().zip(row.iter()) {
+                    if let Some(term) = term {
+                        ctx.insert(var.clone(), term.clone());
+                    }
+                }
+                filters.iter().all(|f| f.evaluate_bool(&ctx))
+            })
+            .collect();
+        // Project onto the requested variables.
+        let indices: Vec<Option<usize>> = projected
+            .iter()
+            .map(|v| all_vars.iter().position(|x| x == v))
+            .collect();
+        let rows: Vec<ResultRow> = filtered
+            .iter()
+            .map(|row| {
+                indices
+                    .iter()
+                    .map(|i| i.and_then(|i| row[i].clone()))
+                    .collect()
+            })
+            .collect();
+        let count = rows.len();
+        Ok((rows, count))
+    }
+
+    /// Runs one connected, union-free group with the matching engine and
+    /// renders the result rows over `out_vars`.
+    fn run_connected(
+        &self,
+        group: &GroupPattern,
+        config: TurboHomConfig,
+        force_direct: bool,
+        out_vars: &[String],
+    ) -> Result<(Vec<ResultRow>, usize), StoreError> {
+        let use_direct = force_direct || branch_needs_direct(group);
+        let (graph, transformed) = self.transform_branch(group, use_direct)?;
+        let engine = TurboHomEngine::new(graph, &self.dataset.dictionary, config);
+        let result = engine.execute(&transformed)?;
+        let mut rows = Vec::new();
+        self.append_rows(&mut rows, graph, &transformed, &result, out_vars);
+        Ok((rows, result.solution_count))
+    }
+
+    /// Transforms one union-free branch, falling back to the direct graph
+    /// when the type-aware transformation cannot express the query.
+    fn transform_branch(
+        &self,
+        branch: &GroupPattern,
+        use_direct: bool,
+    ) -> Result<(&TransformedGraph, TransformedQuery), StoreError> {
+        if use_direct {
+            let tq = transform_query(branch, &self.direct, &self.dataset.dictionary)?;
+            return Ok((&self.direct, tq));
+        }
+        match transform_query(branch, &self.type_aware, &self.dataset.dictionary) {
+            Ok(tq) => Ok((&self.type_aware, tq)),
+            Err(
+                TransformError::VariableTypeUnsupported
+                | TransformError::VariableSubclassUnsupported,
+            ) => {
+                let tq = transform_query(branch, &self.direct, &self.dataset.dictionary)?;
+                Ok((&self.direct, tq))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Converts matcher solutions into term rows over the projected variables.
+    fn append_rows(
+        &self,
+        rows: &mut Vec<ResultRow>,
+        graph: &TransformedGraph,
+        query: &TransformedQuery,
+        result: &MatchResult,
+        projected: &[String],
+    ) {
+        // Pre-resolve where every projected variable lives.
+        enum Slot {
+            Vertex(usize),
+            Edge(usize),
+            Absent,
+        }
+        let slots: Vec<Slot> = projected
+            .iter()
+            .map(|var| {
+                if let Some(u) = query.graph.vertex_of_variable(var) {
+                    Slot::Vertex(u)
+                } else if let Some(e) = query
+                    .graph
+                    .edges()
+                    .iter()
+                    .position(|e| e.variable.as_deref() == Some(var))
+                {
+                    Slot::Edge(e)
+                } else {
+                    Slot::Absent
+                }
+            })
+            .collect();
+        for solution in &result.solutions {
+            let row: ResultRow = slots
+                .iter()
+                .map(|slot| match slot {
+                    Slot::Vertex(u) => solution.vertices[*u]
+                        .and_then(|v| graph.mappings.term_of_vertex(v))
+                        .and_then(|tid| self.dataset.dictionary.term(tid).cloned()),
+                    Slot::Edge(e) => solution.edge_labels[*e]
+                        .and_then(|el| graph.mappings.term_of_elabel(el))
+                        .and_then(|tid| self.dataset.dictionary.term(tid).cloned()),
+                    Slot::Absent => None,
+                })
+                .collect();
+            rows.push(row);
+        }
+    }
+
+    fn run_baseline(&self, query: &Query, strategy: JoinStrategy) -> QueryResults {
+        let projected = query.projected_variables();
+        let start = Instant::now();
+        let engine = match strategy {
+            JoinStrategy::SortMerge => MergeJoinEngine::new(&self.dataset, &self.permutations),
+            JoinStrategy::Hash => HashJoinEngine::new(&self.dataset, &self.permutations),
+        };
+        let (relation, _stats) = engine.execute(query);
+        let columns: Vec<Option<usize>> = projected.iter().map(|v| relation.column(v)).collect();
+        let rows: Vec<ResultRow> = relation
+            .rows
+            .iter()
+            .map(|row| {
+                columns
+                    .iter()
+                    .map(|col| {
+                        col.and_then(|i| row[i])
+                            .and_then(|tid| self.dataset.dictionary.term(tid).cloned())
+                    })
+                    .collect()
+            })
+            .collect();
+        QueryResults {
+            variables: projected,
+            solution_count: rows.len(),
+            rows,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Renders a term for display (used by the examples).
+    pub fn render(&self, term: &Term) -> String {
+        term.to_string()
+    }
+}
+
+/// A parsed query bound to a store.
+pub struct PreparedQuery<'s> {
+    store: &'s Store,
+    query: Query,
+}
+
+impl<'s> PreparedQuery<'s> {
+    /// The parsed query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// Executes the query with the chosen engine.
+    pub fn execute(&self, kind: EngineKind) -> Result<QueryResults, StoreError> {
+        match kind {
+            EngineKind::TurboHomPlusPlus => {
+                self.store
+                    .run_turbohom(&self.query, self.store.default_config(), false)
+            }
+            EngineKind::TurboHom => {
+                self.store
+                    .run_turbohom(&self.query, TurboHomConfig::turbohom(), true)
+            }
+            EngineKind::MergeJoin => Ok(self.store.run_baseline(&self.query, JoinStrategy::SortMerge)),
+            EngineKind::HashJoin => Ok(self.store.run_baseline(&self.query, JoinStrategy::Hash)),
+        }
+    }
+}
+
+/// Returns `true` if the branch contains a variable in predicate position
+/// (anywhere, including OPTIONAL clauses). Such queries must run over the
+/// direct transformation: in the type-aware graph the `rdf:type` edges no
+/// longer exist, so a variable predicate would silently miss them.
+fn branch_needs_direct(branch: &GroupPattern) -> bool {
+    branch
+        .triples
+        .iter()
+        .any(|t| matches!(t.predicate, SparqlTerm::Variable(_)))
+        || branch.optionals.iter().any(branch_needs_direct)
+        || branch
+            .unions
+            .iter()
+            .flatten()
+            .any(branch_needs_direct)
+}
+
+/// All FILTER expressions of a branch, including those inside OPTIONALs
+/// (used when the branch is evaluated component-wise at the store level).
+fn collect_filters(branch: &GroupPattern) -> Vec<turbohom_sparql::Expression> {
+    let mut out = branch.filters.clone();
+    for opt in &branch.optionals {
+        out.extend(collect_filters(opt));
+    }
+    out
+}
+
+/// Splits a union-free branch into the connected components of its required
+/// basic graph pattern. Variables *and* constants connect patterns (they map
+/// to shared query vertices). OPTIONAL clauses are attached to the first
+/// component they share a variable with; FILTERs are deliberately dropped —
+/// the caller re-applies them after combining the component results.
+fn split_components(branch: &GroupPattern) -> Vec<GroupPattern> {
+    if branch.triples.len() <= 1 {
+        return vec![branch.clone()];
+    }
+    // Union-find over the term keys of the required triples.
+    let mut keys: Vec<String> = Vec::new();
+    let mut parents: Vec<usize> = Vec::new();
+    fn find(parents: &mut Vec<usize>, mut x: usize) -> usize {
+        while parents[x] != x {
+            parents[x] = parents[parents[x]];
+            x = parents[x];
+        }
+        x
+    }
+    let key_index = |keys: &mut Vec<String>, parents: &mut Vec<usize>, key: String| -> usize {
+        match keys.iter().position(|k| *k == key) {
+            Some(i) => i,
+            None => {
+                keys.push(key);
+                parents.push(parents.len());
+                parents.len() - 1
+            }
+        }
+    };
+    let term_key = |t: &SparqlTerm| match t {
+        SparqlTerm::Variable(v) => format!("?{v}"),
+        SparqlTerm::Constant(c) => c.to_string(),
+    };
+    let mut triple_roots: Vec<usize> = Vec::with_capacity(branch.triples.len());
+    for triple in &branch.triples {
+        let mut nodes = vec![
+            key_index(&mut keys, &mut parents, term_key(&triple.subject)),
+            key_index(&mut keys, &mut parents, term_key(&triple.object)),
+        ];
+        if triple.predicate.is_variable() {
+            nodes.push(key_index(&mut keys, &mut parents, term_key(&triple.predicate)));
+        }
+        let root = find(&mut parents, nodes[0]);
+        for &n in &nodes[1..] {
+            let r = find(&mut parents, n);
+            parents[r] = root;
+        }
+        triple_roots.push(root);
+    }
+    // Normalize roots after all unions.
+    let roots: Vec<usize> = triple_roots
+        .iter()
+        .map(|&r| find(&mut parents, r))
+        .collect();
+    let mut distinct_roots: Vec<usize> = roots.clone();
+    distinct_roots.sort_unstable();
+    distinct_roots.dedup();
+    if distinct_roots.len() <= 1 {
+        return vec![branch.clone()];
+    }
+    let mut components: Vec<GroupPattern> = distinct_roots
+        .iter()
+        .map(|_| GroupPattern::new())
+        .collect();
+    for (triple, root) in branch.triples.iter().zip(&roots) {
+        let idx = distinct_roots.iter().position(|r| r == root).expect("root present");
+        components[idx].triples.push(triple.clone());
+    }
+    // Attach each OPTIONAL to the first component sharing a variable.
+    for opt in &branch.optionals {
+        let opt_vars = opt.all_variables();
+        let target = components
+            .iter()
+            .position(|c| {
+                let vars = c.all_variables();
+                opt_vars.iter().any(|v| vars.contains(v))
+            })
+            .unwrap_or(0);
+        components[target].optionals.push(opt.clone());
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbohom_rdf::vocab;
+
+    fn ub(l: &str) -> String {
+        format!("http://ub.org/{l}")
+    }
+
+    fn sample_store() -> Store {
+        let mut ds = Dataset::new();
+        ds.insert_iris(&ub("GraduateStudent"), vocab::RDFS_SUBCLASSOF, &ub("Student"));
+        for i in 0..3 {
+            let s = ub(&format!("student{i}"));
+            ds.insert_iris(&s, vocab::RDF_TYPE, &ub("GraduateStudent"));
+            ds.insert_iris(&s, &ub("memberOf"), &ub("dept0"));
+        }
+        ds.insert_iris(&ub("dept0"), vocab::RDF_TYPE, &ub("Department"));
+        ds.insert_iris(&ub("dept0"), &ub("subOrganizationOf"), &ub("univ0"));
+        ds.insert_iris(&ub("univ0"), vocab::RDF_TYPE, &ub("University"));
+        Store::from_dataset_with(
+            ds,
+            StoreOptions {
+                inference: true,
+                threads: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn all_engines_agree_on_a_bgp() {
+        let store = sample_store();
+        let q = r#"PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+                   PREFIX ub: <http://ub.org/>
+                   SELECT ?x ?d WHERE { ?x rdf:type ub:Student . ?x ub:memberOf ?d . }"#;
+        let mut counts = Vec::new();
+        for kind in EngineKind::all() {
+            let r = store.execute(q, kind).unwrap();
+            counts.push(r.len());
+            assert_eq!(r.variables, vec!["x", "d"]);
+        }
+        assert!(counts.iter().all(|&c| c == 3), "{counts:?}");
+    }
+
+    #[test]
+    fn inference_option_materializes_superclass_types() {
+        let store = sample_store();
+        // Without inference the Student class has no direct instances.
+        let q = r#"PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+                   PREFIX ub: <http://ub.org/>
+                   SELECT ?x WHERE { ?x rdf:type ub:Student . }"#;
+        assert_eq!(store.execute(q, EngineKind::TurboHomPlusPlus).unwrap().len(), 3);
+        assert_eq!(store.execute(q, EngineKind::MergeJoin).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn from_ntriples_round_trip() {
+        let nt = r#"
+<http://ex.org/a> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex.org/T> .
+<http://ex.org/a> <http://ex.org/p> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .
+"#;
+        let store = Store::from_ntriples(nt).unwrap();
+        assert_eq!(store.triple_count(), 2);
+        let r = store
+            .execute(
+                "SELECT ?v WHERE { <http://ex.org/a> <http://ex.org/p> ?v . }",
+                EngineKind::TurboHomPlusPlus,
+            )
+            .unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.column("v")[0].as_integer(), Some(42));
+    }
+
+    #[test]
+    fn variable_predicate_falls_back_to_direct_graph() {
+        let store = sample_store();
+        let q = "SELECT ?p ?o WHERE { <http://ub.org/student0> ?p ?o . }";
+        let graph = store.execute(q, EngineKind::TurboHomPlusPlus).unwrap();
+        let join = store.execute(q, EngineKind::MergeJoin).unwrap();
+        // Both must see the rdf:type triples (2 after inference) + memberOf.
+        assert_eq!(graph.len(), join.len());
+        assert_eq!(graph.len(), 3);
+    }
+
+    #[test]
+    fn prepared_query_is_reusable() {
+        let store = sample_store();
+        let prepared = store
+            .prepare(
+                r#"PREFIX ub: <http://ub.org/>
+                   SELECT ?x WHERE { ?x ub:memberOf <http://ub.org/dept0> . }"#,
+            )
+            .unwrap();
+        let a = prepared.execute(EngineKind::TurboHomPlusPlus).unwrap();
+        let b = prepared.execute(EngineKind::HashJoin).unwrap();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), 3);
+        assert!(a.elapsed >= std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        let store = sample_store();
+        assert!(matches!(
+            store.execute("SELECT WHERE", EngineKind::TurboHomPlusPlus),
+            Err(StoreError::Sparql(_))
+        ));
+        assert!(Store::from_ntriples("not ntriples").is_err());
+    }
+
+    #[test]
+    fn execute_turbohom_with_custom_config() {
+        let store = sample_store();
+        let q = r#"PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+                   PREFIX ub: <http://ub.org/>
+                   SELECT ?x ?y ?z WHERE {
+                     ?x rdf:type ub:Student . ?y rdf:type ub:University . ?z rdf:type ub:Department .
+                     ?x ub:memberOf ?z . ?z ub:subOrganizationOf ?y . }"#;
+        for opts in [
+            turbohom_core::Optimizations::all(),
+            turbohom_core::Optimizations::none(),
+        ] {
+            let config = TurboHomConfig::default().with_optimizations(opts);
+            for force_direct in [false, true] {
+                let r = store.execute_turbohom(q, config, force_direct).unwrap();
+                assert_eq!(r.len(), 3, "{opts:?} force_direct={force_direct}");
+            }
+        }
+    }
+
+    #[test]
+    fn union_and_optional_work_through_the_store() {
+        let store = sample_store();
+        let q = r#"PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+                   PREFIX ub: <http://ub.org/>
+                   SELECT ?x ?u WHERE {
+                     { ?x rdf:type ub:Department . } UNION { ?x rdf:type ub:University . }
+                     OPTIONAL { ?x ub:subOrganizationOf ?u . }
+                   }"#;
+        let a = store.execute(q, EngineKind::TurboHomPlusPlus).unwrap();
+        let b = store.execute(q, EngineKind::MergeJoin).unwrap();
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 2);
+        // dept0 has a parent organization, univ0 does not.
+        assert_eq!(a.column("u").len(), 1);
+        assert_eq!(b.column("u").len(), 1);
+    }
+
+    #[test]
+    fn graph_accessors_expose_table1_statistics() {
+        let store = sample_store();
+        let aware = store.type_aware_graph().graph.stats();
+        let direct = store.direct_graph().graph.stats();
+        assert!(aware.vertices < direct.vertices);
+        assert!(aware.edges < direct.edges);
+        assert_eq!(store.options().threads, 1);
+    }
+}

@@ -1,0 +1,297 @@
+//! Mutable builder that freezes into the CSR [`LabeledGraph`].
+//!
+//! The builder accepts vertices (with label sets) and labeled edges in any
+//! order, deduplicates exact duplicate edges, and on [`build`](LabeledGraphBuilder::build)
+//! lays out the grouped adjacency described in paper Section 4.2 for both
+//! directions.
+
+use crate::ids::{ELabel, VLabel, VertexId};
+use crate::labeled_graph::{AdjacencyDirection, ELabelGroup, LabeledGraph, TypeGroup};
+use std::collections::HashSet;
+
+/// Builder for [`LabeledGraph`].
+#[derive(Debug, Default, Clone)]
+pub struct LabeledGraphBuilder {
+    vertex_labels: Vec<Vec<VLabel>>,
+    edges: Vec<(VertexId, VertexId, ELabel)>,
+    edge_set: HashSet<(VertexId, VertexId, ELabel)>,
+    max_vlabel: Option<u32>,
+    max_elabel: Option<u32>,
+}
+
+impl LabeledGraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with capacity hints.
+    pub fn with_capacity(vertices: usize, edges: usize) -> Self {
+        LabeledGraphBuilder {
+            vertex_labels: Vec::with_capacity(vertices),
+            edges: Vec::with_capacity(edges),
+            edge_set: HashSet::with_capacity(edges),
+            max_vlabel: None,
+            max_elabel: None,
+        }
+    }
+
+    /// Adds a vertex with the given label set and returns its id.
+    pub fn add_vertex(&mut self, mut labels: Vec<VLabel>) -> VertexId {
+        labels.sort_unstable();
+        labels.dedup();
+        for l in &labels {
+            self.max_vlabel = Some(self.max_vlabel.map_or(l.0, |m| m.max(l.0)));
+        }
+        let id = VertexId(self.vertex_labels.len() as u32);
+        self.vertex_labels.push(labels);
+        id
+    }
+
+    /// Adds `extra` labels to an existing vertex (used by the type-aware
+    /// transformation when types are discovered after the vertex).
+    ///
+    /// # Panics
+    /// Panics if `v` has not been added to this builder.
+    pub fn add_labels(&mut self, v: VertexId, extra: &[VLabel]) {
+        for l in extra {
+            self.max_vlabel = Some(self.max_vlabel.map_or(l.0, |m| m.max(l.0)));
+        }
+        let labels = &mut self.vertex_labels[v.index()];
+        labels.extend_from_slice(extra);
+        labels.sort_unstable();
+        labels.dedup();
+    }
+
+    /// Adds a directed labeled edge. Exact duplicates are ignored.
+    ///
+    /// # Panics
+    /// Panics if either endpoint has not been added to this builder.
+    pub fn add_edge(&mut self, from: VertexId, to: VertexId, label: ELabel) {
+        assert!(
+            from.index() < self.vertex_labels.len(),
+            "edge source {from} not added"
+        );
+        assert!(
+            to.index() < self.vertex_labels.len(),
+            "edge target {to} not added"
+        );
+        if self.edge_set.insert((from, to, label)) {
+            self.max_elabel = Some(self.max_elabel.map_or(label.0, |m| m.max(label.0)));
+            self.edges.push((from, to, label));
+        }
+    }
+
+    /// The number of vertices added so far.
+    pub fn vertex_count(&self) -> usize {
+        self.vertex_labels.len()
+    }
+
+    /// The number of distinct edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Freezes the builder into an immutable [`LabeledGraph`].
+    pub fn build(self) -> LabeledGraph {
+        let n = self.vertex_labels.len();
+        let num_vlabels = self.max_vlabel.map_or(0, |m| m as usize + 1);
+        let num_elabels = self.max_elabel.map_or(0, |m| m as usize + 1);
+
+        // Vertex label CSR.
+        let mut label_offsets = Vec::with_capacity(n + 1);
+        let mut labels = Vec::new();
+        label_offsets.push(0u32);
+        for ls in &self.vertex_labels {
+            labels.extend_from_slice(ls);
+            label_offsets.push(labels.len() as u32);
+        }
+
+        let outgoing = build_direction(n, &self.vertex_labels, self.edges.iter().copied());
+        let incoming = build_direction(
+            n,
+            &self.vertex_labels,
+            self.edges.iter().map(|&(f, t, l)| (t, f, l)),
+        );
+
+        LabeledGraph {
+            num_vertices: n,
+            num_edges: self.edges.len(),
+            num_vlabels,
+            num_elabels,
+            label_offsets,
+            labels,
+            outgoing,
+            incoming,
+        }
+    }
+}
+
+/// Builds one adjacency direction. `edges` yields `(source, target, label)`
+/// pairs already oriented for this direction.
+fn build_direction(
+    n: usize,
+    vertex_labels: &[Vec<VLabel>],
+    edges: impl Iterator<Item = (VertexId, VertexId, ELabel)>,
+) -> AdjacencyDirection {
+    // Bucket edges per source vertex.
+    let mut per_vertex: Vec<Vec<(ELabel, VertexId)>> = vec![Vec::new(); n];
+    let mut degrees = vec![0u32; n];
+    for (from, to, label) in edges {
+        per_vertex[from.index()].push((label, to));
+        degrees[from.index()] += 1;
+    }
+
+    let mut vertex_offsets = Vec::with_capacity(n + 1);
+    let mut elabel_groups: Vec<ELabelGroup> = Vec::new();
+    let mut type_groups: Vec<TypeGroup> = Vec::new();
+    let mut targets: Vec<VertexId> = Vec::new();
+    let mut typed_targets: Vec<VertexId> = Vec::new();
+
+    vertex_offsets.push(0u32);
+    for bucket in per_vertex.iter_mut() {
+        // Sort by (edge label, target) so each edge-label group is contiguous
+        // and its target list is sorted.
+        bucket.sort_unstable();
+        let mut i = 0usize;
+        while i < bucket.len() {
+            let el = bucket[i].0;
+            let mut j = i;
+            while j < bucket.len() && bucket[j].0 == el {
+                j += 1;
+            }
+            let group_targets: Vec<VertexId> = bucket[i..j].iter().map(|&(_, t)| t).collect();
+            // (duplicates were removed at insert time, and sort keeps order)
+            let target_start = targets.len() as u32;
+            targets.extend_from_slice(&group_targets);
+            let target_end = targets.len() as u32;
+
+            // Type groups: neighbor label → sorted targets. A neighbor with
+            // multiple labels lands in several groups; an unlabeled neighbor
+            // lands in the `None` group.
+            let mut by_label: std::collections::BTreeMap<Option<VLabel>, Vec<VertexId>> =
+                std::collections::BTreeMap::new();
+            for &t in &group_targets {
+                let nls = &vertex_labels[t.index()];
+                if nls.is_empty() {
+                    by_label.entry(None).or_default().push(t);
+                } else {
+                    for &nl in nls {
+                        by_label.entry(Some(nl)).or_default().push(t);
+                    }
+                }
+            }
+            let type_start = type_groups.len() as u32;
+            for (vl, ts) in by_label {
+                let start = typed_targets.len() as u32;
+                typed_targets.extend_from_slice(&ts);
+                let end = typed_targets.len() as u32;
+                type_groups.push(TypeGroup { vlabel: vl, start, end });
+            }
+            let type_end = type_groups.len() as u32;
+
+            elabel_groups.push(ELabelGroup {
+                elabel: el,
+                target_start,
+                target_end,
+                type_start,
+                type_end,
+            });
+            i = j;
+        }
+        vertex_offsets.push(elabel_groups.len() as u32);
+    }
+
+    AdjacencyDirection {
+        vertex_offsets,
+        elabel_groups,
+        type_groups,
+        targets,
+        typed_targets,
+        degrees,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Direction;
+
+    #[test]
+    fn empty_graph_builds() {
+        let g = LabeledGraphBuilder::new().build();
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.vertex_label_count(), 0);
+        assert_eq!(g.edge_label_count(), 0);
+    }
+
+    #[test]
+    fn vertex_label_sets_are_sorted_and_deduped() {
+        let mut b = LabeledGraphBuilder::new();
+        let v = b.add_vertex(vec![VLabel(3), VLabel(1), VLabel(3)]);
+        let g = b.build();
+        assert_eq!(g.labels(v), &[VLabel(1), VLabel(3)]);
+    }
+
+    #[test]
+    fn add_labels_merges_into_existing_set() {
+        let mut b = LabeledGraphBuilder::new();
+        let v = b.add_vertex(vec![VLabel(2)]);
+        b.add_labels(v, &[VLabel(0), VLabel(2), VLabel(5)]);
+        let g = b.build();
+        assert_eq!(g.labels(v), &[VLabel(0), VLabel(2), VLabel(5)]);
+        assert_eq!(g.vertex_label_count(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "not added")]
+    fn edge_with_unknown_endpoint_panics() {
+        let mut b = LabeledGraphBuilder::new();
+        let v = b.add_vertex(vec![]);
+        b.add_edge(v, VertexId(5), ELabel(0));
+    }
+
+    #[test]
+    fn neighbors_are_sorted_even_with_unsorted_insertion() {
+        let mut b = LabeledGraphBuilder::new();
+        let u = b.add_vertex(vec![]);
+        let targets: Vec<VertexId> = (0..20).map(|_| b.add_vertex(vec![VLabel(0)])).collect();
+        // Insert in reverse.
+        for &t in targets.iter().rev() {
+            b.add_edge(u, t, ELabel(0));
+        }
+        let g = b.build();
+        let ns = g.neighbors(u, Direction::Outgoing, ELabel(0));
+        assert_eq!(ns.len(), 20);
+        assert!(crate::ops::is_sorted_set(ns));
+        let typed = g.neighbors_typed(u, Direction::Outgoing, ELabel(0), VLabel(0));
+        assert_eq!(typed, ns);
+    }
+
+    #[test]
+    fn label_space_sizes_follow_max_ids() {
+        let mut b = LabeledGraphBuilder::new();
+        let u = b.add_vertex(vec![VLabel(7)]);
+        let w = b.add_vertex(vec![]);
+        b.add_edge(u, w, ELabel(9));
+        let g = b.build();
+        assert_eq!(g.vertex_label_count(), 8);
+        assert_eq!(g.edge_label_count(), 10);
+    }
+
+    #[test]
+    fn builder_counts_match_built_graph() {
+        let mut b = LabeledGraphBuilder::new();
+        let u = b.add_vertex(vec![]);
+        let w = b.add_vertex(vec![]);
+        b.add_edge(u, w, ELabel(0));
+        b.add_edge(u, w, ELabel(0)); // duplicate
+        b.add_edge(w, u, ELabel(0));
+        assert_eq!(b.vertex_count(), 2);
+        assert_eq!(b.edge_count(), 2);
+        let g = b.build();
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.edge_count(), 2);
+    }
+}

@@ -1,0 +1,121 @@
+//! Identifier newtypes for the labeled-graph layer.
+//!
+//! The graph layer deliberately does **not** reuse the RDF
+//! [`TermId`](turbohom_rdf::TermId): the type-aware transformation removes
+//! type/class terms from the vertex space and assigns dense vertex ids,
+//! dense vertex-label ids and dense edge-label ids. Keeping them as distinct
+//! newtypes prevents the classic "mixed up id spaces" bug family at compile
+//! time.
+
+use std::fmt;
+
+/// A data-graph vertex id (dense, 0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A vertex label id (dense, 0-based). Under the type-aware transformation
+/// a vertex label corresponds to an RDF class (e.g. `GraduateStudent`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VLabel(pub u32);
+
+impl VLabel {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// An edge label id (dense, 0-based). Corresponds to an RDF predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ELabel(pub u32);
+
+impl ELabel {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ELabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Edge direction relative to a vertex.
+///
+/// `Outgoing` follows edges `v → w` (v is the subject), `Incoming` follows
+/// edges `w → v` (v is the object). The matcher explores both, because a
+/// SPARQL triple pattern constrains its subject *and* its object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Follow edges from subject to object.
+    Outgoing,
+    /// Follow edges from object to subject.
+    Incoming,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn reverse(self) -> Direction {
+        match self {
+            Direction::Outgoing => Direction::Incoming,
+            Direction::Incoming => Direction::Outgoing,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(VertexId(3).to_string(), "v3");
+        assert_eq!(VLabel(2).to_string(), "L2");
+        assert_eq!(ELabel(1).to_string(), "e1");
+    }
+
+    #[test]
+    fn index_round_trip() {
+        assert_eq!(VertexId(7).index(), 7);
+        assert_eq!(VLabel(7).index(), 7);
+        assert_eq!(ELabel(7).index(), 7);
+    }
+
+    #[test]
+    fn direction_reverse_is_involution() {
+        assert_eq!(Direction::Outgoing.reverse(), Direction::Incoming);
+        assert_eq!(Direction::Incoming.reverse(), Direction::Outgoing);
+        assert_eq!(Direction::Outgoing.reverse().reverse(), Direction::Outgoing);
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        let mut v = vec![VertexId(5), VertexId(1), VertexId(3)];
+        v.sort();
+        assert_eq!(v, vec![VertexId(1), VertexId(3), VertexId(5)]);
+    }
+}

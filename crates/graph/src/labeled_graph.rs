@@ -1,0 +1,570 @@
+//! The immutable CSR labeled data graph (paper Section 4.2).
+//!
+//! The two central access paths the matcher needs are:
+//!
+//! 1. `adj(v, (el, vl))` — the adjacent vertices of `v` reachable over edge
+//!    label `el` whose label set contains `vl` (the "neighbor type" groups of
+//!    Figure 9b in the paper), and
+//! 2. `adj(v, el)` — the adjacent vertices over `el` regardless of their
+//!    label (needed when the query vertex has a blank label, and by the
+//!    baselines).
+//!
+//! Both are contiguous slices in this representation: adjacency is laid out
+//! per vertex, grouped first by edge label and inside each edge-label group
+//! by neighbor vertex label. A neighbor carrying several labels appears once
+//! per label in the *typed* groups but only once in the per-edge-label slice.
+
+use crate::ids::{Direction, ELabel, VLabel, VertexId};
+
+/// A neighbor type: the pair (edge label, neighbor vertex label).
+///
+/// `vertex_label == None` encodes the paper's `_` group — the neighbor has an
+/// empty label set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NeighborType {
+    /// The label of the connecting edge.
+    pub edge_label: ELabel,
+    /// The label of the neighbor, or `None` if the neighbor carries no label.
+    pub vertex_label: Option<VLabel>,
+}
+
+/// Per-edge-label adjacency group of one vertex.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ELabelGroup {
+    pub(crate) elabel: ELabel,
+    /// Range into `AdjacencyDirection::targets` (deduplicated neighbors).
+    pub(crate) target_start: u32,
+    pub(crate) target_end: u32,
+    /// Range into `AdjacencyDirection::type_groups`.
+    pub(crate) type_start: u32,
+    pub(crate) type_end: u32,
+}
+
+/// Per-(edge label, neighbor vertex label) adjacency group of one vertex.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TypeGroup {
+    pub(crate) vlabel: Option<VLabel>,
+    /// Range into `AdjacencyDirection::typed_targets`.
+    pub(crate) start: u32,
+    pub(crate) end: u32,
+}
+
+/// Adjacency structure of one direction (outgoing or incoming).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct AdjacencyDirection {
+    /// `vertex_offsets[v] .. vertex_offsets[v+1]` is the range of
+    /// `elabel_groups` belonging to vertex `v`.
+    pub(crate) vertex_offsets: Vec<u32>,
+    pub(crate) elabel_groups: Vec<ELabelGroup>,
+    pub(crate) type_groups: Vec<TypeGroup>,
+    /// Neighbors per (vertex, edge label), sorted, duplicate free.
+    pub(crate) targets: Vec<VertexId>,
+    /// Neighbors per (vertex, edge label, neighbor label), sorted. A neighbor
+    /// with k labels appears in k type groups.
+    pub(crate) typed_targets: Vec<VertexId>,
+    /// Total number of edges incident in this direction per vertex
+    /// (counting parallel edges with different labels separately).
+    pub(crate) degrees: Vec<u32>,
+}
+
+impl AdjacencyDirection {
+    fn elabel_groups_of(&self, v: VertexId) -> &[ELabelGroup] {
+        let start = self.vertex_offsets[v.index()] as usize;
+        let end = self.vertex_offsets[v.index() + 1] as usize;
+        &self.elabel_groups[start..end]
+    }
+
+    fn find_elabel_group(&self, v: VertexId, el: ELabel) -> Option<&ELabelGroup> {
+        let groups = self.elabel_groups_of(v);
+        groups
+            .binary_search_by_key(&el, |g| g.elabel)
+            .ok()
+            .map(|i| &groups[i])
+    }
+}
+
+/// Summary statistics of a labeled graph, used by the Table 1 experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Number of distinct vertex labels.
+    pub vertex_labels: usize,
+    /// Number of distinct edge labels.
+    pub edge_labels: usize,
+}
+
+/// The immutable, CSR-encoded labeled directed graph.
+///
+/// Construct one through [`LabeledGraphBuilder`](crate::builder::LabeledGraphBuilder).
+#[derive(Debug, Clone, Default)]
+pub struct LabeledGraph {
+    pub(crate) num_vertices: usize,
+    pub(crate) num_edges: usize,
+    pub(crate) num_vlabels: usize,
+    pub(crate) num_elabels: usize,
+    /// CSR of vertex label sets (sorted per vertex).
+    pub(crate) label_offsets: Vec<u32>,
+    pub(crate) labels: Vec<VLabel>,
+    pub(crate) outgoing: AdjacencyDirection,
+    pub(crate) incoming: AdjacencyDirection,
+}
+
+impl LabeledGraph {
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Number of distinct vertex labels.
+    pub fn vertex_label_count(&self) -> usize {
+        self.num_vlabels
+    }
+
+    /// Number of distinct edge labels.
+    pub fn edge_label_count(&self) -> usize {
+        self.num_elabels
+    }
+
+    /// Summary statistics (Table 1 in the paper).
+    pub fn stats(&self) -> GraphStats {
+        GraphStats {
+            vertices: self.num_vertices,
+            edges: self.num_edges,
+            vertex_labels: self.num_vlabels,
+            edge_labels: self.num_elabels,
+        }
+    }
+
+    /// Iterates over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        (0..self.num_vertices as u32).map(VertexId)
+    }
+
+    /// The (sorted) label set of vertex `v`.
+    pub fn labels(&self, v: VertexId) -> &[VLabel] {
+        let start = self.label_offsets[v.index()] as usize;
+        let end = self.label_offsets[v.index() + 1] as usize;
+        &self.labels[start..end]
+    }
+
+    /// Returns `true` if vertex `v` carries label `l`.
+    pub fn has_label(&self, v: VertexId, l: VLabel) -> bool {
+        self.labels(v).binary_search(&l).is_ok()
+    }
+
+    /// Returns `true` if the label set of `v` is a superset of `required`
+    /// (the `L(u) ⊆ L'(M(u))` condition of Definition 1/2).
+    pub fn has_all_labels(&self, v: VertexId, required: &[VLabel]) -> bool {
+        required.iter().all(|&l| self.has_label(v, l))
+    }
+
+    fn dir(&self, direction: Direction) -> &AdjacencyDirection {
+        match direction {
+            Direction::Outgoing => &self.outgoing,
+            Direction::Incoming => &self.incoming,
+        }
+    }
+
+    /// The number of edges incident to `v` in `direction` (parallel edges
+    /// with different labels counted separately).
+    pub fn degree(&self, v: VertexId, direction: Direction) -> usize {
+        self.dir(direction).degrees[v.index()] as usize
+    }
+
+    /// Total degree (in + out) of `v`.
+    pub fn total_degree(&self, v: VertexId) -> usize {
+        self.degree(v, Direction::Outgoing) + self.degree(v, Direction::Incoming)
+    }
+
+    /// Number of distinct neighbor types (edge label, neighbor label) of `v`
+    /// in `direction` — the quantity the homomorphism-adjusted degree filter
+    /// compares against (Section 2.2, "Modifying TurboISO").
+    pub fn neighbor_type_count(&self, v: VertexId, direction: Direction) -> usize {
+        let d = self.dir(direction);
+        let groups = d.elabel_groups_of(v);
+        groups
+            .iter()
+            .map(|g| (g.type_end - g.type_start) as usize)
+            .sum()
+    }
+
+    /// Iterates the neighbor types of `v` in `direction`.
+    pub fn neighbor_types(
+        &self,
+        v: VertexId,
+        direction: Direction,
+    ) -> impl Iterator<Item = NeighborType> + '_ {
+        let d = self.dir(direction);
+        d.elabel_groups_of(v).iter().flat_map(move |g| {
+            d.type_groups[g.type_start as usize..g.type_end as usize]
+                .iter()
+                .map(move |tg| NeighborType {
+                    edge_label: g.elabel,
+                    vertex_label: tg.vlabel,
+                })
+        })
+    }
+
+    /// The neighbors of `v` over edge label `el` in `direction`
+    /// (sorted, duplicate free). This is `adj(v, el)`.
+    pub fn neighbors(&self, v: VertexId, direction: Direction, el: ELabel) -> &[VertexId] {
+        let d = self.dir(direction);
+        match d.find_elabel_group(v, el) {
+            Some(g) => &d.targets[g.target_start as usize..g.target_end as usize],
+            None => &[],
+        }
+    }
+
+    /// The neighbors of `v` over edge label `el` whose label set contains
+    /// `vl`, in `direction` (sorted). This is the paper's
+    /// `adj(v, (el, vl))` access path.
+    pub fn neighbors_typed(
+        &self,
+        v: VertexId,
+        direction: Direction,
+        el: ELabel,
+        vl: VLabel,
+    ) -> &[VertexId] {
+        let d = self.dir(direction);
+        match d.find_elabel_group(v, el) {
+            Some(g) => {
+                let tgs = &d.type_groups[g.type_start as usize..g.type_end as usize];
+                match tgs.binary_search_by(|tg| tg.vlabel.cmp(&Some(vl))) {
+                    Ok(i) => {
+                        let tg = &tgs[i];
+                        &d.typed_targets[tg.start as usize..tg.end as usize]
+                    }
+                    Err(_) => &[],
+                }
+            }
+            None => &[],
+        }
+    }
+
+    /// Neighbors of `v` over edge label `el` that carry **no** label (the
+    /// `(el, _)` group of Figure 9).
+    pub fn neighbors_unlabeled(
+        &self,
+        v: VertexId,
+        direction: Direction,
+        el: ELabel,
+    ) -> &[VertexId] {
+        let d = self.dir(direction);
+        match d.find_elabel_group(v, el) {
+            Some(g) => {
+                let tgs = &d.type_groups[g.type_start as usize..g.type_end as usize];
+                match tgs.binary_search_by(|tg| tg.vlabel.cmp(&None)) {
+                    Ok(i) => {
+                        let tg = &tgs[i];
+                        &d.typed_targets[tg.start as usize..tg.end as usize]
+                    }
+                    Err(_) => &[],
+                }
+            }
+            None => &[],
+        }
+    }
+
+    /// All neighbors of `v` in `direction` regardless of edge label
+    /// (sorted, duplicate free). Allocates, since it unions the per-label
+    /// groups.
+    pub fn all_neighbors(&self, v: VertexId, direction: Direction) -> Vec<VertexId> {
+        let d = self.dir(direction);
+        let slices: Vec<&[VertexId]> = d
+            .elabel_groups_of(v)
+            .iter()
+            .map(|g| &d.targets[g.target_start as usize..g.target_end as usize])
+            .collect();
+        crate::ops::union_k(&slices)
+    }
+
+    /// Neighbors of `v` in `direction` with vertex label `vl`, over **any**
+    /// edge label (used when the query edge label is blank but the neighbor
+    /// label is known). Allocates.
+    pub fn neighbors_with_label_any_edge(
+        &self,
+        v: VertexId,
+        direction: Direction,
+        vl: VLabel,
+    ) -> Vec<VertexId> {
+        let d = self.dir(direction);
+        let mut slices: Vec<&[VertexId]> = Vec::new();
+        for g in d.elabel_groups_of(v) {
+            let tgs = &d.type_groups[g.type_start as usize..g.type_end as usize];
+            if let Ok(i) = tgs.binary_search_by(|tg| tg.vlabel.cmp(&Some(vl))) {
+                let tg = &tgs[i];
+                slices.push(&d.typed_targets[tg.start as usize..tg.end as usize]);
+            }
+        }
+        crate::ops::union_k(&slices)
+    }
+
+    /// Edge labels present on edges incident to `v` in `direction`.
+    pub fn incident_edge_labels(
+        &self,
+        v: VertexId,
+        direction: Direction,
+    ) -> impl Iterator<Item = ELabel> + '_ {
+        self.dir(direction)
+            .elabel_groups_of(v)
+            .iter()
+            .map(|g| g.elabel)
+    }
+
+    /// Returns `true` if the edge `from --el--> to` exists.
+    pub fn has_edge(&self, from: VertexId, to: VertexId, el: ELabel) -> bool {
+        crate::ops::contains_sorted(self.neighbors(from, Direction::Outgoing, el), to)
+    }
+
+    /// Returns all edge labels on edges `from --?--> to` (needed for variable
+    /// predicates: the `Me` edge-label mapping of Definition 2).
+    pub fn edge_labels_between(&self, from: VertexId, to: VertexId) -> Vec<ELabel> {
+        let d = &self.outgoing;
+        d.elabel_groups_of(from)
+            .iter()
+            .filter(|g| {
+                crate::ops::contains_sorted(
+                    &d.targets[g.target_start as usize..g.target_end as usize],
+                    to,
+                )
+            })
+            .map(|g| g.elabel)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LabeledGraphBuilder;
+
+    /// Builds the data graph of paper Figure 7d:
+    /// v0 {A,B}, v1 {C}, v2 {D}, v3 {}, v4 {};
+    /// edges: v0-a->v1, v0-b->v2, v0-d->v3, v0-e->v4, v2-c->v1.
+    fn figure7_graph() -> LabeledGraph {
+        let mut b = LabeledGraphBuilder::new();
+        let v0 = b.add_vertex(vec![VLabel(0), VLabel(1)]);
+        let v1 = b.add_vertex(vec![VLabel(2)]);
+        let v2 = b.add_vertex(vec![VLabel(3)]);
+        let v3 = b.add_vertex(vec![]);
+        let v4 = b.add_vertex(vec![]);
+        b.add_edge(v0, v1, ELabel(0)); // a
+        b.add_edge(v0, v2, ELabel(1)); // b
+        b.add_edge(v0, v3, ELabel(3)); // d
+        b.add_edge(v0, v4, ELabel(4)); // e
+        b.add_edge(v2, v1, ELabel(2)); // c
+        b.build()
+    }
+
+    #[test]
+    fn stats_match_figure7() {
+        let g = figure7_graph();
+        assert_eq!(g.vertex_count(), 5);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.vertex_label_count(), 4);
+        assert_eq!(g.edge_label_count(), 5);
+        assert_eq!(
+            g.stats(),
+            GraphStats {
+                vertices: 5,
+                edges: 5,
+                vertex_labels: 4,
+                edge_labels: 5
+            }
+        );
+    }
+
+    #[test]
+    fn label_access() {
+        let g = figure7_graph();
+        assert_eq!(g.labels(VertexId(0)), &[VLabel(0), VLabel(1)]);
+        assert!(g.has_label(VertexId(0), VLabel(1)));
+        assert!(!g.has_label(VertexId(0), VLabel(2)));
+        assert!(g.has_all_labels(VertexId(0), &[VLabel(0), VLabel(1)]));
+        assert!(!g.has_all_labels(VertexId(0), &[VLabel(0), VLabel(3)]));
+        assert!(g.has_all_labels(VertexId(3), &[]));
+        assert!(g.labels(VertexId(4)).is_empty());
+    }
+
+    #[test]
+    fn outgoing_neighbors_by_edge_label() {
+        let g = figure7_graph();
+        assert_eq!(
+            g.neighbors(VertexId(0), Direction::Outgoing, ELabel(0)),
+            &[VertexId(1)]
+        );
+        assert_eq!(
+            g.neighbors(VertexId(2), Direction::Outgoing, ELabel(2)),
+            &[VertexId(1)]
+        );
+        assert!(g
+            .neighbors(VertexId(1), Direction::Outgoing, ELabel(0))
+            .is_empty());
+    }
+
+    #[test]
+    fn incoming_neighbors_by_edge_label() {
+        let g = figure7_graph();
+        assert_eq!(
+            g.neighbors(VertexId(1), Direction::Incoming, ELabel(0)),
+            &[VertexId(0)]
+        );
+        assert_eq!(
+            g.neighbors(VertexId(1), Direction::Incoming, ELabel(2)),
+            &[VertexId(2)]
+        );
+    }
+
+    #[test]
+    fn typed_neighbor_groups_match_figure9() {
+        let g = figure7_graph();
+        // adj(v0, (a, C)) = {v1}
+        assert_eq!(
+            g.neighbors_typed(VertexId(0), Direction::Outgoing, ELabel(0), VLabel(2)),
+            &[VertexId(1)]
+        );
+        // adj(v0, (b, D)) = {v2}
+        assert_eq!(
+            g.neighbors_typed(VertexId(0), Direction::Outgoing, ELabel(1), VLabel(3)),
+            &[VertexId(2)]
+        );
+        // adj(v0, (d, _)) = {v3} — unlabeled neighbor group.
+        assert_eq!(
+            g.neighbors_unlabeled(VertexId(0), Direction::Outgoing, ELabel(3)),
+            &[VertexId(3)]
+        );
+        // No such group: adj(v0, (a, D)) = ∅.
+        assert!(g
+            .neighbors_typed(VertexId(0), Direction::Outgoing, ELabel(0), VLabel(3))
+            .is_empty());
+    }
+
+    #[test]
+    fn neighbor_types_enumeration() {
+        let g = figure7_graph();
+        let types: Vec<NeighborType> = g.neighbor_types(VertexId(0), Direction::Outgoing).collect();
+        assert_eq!(types.len(), 4);
+        assert!(types.contains(&NeighborType {
+            edge_label: ELabel(0),
+            vertex_label: Some(VLabel(2))
+        }));
+        assert!(types.contains(&NeighborType {
+            edge_label: ELabel(3),
+            vertex_label: None
+        }));
+        assert_eq!(g.neighbor_type_count(VertexId(0), Direction::Outgoing), 4);
+    }
+
+    #[test]
+    fn degrees() {
+        let g = figure7_graph();
+        assert_eq!(g.degree(VertexId(0), Direction::Outgoing), 4);
+        assert_eq!(g.degree(VertexId(0), Direction::Incoming), 0);
+        assert_eq!(g.degree(VertexId(1), Direction::Incoming), 2);
+        assert_eq!(g.total_degree(VertexId(2)), 2);
+    }
+
+    #[test]
+    fn multi_label_neighbor_appears_in_each_type_group_once_in_flat_list() {
+        // w has two labels; u -p-> w must appear in both (p, L0) and (p, L1)
+        // type groups but only once in adj(u, p).
+        let mut b = LabeledGraphBuilder::new();
+        let u = b.add_vertex(vec![]);
+        let w = b.add_vertex(vec![VLabel(0), VLabel(1)]);
+        b.add_edge(u, w, ELabel(0));
+        let g = b.build();
+        assert_eq!(g.neighbors(u, Direction::Outgoing, ELabel(0)), &[w]);
+        assert_eq!(
+            g.neighbors_typed(u, Direction::Outgoing, ELabel(0), VLabel(0)),
+            &[w]
+        );
+        assert_eq!(
+            g.neighbors_typed(u, Direction::Outgoing, ELabel(0), VLabel(1)),
+            &[w]
+        );
+        assert_eq!(g.neighbor_type_count(u, Direction::Outgoing), 2);
+        assert_eq!(g.degree(u, Direction::Outgoing), 1);
+    }
+
+    #[test]
+    fn all_neighbors_unions_across_edge_labels() {
+        let g = figure7_graph();
+        assert_eq!(
+            g.all_neighbors(VertexId(0), Direction::Outgoing),
+            vec![VertexId(1), VertexId(2), VertexId(3), VertexId(4)]
+        );
+        assert_eq!(
+            g.all_neighbors(VertexId(1), Direction::Incoming),
+            vec![VertexId(0), VertexId(2)]
+        );
+        assert!(g.all_neighbors(VertexId(4), Direction::Outgoing).is_empty());
+    }
+
+    #[test]
+    fn neighbors_with_label_any_edge_unions_edge_labels() {
+        // u -p-> a{L0}, u -q-> b{L0}, u -p-> c{L1}
+        let mut b = LabeledGraphBuilder::new();
+        let u = b.add_vertex(vec![]);
+        let a = b.add_vertex(vec![VLabel(0)]);
+        let bb = b.add_vertex(vec![VLabel(0)]);
+        let c = b.add_vertex(vec![VLabel(1)]);
+        b.add_edge(u, a, ELabel(0));
+        b.add_edge(u, bb, ELabel(1));
+        b.add_edge(u, c, ELabel(0));
+        let g = b.build();
+        assert_eq!(
+            g.neighbors_with_label_any_edge(u, Direction::Outgoing, VLabel(0)),
+            vec![a, bb]
+        );
+        assert_eq!(
+            g.neighbors_with_label_any_edge(u, Direction::Outgoing, VLabel(1)),
+            vec![c]
+        );
+    }
+
+    #[test]
+    fn edge_existence_and_labels_between() {
+        let g = figure7_graph();
+        assert!(g.has_edge(VertexId(0), VertexId(1), ELabel(0)));
+        assert!(!g.has_edge(VertexId(1), VertexId(0), ELabel(0)));
+        assert!(!g.has_edge(VertexId(0), VertexId(1), ELabel(1)));
+        assert_eq!(
+            g.edge_labels_between(VertexId(0), VertexId(1)),
+            vec![ELabel(0)]
+        );
+        assert!(g.edge_labels_between(VertexId(1), VertexId(0)).is_empty());
+    }
+
+    #[test]
+    fn parallel_edges_with_distinct_labels_are_kept() {
+        let mut b = LabeledGraphBuilder::new();
+        let u = b.add_vertex(vec![]);
+        let w = b.add_vertex(vec![]);
+        b.add_edge(u, w, ELabel(0));
+        b.add_edge(u, w, ELabel(1));
+        b.add_edge(u, w, ELabel(1)); // exact duplicate, dropped
+        let g = b.build();
+        assert_eq!(g.edge_count(), 2);
+        let mut labels = g.edge_labels_between(u, w);
+        labels.sort();
+        assert_eq!(labels, vec![ELabel(0), ELabel(1)]);
+        assert_eq!(g.degree(u, Direction::Outgoing), 2);
+    }
+
+    #[test]
+    fn incident_edge_labels_are_sorted_unique() {
+        let g = figure7_graph();
+        let labels: Vec<ELabel> = g
+            .incident_edge_labels(VertexId(0), Direction::Outgoing)
+            .collect();
+        assert_eq!(labels, vec![ELabel(0), ELabel(1), ELabel(3), ELabel(4)]);
+    }
+}

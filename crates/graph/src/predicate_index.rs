@@ -1,0 +1,146 @@
+//! The predicate index (paper Section 4.2, `ChooseStartQueryVertex`).
+//!
+//! "In order to handle such queries \[query vertices with no label or ID at
+//! all\], we maintain an index called the predicate index where a key is a
+//! predicate, and a value is a pair of a list of subject IDs and a list of
+//! object IDs."
+//!
+//! The index is also what the hash-join baseline scans.
+
+use crate::ids::{Direction, ELabel, VertexId};
+use crate::labeled_graph::LabeledGraph;
+use crate::ops;
+
+/// Edge label → (sorted distinct subjects, sorted distinct objects).
+#[derive(Debug, Clone, Default)]
+pub struct PredicateIndex {
+    subjects: Vec<Vec<VertexId>>,
+    objects: Vec<Vec<VertexId>>,
+    /// Number of edges per predicate (with duplicates across subjects).
+    edge_counts: Vec<usize>,
+}
+
+impl PredicateIndex {
+    /// Builds the index from a graph.
+    pub fn build(graph: &LabeledGraph) -> Self {
+        let k = graph.edge_label_count();
+        let mut subjects: Vec<Vec<VertexId>> = vec![Vec::new(); k];
+        let mut objects: Vec<Vec<VertexId>> = vec![Vec::new(); k];
+        let mut edge_counts = vec![0usize; k];
+        for v in graph.vertices() {
+            for el in graph.incident_edge_labels(v, Direction::Outgoing) {
+                let ns = graph.neighbors(v, Direction::Outgoing, el);
+                if !ns.is_empty() {
+                    subjects[el.index()].push(v);
+                    edge_counts[el.index()] += ns.len();
+                    objects[el.index()].extend_from_slice(ns);
+                }
+            }
+        }
+        for list in objects.iter_mut() {
+            ops::canonicalize(list);
+        }
+        debug_assert!(subjects.iter().all(|l| ops::is_sorted_set(l)));
+        PredicateIndex {
+            subjects,
+            objects,
+            edge_counts,
+        }
+    }
+
+    /// Sorted distinct subjects of edges labeled `el`.
+    pub fn subjects(&self, el: ELabel) -> &[VertexId] {
+        self.subjects
+            .get(el.index())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Sorted distinct objects of edges labeled `el`.
+    pub fn objects(&self, el: ELabel) -> &[VertexId] {
+        self.objects
+            .get(el.index())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Vertices that appear on the `direction` side of edges labeled `el`
+    /// (subjects for `Outgoing`, objects for `Incoming`).
+    pub fn endpoints(&self, el: ELabel, direction: Direction) -> &[VertexId] {
+        match direction {
+            Direction::Outgoing => self.subjects(el),
+            Direction::Incoming => self.objects(el),
+        }
+    }
+
+    /// Number of edges carrying label `el`.
+    pub fn edge_count(&self, el: ELabel) -> usize {
+        self.edge_counts.get(el.index()).copied().unwrap_or(0)
+    }
+
+    /// Number of predicates indexed.
+    pub fn predicate_count(&self) -> usize {
+        self.subjects.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LabeledGraphBuilder;
+    use crate::ids::VLabel;
+
+    fn sample() -> (LabeledGraph, PredicateIndex) {
+        let mut b = LabeledGraphBuilder::new();
+        let v0 = b.add_vertex(vec![VLabel(0)]);
+        let v1 = b.add_vertex(vec![VLabel(1)]);
+        let v2 = b.add_vertex(vec![VLabel(1)]);
+        let v3 = b.add_vertex(vec![]);
+        // p0: v0→v1, v0→v2, v2→v1 ; p1: v3→v0
+        b.add_edge(v0, v1, ELabel(0));
+        b.add_edge(v0, v2, ELabel(0));
+        b.add_edge(v2, v1, ELabel(0));
+        b.add_edge(v3, v0, ELabel(1));
+        let g = b.build();
+        let idx = PredicateIndex::build(&g);
+        (g, idx)
+    }
+
+    #[test]
+    fn subjects_and_objects_are_distinct_sorted() {
+        let (_, idx) = sample();
+        assert_eq!(idx.subjects(ELabel(0)), &[VertexId(0), VertexId(2)]);
+        assert_eq!(idx.objects(ELabel(0)), &[VertexId(1), VertexId(2)]);
+        assert_eq!(idx.subjects(ELabel(1)), &[VertexId(3)]);
+        assert_eq!(idx.objects(ELabel(1)), &[VertexId(0)]);
+    }
+
+    #[test]
+    fn edge_counts_include_duplicate_subjects() {
+        let (_, idx) = sample();
+        assert_eq!(idx.edge_count(ELabel(0)), 3);
+        assert_eq!(idx.edge_count(ELabel(1)), 1);
+        assert_eq!(idx.edge_count(ELabel(7)), 0);
+    }
+
+    #[test]
+    fn endpoints_respects_direction() {
+        let (_, idx) = sample();
+        assert_eq!(
+            idx.endpoints(ELabel(0), Direction::Outgoing),
+            idx.subjects(ELabel(0))
+        );
+        assert_eq!(
+            idx.endpoints(ELabel(0), Direction::Incoming),
+            idx.objects(ELabel(0))
+        );
+    }
+
+    #[test]
+    fn unknown_predicate_is_empty() {
+        let (_, idx) = sample();
+        assert!(idx.subjects(ELabel(9)).is_empty());
+        assert!(idx.objects(ELabel(9)).is_empty());
+        assert_eq!(idx.predicate_count(), 2);
+    }
+}

@@ -1,0 +1,219 @@
+//! Dictionary encoding between [`Term`]s and dense integer [`TermId`]s.
+//!
+//! All engines in this repository (TurboHOM++, the merge-join baseline, the
+//! hash-join baseline) operate exclusively over `TermId`s, which is the same
+//! design decision RDF-3X and the paper's system make: the dictionary is
+//! populated once at load time and query execution never touches strings.
+//! This also lets the benchmark harness exclude "dictionary look-up time"
+//! from elapsed times, as Section 7.1 of the paper prescribes.
+
+use crate::error::RdfError;
+use crate::term::Term;
+use std::collections::HashMap;
+
+/// A dense identifier for a dictionary-encoded [`Term`].
+///
+/// Ids are assigned sequentially starting from 0 in insertion order, so they
+/// double as indices into side arrays (the labeled graph uses them to index
+/// vertex metadata directly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u64);
+
+impl TermId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for TermId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A bidirectional mapping between [`Term`]s and [`TermId`]s.
+///
+/// Encoding is insert-or-get: encoding the same term twice yields the same
+/// id. Decoding is O(1) via a dense vector.
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    term_to_id: HashMap<Term, TermId>,
+    id_to_term: Vec<Term>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty dictionary with capacity for `capacity` terms.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Dictionary {
+            term_to_id: HashMap::with_capacity(capacity),
+            id_to_term: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Returns the id for `term`, inserting it if it is not yet present.
+    pub fn encode(&mut self, term: &Term) -> TermId {
+        if let Some(&id) = self.term_to_id.get(term) {
+            return id;
+        }
+        let id = TermId(self.id_to_term.len() as u64);
+        self.id_to_term.push(term.clone());
+        self.term_to_id.insert(term.clone(), id);
+        id
+    }
+
+    /// Returns the id for `term`, inserting it if it is not yet present
+    /// (by-value variant that avoids a clone when the term is newly inserted).
+    pub fn encode_owned(&mut self, term: Term) -> TermId {
+        if let Some(&id) = self.term_to_id.get(&term) {
+            return id;
+        }
+        let id = TermId(self.id_to_term.len() as u64);
+        self.id_to_term.push(term.clone());
+        self.term_to_id.insert(term, id);
+        id
+    }
+
+    /// Convenience: encodes an IRI string.
+    pub fn encode_iri(&mut self, iri: impl Into<String>) -> TermId {
+        self.encode_owned(Term::Iri(iri.into()))
+    }
+
+    /// Returns the id of `term` if it has been encoded before.
+    pub fn id_of(&self, term: &Term) -> Option<TermId> {
+        self.term_to_id.get(term).copied()
+    }
+
+    /// Returns the id of the IRI `iri` if it has been encoded before.
+    pub fn id_of_iri(&self, iri: &str) -> Option<TermId> {
+        // Avoid allocating a Term for the common lookup path.
+        self.term_to_id.get(&Term::Iri(iri.to_owned())).copied()
+    }
+
+    /// Returns the term for `id`, if `id` is valid.
+    pub fn term(&self, id: TermId) -> Option<&Term> {
+        self.id_to_term.get(id.index())
+    }
+
+    /// Returns the term for `id` or an [`RdfError::UnknownTermId`].
+    pub fn term_checked(&self, id: TermId) -> Result<&Term, RdfError> {
+        self.term(id).ok_or(RdfError::UnknownTermId(id.0))
+    }
+
+    /// The number of distinct terms encoded.
+    pub fn len(&self) -> usize {
+        self.id_to_term.len()
+    }
+
+    /// Returns `true` if no terms have been encoded.
+    pub fn is_empty(&self) -> bool {
+        self.id_to_term.is_empty()
+    }
+
+    /// Iterates over `(id, term)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
+        self.id_to_term
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TermId(i as u64), t))
+    }
+
+    /// Returns a human-readable rendering of `id` (falls back to the raw id
+    /// when unknown); handy for diagnostics and result printing.
+    pub fn render(&self, id: TermId) -> String {
+        match self.term(id) {
+            Some(t) => t.to_string(),
+            None => format!("{id}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a1 = d.encode(&Term::iri("http://ex.org/a"));
+        let a2 = d.encode(&Term::iri("http://ex.org/a"));
+        assert_eq!(a1, a2);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_sequential() {
+        let mut d = Dictionary::new();
+        let ids: Vec<TermId> = (0..10)
+            .map(|i| d.encode(&Term::iri(format!("http://ex.org/{i}"))))
+            .collect();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(id.0, i as u64);
+        }
+        assert_eq!(d.len(), 10);
+    }
+
+    #[test]
+    fn decode_round_trips() {
+        let mut d = Dictionary::new();
+        let terms = vec![
+            Term::iri("http://ex.org/a"),
+            Term::literal("hello"),
+            Term::typed_literal("3", crate::vocab::XSD_INTEGER),
+            Term::blank("b0"),
+            Term::lang_literal("chat", "fr"),
+        ];
+        let ids: Vec<TermId> = terms.iter().map(|t| d.encode(t)).collect();
+        for (t, id) in terms.iter().zip(&ids) {
+            assert_eq!(d.term(*id), Some(t));
+            assert_eq!(d.id_of(t), Some(*id));
+        }
+    }
+
+    #[test]
+    fn distinct_literal_shapes_get_distinct_ids() {
+        let mut d = Dictionary::new();
+        let plain = d.encode(&Term::literal("42"));
+        let typed = d.encode(&Term::typed_literal("42", crate::vocab::XSD_INTEGER));
+        let iri = d.encode(&Term::iri("42"));
+        assert_ne!(plain, typed);
+        assert_ne!(plain, iri);
+        assert_ne!(typed, iri);
+    }
+
+    #[test]
+    fn unknown_lookups_fail_gracefully() {
+        let d = Dictionary::new();
+        assert!(d.term(TermId(0)).is_none());
+        assert!(d.id_of(&Term::iri("http://nope")).is_none());
+        assert!(matches!(
+            d.term_checked(TermId(9)),
+            Err(RdfError::UnknownTermId(9))
+        ));
+        assert_eq!(d.render(TermId(3)), "#3");
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut d = Dictionary::new();
+        d.encode_iri("http://a");
+        d.encode_iri("http://b");
+        d.encode_iri("http://c");
+        let collected: Vec<u64> = d.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(collected, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn id_of_iri_matches_encode_iri() {
+        let mut d = Dictionary::new();
+        let id = d.encode_iri("http://ex.org/x");
+        assert_eq!(d.id_of_iri("http://ex.org/x"), Some(id));
+        assert_eq!(d.id_of_iri("http://ex.org/y"), None);
+    }
+}

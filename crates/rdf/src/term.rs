@@ -1,0 +1,307 @@
+//! The RDF term model: IRIs, blank nodes and literals.
+//!
+//! Terms are the *decoded* (string) form of RDF nodes. The matching engine
+//! never touches them at query time — everything is dictionary encoded into
+//! [`TermId`](crate::dictionary::TermId)s first — but the parser, the dataset
+//! generators and result rendering all work in terms of [`Term`].
+
+use crate::error::RdfError;
+use std::borrow::Cow;
+use std::fmt;
+
+/// An RDF term: the subject, predicate or object of a triple.
+///
+/// The representation follows the RDF 1.1 abstract syntax restricted to what
+/// the benchmarks in the paper need:
+///
+/// * IRIs (subjects, predicates, objects),
+/// * blank nodes (subjects, objects),
+/// * literals — plain, language tagged or datatyped (objects only).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// An IRI such as `http://example.org/alice`.
+    Iri(String),
+    /// A blank node with a local label, e.g. `_:b0`.
+    BlankNode(String),
+    /// A literal with optional datatype IRI or language tag.
+    Literal {
+        /// The lexical form, e.g. `"42"` or `"john@dept1.univ1.edu"`.
+        lexical: String,
+        /// Datatype IRI, if any (e.g. `http://www.w3.org/2001/XMLSchema#integer`).
+        datatype: Option<String>,
+        /// Language tag, if any (e.g. `en`). Mutually exclusive with `datatype`.
+        language: Option<String>,
+    },
+}
+
+impl Term {
+    /// Creates an IRI term.
+    pub fn iri(value: impl Into<String>) -> Self {
+        Term::Iri(value.into())
+    }
+
+    /// Creates a blank node term from a local label (without the `_:` prefix).
+    pub fn blank(label: impl Into<String>) -> Self {
+        Term::BlankNode(label.into())
+    }
+
+    /// Creates a plain literal (no datatype, no language tag).
+    pub fn literal(lexical: impl Into<String>) -> Self {
+        Term::Literal {
+            lexical: lexical.into(),
+            datatype: None,
+            language: None,
+        }
+    }
+
+    /// Creates a typed literal.
+    pub fn typed_literal(lexical: impl Into<String>, datatype: impl Into<String>) -> Self {
+        Term::Literal {
+            lexical: lexical.into(),
+            datatype: Some(datatype.into()),
+            language: None,
+        }
+    }
+
+    /// Creates a language-tagged literal.
+    pub fn lang_literal(lexical: impl Into<String>, language: impl Into<String>) -> Self {
+        Term::Literal {
+            lexical: lexical.into(),
+            datatype: None,
+            language: Some(language.into()),
+        }
+    }
+
+    /// Creates an integer literal with the `xsd:integer` datatype.
+    pub fn integer(value: i64) -> Self {
+        Term::typed_literal(value.to_string(), crate::vocab::XSD_INTEGER)
+    }
+
+    /// Creates a double literal with the `xsd:double` datatype.
+    pub fn double(value: f64) -> Self {
+        Term::typed_literal(format!("{value}"), crate::vocab::XSD_DOUBLE)
+    }
+
+    /// Returns `true` if the term is an IRI.
+    pub fn is_iri(&self) -> bool {
+        matches!(self, Term::Iri(_))
+    }
+
+    /// Returns `true` if the term is a blank node.
+    pub fn is_blank(&self) -> bool {
+        matches!(self, Term::BlankNode(_))
+    }
+
+    /// Returns `true` if the term is a literal.
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Term::Literal { .. })
+    }
+
+    /// Returns the IRI value if this term is an IRI.
+    pub fn as_iri(&self) -> Option<&str> {
+        match self {
+            Term::Iri(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Returns the lexical form if this term is a literal.
+    pub fn as_literal(&self) -> Option<&str> {
+        match self {
+            Term::Literal { lexical, .. } => Some(lexical),
+            _ => None,
+        }
+    }
+
+    /// Attempts to interpret a literal as an `i64`.
+    ///
+    /// Plain and `xsd:integer`/`xsd:int`/`xsd:long` typed literals are
+    /// accepted; everything else yields `None`.
+    pub fn as_integer(&self) -> Option<i64> {
+        match self {
+            Term::Literal { lexical, .. } => lexical.trim().parse::<i64>().ok(),
+            _ => None,
+        }
+    }
+
+    /// Attempts to interpret a literal as an `f64`.
+    pub fn as_double(&self) -> Option<f64> {
+        match self {
+            Term::Literal { lexical, .. } => lexical.trim().parse::<f64>().ok(),
+            _ => None,
+        }
+    }
+
+    /// Validates basic well-formedness of the term.
+    ///
+    /// IRIs must be non-empty and free of whitespace and angle brackets;
+    /// literals may not carry both a datatype and a language tag.
+    pub fn validate(&self) -> Result<(), RdfError> {
+        match self {
+            Term::Iri(iri) => {
+                if iri.is_empty()
+                    || iri.chars().any(|c| {
+                        c.is_whitespace() || c == '<' || c == '>' || c == '"' || c == '{' || c == '}'
+                    })
+                {
+                    Err(RdfError::InvalidIri(iri.clone()))
+                } else {
+                    Ok(())
+                }
+            }
+            Term::BlankNode(label) => {
+                if label.is_empty() || label.chars().any(|c| c.is_whitespace()) {
+                    Err(RdfError::InvalidIri(format!("_:{label}")))
+                } else {
+                    Ok(())
+                }
+            }
+            Term::Literal {
+                datatype, language, ..
+            } => {
+                if datatype.is_some() && language.is_some() {
+                    Err(RdfError::InvalidLiteral(self.to_string()))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Escapes the characters N-Triples requires to be escaped in literals.
+    fn escape_literal(lexical: &str) -> Cow<'_, str> {
+        if lexical
+            .chars()
+            .any(|c| c == '\\' || c == '"' || c == '\n' || c == '\r' || c == '\t')
+        {
+            let mut out = String::with_capacity(lexical.len() + 4);
+            for c in lexical.chars() {
+                match c {
+                    '\\' => out.push_str("\\\\"),
+                    '"' => out.push_str("\\\""),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    other => out.push(other),
+                }
+            }
+            Cow::Owned(out)
+        } else {
+            Cow::Borrowed(lexical)
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    /// Formats the term in N-Triples syntax.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(iri) => write!(f, "<{iri}>"),
+            Term::BlankNode(label) => write!(f, "_:{label}"),
+            Term::Literal {
+                lexical,
+                datatype,
+                language,
+            } => {
+                write!(f, "\"{}\"", Term::escape_literal(lexical))?;
+                if let Some(lang) = language {
+                    write!(f, "@{lang}")?;
+                } else if let Some(dt) = datatype {
+                    write!(f, "^^<{dt}>")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab;
+
+    #[test]
+    fn iri_display_is_angle_bracketed() {
+        assert_eq!(Term::iri("http://ex.org/a").to_string(), "<http://ex.org/a>");
+    }
+
+    #[test]
+    fn blank_node_display() {
+        assert_eq!(Term::blank("b0").to_string(), "_:b0");
+    }
+
+    #[test]
+    fn plain_literal_display() {
+        assert_eq!(Term::literal("hello").to_string(), "\"hello\"");
+    }
+
+    #[test]
+    fn typed_literal_display() {
+        let t = Term::typed_literal("42", vocab::XSD_INTEGER);
+        assert_eq!(
+            t.to_string(),
+            format!("\"42\"^^<{}>", vocab::XSD_INTEGER)
+        );
+    }
+
+    #[test]
+    fn lang_literal_display() {
+        assert_eq!(Term::lang_literal("chat", "fr").to_string(), "\"chat\"@fr");
+    }
+
+    #[test]
+    fn literal_escaping_round() {
+        let t = Term::literal("a\"b\\c\nd");
+        assert_eq!(t.to_string(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn integer_helpers() {
+        let t = Term::integer(17);
+        assert_eq!(t.as_integer(), Some(17));
+        assert_eq!(t.as_double(), Some(17.0));
+        assert!(Term::iri("x").as_integer().is_none());
+    }
+
+    #[test]
+    fn predicates_kind_checks() {
+        assert!(Term::iri("x").is_iri());
+        assert!(!Term::iri("x").is_literal());
+        assert!(Term::literal("x").is_literal());
+        assert!(Term::blank("x").is_blank());
+    }
+
+    #[test]
+    fn validate_rejects_bad_iri() {
+        assert!(Term::iri("").validate().is_err());
+        assert!(Term::iri("http://ex.org/has space").validate().is_err());
+        assert!(Term::iri("http://ex.org/ok").validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_literal_with_both_tags() {
+        let t = Term::Literal {
+            lexical: "x".into(),
+            datatype: Some("http://dt".into()),
+            language: Some("en".into()),
+        };
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn ordering_is_total_and_stable() {
+        let mut terms = vec![
+            Term::literal("z"),
+            Term::iri("http://a"),
+            Term::blank("b"),
+            Term::iri("http://b"),
+        ];
+        terms.sort();
+        let again = {
+            let mut t = terms.clone();
+            t.sort();
+            t
+        };
+        assert_eq!(terms, again);
+    }
+}

@@ -1,0 +1,292 @@
+//! Encoded triples and the in-memory triple store.
+//!
+//! A [`TripleStore`] holds dictionary-encoded triples with duplicate
+//! elimination. Together with its [`Dictionary`] it forms a [`Dataset`],
+//! which is the unit every downstream component consumes: the graph builder,
+//! the transformations, the baseline engines and the dataset generators all
+//! exchange `Dataset`s.
+
+use crate::dictionary::{Dictionary, TermId};
+use crate::term::Term;
+use crate::vocab;
+use std::collections::HashSet;
+
+/// A dictionary-encoded RDF triple `(subject, predicate, object)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    /// Subject id.
+    pub s: TermId,
+    /// Predicate id.
+    pub p: TermId,
+    /// Object id.
+    pub o: TermId,
+}
+
+impl Triple {
+    /// Creates a new triple.
+    pub fn new(s: TermId, p: TermId, o: TermId) -> Self {
+        Triple { s, p, o }
+    }
+}
+
+/// An append-only, deduplicated collection of encoded triples.
+#[derive(Debug, Default, Clone)]
+pub struct TripleStore {
+    triples: Vec<Triple>,
+    seen: HashSet<Triple>,
+}
+
+impl TripleStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty store with capacity for `capacity` triples.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TripleStore {
+            triples: Vec::with_capacity(capacity),
+            seen: HashSet::with_capacity(capacity),
+        }
+    }
+
+    /// Inserts a triple. Returns `true` if it was not already present.
+    pub fn insert(&mut self, triple: Triple) -> bool {
+        if self.seen.insert(triple) {
+            self.triples.push(triple);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns `true` if the exact triple is present.
+    pub fn contains(&self, triple: &Triple) -> bool {
+        self.seen.contains(triple)
+    }
+
+    /// Number of distinct triples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Returns `true` if the store holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Iterates over the triples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Triple> {
+        self.triples.iter()
+    }
+
+    /// Returns the triples as a slice (insertion order).
+    pub fn as_slice(&self) -> &[Triple] {
+        &self.triples
+    }
+}
+
+impl<'a> IntoIterator for &'a TripleStore {
+    type Item = &'a Triple;
+    type IntoIter = std::slice::Iter<'a, Triple>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.triples.iter()
+    }
+}
+
+impl FromIterator<Triple> for TripleStore {
+    fn from_iter<I: IntoIterator<Item = Triple>>(iter: I) -> Self {
+        let mut store = TripleStore::new();
+        for t in iter {
+            store.insert(t);
+        }
+        store
+    }
+}
+
+/// A dictionary plus the triples encoded against it.
+///
+/// This is the decoded↔encoded boundary of the system: generators and parsers
+/// produce `Dataset`s, everything downstream consumes them.
+#[derive(Debug, Default, Clone)]
+pub struct Dataset {
+    /// The term dictionary.
+    pub dictionary: Dictionary,
+    /// The encoded triples.
+    pub triples: TripleStore,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a decoded `(s, p, o)` triple, encoding the terms as needed.
+    /// Returns `true` if the triple was new.
+    pub fn insert(&mut self, s: &Term, p: &Term, o: &Term) -> bool {
+        let s = self.dictionary.encode(s);
+        let p = self.dictionary.encode(p);
+        let o = self.dictionary.encode(o);
+        self.triples.insert(Triple::new(s, p, o))
+    }
+
+    /// Inserts a decoded triple by value.
+    pub fn insert_owned(&mut self, s: Term, p: Term, o: Term) -> bool {
+        let s = self.dictionary.encode_owned(s);
+        let p = self.dictionary.encode_owned(p);
+        let o = self.dictionary.encode_owned(o);
+        self.triples.insert(Triple::new(s, p, o))
+    }
+
+    /// Convenience for tests and generators: inserts a triple of IRIs.
+    pub fn insert_iris(&mut self, s: &str, p: &str, o: &str) -> bool {
+        self.insert_owned(Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    /// Number of distinct triples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Returns `true` if the dataset holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Returns the id of `rdf:type` if it appears in the data.
+    pub fn rdf_type_id(&self) -> Option<TermId> {
+        self.dictionary.id_of_iri(vocab::RDF_TYPE)
+    }
+
+    /// Returns the id of `rdfs:subClassOf` if it appears in the data.
+    pub fn subclassof_id(&self) -> Option<TermId> {
+        self.dictionary.id_of_iri(vocab::RDFS_SUBCLASSOF)
+    }
+
+    /// Counts the triples whose predicate is `pred`.
+    pub fn count_predicate(&self, pred: TermId) -> usize {
+        self.triples.iter().filter(|t| t.p == pred).count()
+    }
+
+    /// Returns the set of distinct subjects and objects (entity ids), i.e.
+    /// the vertices of the direct transformation.
+    pub fn entity_ids(&self) -> HashSet<TermId> {
+        let mut ids = HashSet::new();
+        for t in self.triples.iter() {
+            ids.insert(t.s);
+            ids.insert(t.o);
+        }
+        ids
+    }
+
+    /// Returns the set of distinct predicates.
+    pub fn predicate_ids(&self) -> HashSet<TermId> {
+        self.triples.iter().map(|t| t.p).collect()
+    }
+
+    /// Decodes a triple back into terms. Panics if the ids are foreign to
+    /// this dataset's dictionary (which would be a logic error).
+    pub fn decode(&self, triple: &Triple) -> (Term, Term, Term) {
+        (
+            self.dictionary
+                .term(triple.s)
+                .expect("subject id not in dictionary")
+                .clone(),
+            self.dictionary
+                .term(triple.p)
+                .expect("predicate id not in dictionary")
+                .clone(),
+            self.dictionary
+                .term(triple.o)
+                .expect("object id not in dictionary")
+                .clone(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u64) -> TermId {
+        TermId(n)
+    }
+
+    #[test]
+    fn store_deduplicates() {
+        let mut s = TripleStore::new();
+        assert!(s.insert(Triple::new(id(0), id(1), id(2))));
+        assert!(!s.insert(Triple::new(id(0), id(1), id(2))));
+        assert!(s.insert(Triple::new(id(0), id(1), id(3))));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn store_preserves_insertion_order() {
+        let mut s = TripleStore::new();
+        s.insert(Triple::new(id(2), id(0), id(1)));
+        s.insert(Triple::new(id(0), id(0), id(1)));
+        s.insert(Triple::new(id(1), id(0), id(1)));
+        let subjects: Vec<u64> = s.iter().map(|t| t.s.0).collect();
+        assert_eq!(subjects, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn store_from_iterator() {
+        let s: TripleStore = (0..5).map(|i| Triple::new(id(i), id(100), id(i + 1))).collect();
+        assert_eq!(s.len(), 5);
+        assert!(s.contains(&Triple::new(id(3), id(100), id(4))));
+    }
+
+    #[test]
+    fn dataset_insert_encodes_terms_consistently() {
+        let mut d = Dataset::new();
+        assert!(d.insert_iris("http://a", "http://p", "http://b"));
+        assert!(d.insert_iris("http://b", "http://p", "http://a"));
+        assert!(!d.insert_iris("http://a", "http://p", "http://b"));
+        assert_eq!(d.len(), 2);
+        // a, p, b → three distinct terms only.
+        assert_eq!(d.dictionary.len(), 3);
+    }
+
+    #[test]
+    fn dataset_entity_and_predicate_sets() {
+        let mut d = Dataset::new();
+        d.insert_iris("http://a", "http://p", "http://b");
+        d.insert_iris("http://a", "http://q", "http://c");
+        let entities = d.entity_ids();
+        let predicates = d.predicate_ids();
+        assert_eq!(entities.len(), 3);
+        assert_eq!(predicates.len(), 2);
+        // Predicates are not entities here.
+        for p in &predicates {
+            assert!(!entities.contains(p));
+        }
+    }
+
+    #[test]
+    fn dataset_decode_round_trips() {
+        let mut d = Dataset::new();
+        d.insert(
+            &Term::iri("http://s"),
+            &Term::iri("http://p"),
+            &Term::literal("o"),
+        );
+        let t = *d.triples.iter().next().unwrap();
+        let (s, p, o) = d.decode(&t);
+        assert_eq!(s, Term::iri("http://s"));
+        assert_eq!(p, Term::iri("http://p"));
+        assert_eq!(o, Term::literal("o"));
+    }
+
+    #[test]
+    fn rdf_type_id_present_only_when_used() {
+        let mut d = Dataset::new();
+        assert!(d.rdf_type_id().is_none());
+        d.insert_iris("http://x", vocab::RDF_TYPE, "http://C");
+        assert!(d.rdf_type_id().is_some());
+        assert_eq!(d.count_predicate(d.rdf_type_id().unwrap()), 1);
+    }
+}

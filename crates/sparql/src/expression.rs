@@ -1,0 +1,576 @@
+//! `FILTER` expressions and their evaluation.
+//!
+//! The paper distinguishes *inexpensive* filters (selection conditions,
+//! applied while matching) from *expensive* ones (join conditions over two
+//! variables, regular expressions) that are applied after the basic pattern
+//! matching produces solutions (Section 5.1, BSBM Q5/Q6). The engine makes
+//! that split by inspecting [`Expression::is_expensive`]; the evaluation
+//! itself is shared and lives here.
+
+use std::collections::HashMap;
+use turbohom_rdf::Term;
+
+/// A FILTER expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expression {
+    /// A variable reference, e.g. `?price`.
+    Variable(String),
+    /// A constant RDF term (IRI or literal).
+    Constant(Term),
+    /// Comparison.
+    Compare(Box<Expression>, CompareOp, Box<Expression>),
+    /// Logical conjunction.
+    And(Box<Expression>, Box<Expression>),
+    /// Logical disjunction.
+    Or(Box<Expression>, Box<Expression>),
+    /// Logical negation.
+    Not(Box<Expression>),
+    /// Arithmetic.
+    Arithmetic(Box<Expression>, ArithOp, Box<Expression>),
+    /// `REGEX(expr, pattern [, flags])`. Only the `i` flag is honoured.
+    Regex(Box<Expression>, String, Option<String>),
+    /// `BOUND(?var)`.
+    Bound(String),
+    /// `LANG(expr) = "tag"` shorthand is not needed by the benchmarks, but
+    /// `LANGMATCHES`-free `lang()` access is kept for completeness.
+    Lang(Box<Expression>),
+    /// `DATATYPE(expr)`.
+    Datatype(Box<Expression>),
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// A runtime value during expression evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// An RDF term (IRI, literal, blank node).
+    Term(Term),
+    /// A numeric value (literals parsed as numbers, arithmetic results).
+    Number(f64),
+    /// A boolean.
+    Boolean(bool),
+    /// An unbound variable (OPTIONAL may leave variables unbound).
+    Unbound,
+}
+
+impl Value {
+    /// The effective boolean value per SPARQL semantics (simplified):
+    /// booleans are themselves, numbers are `!= 0`, non-empty strings are
+    /// true, unbound is an error treated as `false`.
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Value::Boolean(b) => *b,
+            Value::Number(n) => *n != 0.0,
+            Value::Term(Term::Literal { lexical, .. }) => !lexical.is_empty(),
+            Value::Term(_) => true,
+            Value::Unbound => false,
+        }
+    }
+
+    /// Attempts a numeric view of the value.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            Value::Boolean(b) => Some(if *b { 1.0 } else { 0.0 }),
+            Value::Term(t) => t.as_double(),
+            Value::Unbound => None,
+        }
+    }
+
+    /// A string view used for string comparison and REGEX.
+    pub fn as_string(&self) -> Option<String> {
+        match self {
+            Value::Term(Term::Literal { lexical, .. }) => Some(lexical.clone()),
+            Value::Term(Term::Iri(iri)) => Some(iri.clone()),
+            Value::Term(Term::BlankNode(b)) => Some(format!("_:{b}")),
+            Value::Number(n) => Some(n.to_string()),
+            Value::Boolean(b) => Some(b.to_string()),
+            Value::Unbound => None,
+        }
+    }
+}
+
+/// The variable bindings an expression is evaluated against.
+pub type EvalContext = HashMap<String, Term>;
+
+impl Expression {
+    /// The variables referenced by this expression.
+    pub fn variables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_variables(&mut out);
+        out.dedup();
+        out
+    }
+
+    fn collect_variables(&self, out: &mut Vec<String>) {
+        match self {
+            Expression::Variable(v) | Expression::Bound(v) => out.push(v.clone()),
+            Expression::Constant(_) => {}
+            Expression::Compare(a, _, b) | Expression::And(a, b) | Expression::Or(a, b) => {
+                a.collect_variables(out);
+                b.collect_variables(out);
+            }
+            Expression::Arithmetic(a, _, b) => {
+                a.collect_variables(out);
+                b.collect_variables(out);
+            }
+            Expression::Not(e) | Expression::Lang(e) | Expression::Datatype(e) => {
+                e.collect_variables(out)
+            }
+            Expression::Regex(e, _, _) => e.collect_variables(out),
+        }
+    }
+
+    /// Returns `true` if the filter is "expensive" in the paper's sense:
+    /// it references more than one variable (a join condition) or uses a
+    /// regular expression. Expensive filters are applied after pattern
+    /// matching; cheap ones during matching (Section 5.1).
+    pub fn is_expensive(&self) -> bool {
+        if matches!(self, Expression::Regex(..)) {
+            return true;
+        }
+        let mut vars = self.variables();
+        vars.sort();
+        vars.dedup();
+        vars.len() > 1 || self.contains_regex()
+    }
+
+    fn contains_regex(&self) -> bool {
+        match self {
+            Expression::Regex(..) => true,
+            Expression::Compare(a, _, b)
+            | Expression::And(a, b)
+            | Expression::Or(a, b)
+            | Expression::Arithmetic(a, _, b) => a.contains_regex() || b.contains_regex(),
+            Expression::Not(e) | Expression::Lang(e) | Expression::Datatype(e) => {
+                e.contains_regex()
+            }
+            _ => false,
+        }
+    }
+
+    /// Evaluates the expression under `bindings`.
+    pub fn evaluate(&self, bindings: &EvalContext) -> Value {
+        match self {
+            Expression::Variable(v) => match bindings.get(v) {
+                Some(term) => Value::Term(term.clone()),
+                None => Value::Unbound,
+            },
+            Expression::Constant(t) => Value::Term(t.clone()),
+            Expression::Bound(v) => Value::Boolean(bindings.contains_key(v)),
+            Expression::Compare(a, op, b) => {
+                let av = a.evaluate(bindings);
+                let bv = b.evaluate(bindings);
+                if matches!(av, Value::Unbound) || matches!(bv, Value::Unbound) {
+                    return Value::Boolean(false);
+                }
+                Value::Boolean(compare(&av, *op, &bv))
+            }
+            Expression::And(a, b) => {
+                Value::Boolean(a.evaluate(bindings).as_bool() && b.evaluate(bindings).as_bool())
+            }
+            Expression::Or(a, b) => {
+                Value::Boolean(a.evaluate(bindings).as_bool() || b.evaluate(bindings).as_bool())
+            }
+            Expression::Not(e) => Value::Boolean(!e.evaluate(bindings).as_bool()),
+            Expression::Arithmetic(a, op, b) => {
+                match (a.evaluate(bindings).as_number(), b.evaluate(bindings).as_number()) {
+                    (Some(x), Some(y)) => Value::Number(match op {
+                        ArithOp::Add => x + y,
+                        ArithOp::Sub => x - y,
+                        ArithOp::Mul => x * y,
+                        ArithOp::Div => {
+                            if y == 0.0 {
+                                return Value::Unbound;
+                            }
+                            x / y
+                        }
+                    }),
+                    _ => Value::Unbound,
+                }
+            }
+            Expression::Regex(e, pattern, flags) => {
+                let value = e.evaluate(bindings);
+                match value.as_string() {
+                    Some(s) => {
+                        let case_insensitive =
+                            flags.as_deref().map(|f| f.contains('i')).unwrap_or(false);
+                        Value::Boolean(regex_match(&s, pattern, case_insensitive))
+                    }
+                    None => Value::Boolean(false),
+                }
+            }
+            Expression::Lang(e) => match e.evaluate(bindings) {
+                Value::Term(Term::Literal {
+                    language: Some(lang),
+                    ..
+                }) => Value::Term(Term::literal(lang)),
+                _ => Value::Term(Term::literal("")),
+            },
+            Expression::Datatype(e) => match e.evaluate(bindings) {
+                Value::Term(Term::Literal {
+                    datatype: Some(dt), ..
+                }) => Value::Term(Term::iri(dt)),
+                Value::Term(Term::Literal { .. }) => {
+                    Value::Term(Term::iri(turbohom_rdf::vocab::XSD_STRING))
+                }
+                _ => Value::Unbound,
+            },
+        }
+    }
+
+    /// Evaluates the expression to its effective boolean value.
+    pub fn evaluate_bool(&self, bindings: &EvalContext) -> bool {
+        self.evaluate(bindings).as_bool()
+    }
+}
+
+/// Compares two values: numerically when both sides have a numeric view,
+/// otherwise by string form.
+fn compare(a: &Value, op: CompareOp, b: &Value) -> bool {
+    if let (Some(x), Some(y)) = (a.as_number(), b.as_number()) {
+        return match op {
+            CompareOp::Eq => x == y,
+            CompareOp::Ne => x != y,
+            CompareOp::Lt => x < y,
+            CompareOp::Le => x <= y,
+            CompareOp::Gt => x > y,
+            CompareOp::Ge => x >= y,
+        };
+    }
+    let (x, y) = match (a.as_string(), b.as_string()) {
+        (Some(x), Some(y)) => (x, y),
+        _ => return false,
+    };
+    match op {
+        CompareOp::Eq => x == y,
+        CompareOp::Ne => x != y,
+        CompareOp::Lt => x < y,
+        CompareOp::Le => x <= y,
+        CompareOp::Gt => x > y,
+        CompareOp::Ge => x >= y,
+    }
+}
+
+/// A small regular-expression matcher supporting the constructs the BSBM
+/// queries use: literal characters, `.`, `.*`, `.+`, `^`, `$`, and
+/// case-insensitive matching. Unanchored patterns match anywhere in the
+/// string (standard regex "search" semantics).
+pub fn regex_match(text: &str, pattern: &str, case_insensitive: bool) -> bool {
+    let (text, pattern) = if case_insensitive {
+        (text.to_lowercase(), pattern.to_lowercase())
+    } else {
+        (text.to_string(), pattern.to_string())
+    };
+    let anchored_start = pattern.starts_with('^');
+    let anchored_end = pattern.ends_with('$') && !pattern.ends_with("\\$");
+    let core: &str = {
+        let s = pattern.strip_prefix('^').unwrap_or(&pattern);
+        let s = if anchored_end {
+            s.strip_suffix('$').unwrap_or(s)
+        } else {
+            s
+        };
+        s
+    };
+    let tokens = tokenize_regex(core);
+    let text_chars: Vec<char> = text.chars().collect();
+    if anchored_start {
+        matches_here(&tokens, 0, &text_chars, 0, anchored_end)
+    } else {
+        (0..=text_chars.len())
+            .any(|start| matches_here(&tokens, 0, &text_chars, start, anchored_end))
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum RegexToken {
+    Literal(char),
+    AnyChar,
+    Star(Box<RegexToken>),
+    Plus(Box<RegexToken>),
+}
+
+fn tokenize_regex(pattern: &str) -> Vec<RegexToken> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let base = match chars[i] {
+            '.' => RegexToken::AnyChar,
+            '\\' if i + 1 < chars.len() => {
+                i += 1;
+                RegexToken::Literal(chars[i])
+            }
+            c => RegexToken::Literal(c),
+        };
+        i += 1;
+        if i < chars.len() && chars[i] == '*' {
+            tokens.push(RegexToken::Star(Box::new(base)));
+            i += 1;
+        } else if i < chars.len() && chars[i] == '+' {
+            tokens.push(RegexToken::Plus(Box::new(base)));
+            i += 1;
+        } else {
+            tokens.push(base);
+        }
+    }
+    tokens
+}
+
+fn single_matches(token: &RegexToken, c: char) -> bool {
+    match token {
+        RegexToken::Literal(l) => *l == c,
+        RegexToken::AnyChar => true,
+        _ => unreachable!("quantified tokens handled by caller"),
+    }
+}
+
+fn matches_here(
+    tokens: &[RegexToken],
+    ti: usize,
+    text: &[char],
+    pos: usize,
+    anchored_end: bool,
+) -> bool {
+    if ti == tokens.len() {
+        return !anchored_end || pos == text.len();
+    }
+    match &tokens[ti] {
+        RegexToken::Star(inner) => {
+            // Zero or more occurrences of `inner`.
+            let mut p = pos;
+            loop {
+                if matches_here(tokens, ti + 1, text, p, anchored_end) {
+                    return true;
+                }
+                if p < text.len() && single_matches(inner, text[p]) {
+                    p += 1;
+                } else {
+                    return false;
+                }
+            }
+        }
+        RegexToken::Plus(inner) => {
+            if pos < text.len() && single_matches(inner, text[pos]) {
+                let star = RegexToken::Star(inner.clone());
+                let mut rest = vec![star];
+                rest.extend_from_slice(&tokens[ti + 1..]);
+                matches_here(&rest, 0, text, pos + 1, anchored_end)
+            } else {
+                false
+            }
+        }
+        simple => {
+            if pos < text.len() && single_matches(simple, text[pos]) {
+                matches_here(tokens, ti + 1, text, pos + 1, anchored_end)
+            } else {
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(pairs: &[(&str, Term)]) -> EvalContext {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+    }
+
+    fn num(n: i64) -> Expression {
+        Expression::Constant(Term::integer(n))
+    }
+
+    fn var(name: &str) -> Expression {
+        Expression::Variable(name.to_string())
+    }
+
+    #[test]
+    fn numeric_comparisons() {
+        let bindings = ctx(&[("x", Term::integer(5)), ("y", Term::integer(9))]);
+        let e = Expression::Compare(Box::new(var("x")), CompareOp::Lt, Box::new(var("y")));
+        assert!(e.evaluate_bool(&bindings));
+        let e2 = Expression::Compare(Box::new(var("x")), CompareOp::Ge, Box::new(num(5)));
+        assert!(e2.evaluate_bool(&bindings));
+        let e3 = Expression::Compare(Box::new(var("x")), CompareOp::Gt, Box::new(var("y")));
+        assert!(!e3.evaluate_bool(&bindings));
+    }
+
+    #[test]
+    fn string_comparison_falls_back_lexicographically() {
+        let bindings = ctx(&[("a", Term::literal("apple")), ("b", Term::literal("banana"))]);
+        let e = Expression::Compare(Box::new(var("a")), CompareOp::Lt, Box::new(var("b")));
+        assert!(e.evaluate_bool(&bindings));
+        let eq = Expression::Compare(
+            Box::new(var("a")),
+            CompareOp::Eq,
+            Box::new(Expression::Constant(Term::literal("apple"))),
+        );
+        assert!(eq.evaluate_bool(&bindings));
+    }
+
+    #[test]
+    fn unbound_comparisons_are_false_and_bound_detects_them() {
+        let bindings = ctx(&[("x", Term::integer(1))]);
+        let cmp = Expression::Compare(Box::new(var("missing")), CompareOp::Eq, Box::new(num(1)));
+        assert!(!cmp.evaluate_bool(&bindings));
+        assert!(Expression::Bound("x".into()).evaluate_bool(&bindings));
+        assert!(!Expression::Bound("missing".into()).evaluate_bool(&bindings));
+        let not_bound = Expression::Not(Box::new(Expression::Bound("missing".into())));
+        assert!(not_bound.evaluate_bool(&bindings));
+    }
+
+    #[test]
+    fn logical_connectives() {
+        let t = Expression::Constant(Term::literal("x"));
+        let f = Expression::Compare(Box::new(num(1)), CompareOp::Eq, Box::new(num(2)));
+        let bindings = EvalContext::new();
+        assert!(Expression::And(Box::new(t.clone()), Box::new(t.clone())).evaluate_bool(&bindings));
+        assert!(!Expression::And(Box::new(t.clone()), Box::new(f.clone())).evaluate_bool(&bindings));
+        assert!(Expression::Or(Box::new(f.clone()), Box::new(t.clone())).evaluate_bool(&bindings));
+        assert!(!Expression::Or(Box::new(f.clone()), Box::new(f)).evaluate_bool(&bindings));
+    }
+
+    #[test]
+    fn arithmetic_and_division_by_zero() {
+        let bindings = ctx(&[("x", Term::integer(10))]);
+        let sum = Expression::Arithmetic(Box::new(var("x")), ArithOp::Add, Box::new(num(5)));
+        assert_eq!(sum.evaluate(&bindings).as_number(), Some(15.0));
+        let prod = Expression::Arithmetic(Box::new(var("x")), ArithOp::Mul, Box::new(num(3)));
+        let cmp = Expression::Compare(Box::new(prod), CompareOp::Eq, Box::new(num(30)));
+        assert!(cmp.evaluate_bool(&bindings));
+        let div0 = Expression::Arithmetic(Box::new(var("x")), ArithOp::Div, Box::new(num(0)));
+        assert_eq!(div0.evaluate(&bindings), Value::Unbound);
+    }
+
+    #[test]
+    fn regex_literal_and_wildcards() {
+        assert!(regex_match("ProductType123", "Type", false));
+        assert!(regex_match("ProductType123", "^Product", false));
+        assert!(!regex_match("ProductType123", "^Type", false));
+        assert!(regex_match("ProductType123", "123$", false));
+        assert!(regex_match("abcdef", "a.c", false));
+        assert!(regex_match("abbbbc", "ab*c", false));
+        assert!(regex_match("ac", "ab*c", false));
+        assert!(!regex_match("ac", "ab+c", false));
+        assert!(regex_match("abc", "ab+c", false));
+        assert!(regex_match("word and more", "word.*more", false));
+        assert!(regex_match("HELLO", "hello", true));
+        assert!(!regex_match("HELLO", "hello", false));
+        assert!(regex_match("x", "", false));
+        assert!(regex_match("", "^$", false));
+    }
+
+    #[test]
+    fn regex_expression_evaluation() {
+        let bindings = ctx(&[("label", Term::literal("great product alpha"))]);
+        let e = Expression::Regex(Box::new(var("label")), "alpha".into(), None);
+        assert!(e.evaluate_bool(&bindings));
+        let e_ci = Expression::Regex(Box::new(var("label")), "ALPHA".into(), Some("i".into()));
+        assert!(e_ci.evaluate_bool(&bindings));
+        let e_miss = Expression::Regex(Box::new(var("label")), "beta".into(), None);
+        assert!(!e_miss.evaluate_bool(&bindings));
+    }
+
+    #[test]
+    fn expensive_classification() {
+        // Join condition over two variables → expensive (BSBM Q5 style).
+        let join = Expression::Compare(Box::new(var("r2")), CompareOp::Gt, Box::new(var("r1")));
+        assert!(join.is_expensive());
+        // Single-variable selection → cheap.
+        let sel = Expression::Compare(Box::new(var("price")), CompareOp::Lt, Box::new(num(100)));
+        assert!(!sel.is_expensive());
+        // Regex → expensive (BSBM Q6 style).
+        let re = Expression::Regex(Box::new(var("label")), "x".into(), None);
+        assert!(re.is_expensive());
+        // Same variable twice is still cheap.
+        let twice = Expression::And(
+            Box::new(Expression::Compare(
+                Box::new(var("p")),
+                CompareOp::Gt,
+                Box::new(num(1)),
+            )),
+            Box::new(Expression::Compare(
+                Box::new(var("p")),
+                CompareOp::Lt,
+                Box::new(num(9)),
+            )),
+        );
+        assert!(!twice.is_expensive());
+    }
+
+    #[test]
+    fn variables_collection() {
+        let e = Expression::And(
+            Box::new(Expression::Compare(
+                Box::new(var("a")),
+                CompareOp::Lt,
+                Box::new(var("b")),
+            )),
+            Box::new(Expression::Bound("c".into())),
+        );
+        let mut vars = e.variables();
+        vars.sort();
+        assert_eq!(vars, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn lang_and_datatype_accessors() {
+        let bindings = ctx(&[
+            ("l", Term::lang_literal("chat", "fr")),
+            ("d", Term::typed_literal("5", turbohom_rdf::vocab::XSD_INTEGER)),
+            ("p", Term::literal("plain")),
+        ]);
+        let lang = Expression::Lang(Box::new(var("l"))).evaluate(&bindings);
+        assert_eq!(lang, Value::Term(Term::literal("fr")));
+        let dt = Expression::Datatype(Box::new(var("d"))).evaluate(&bindings);
+        assert_eq!(dt, Value::Term(Term::iri(turbohom_rdf::vocab::XSD_INTEGER)));
+        let dts = Expression::Datatype(Box::new(var("p"))).evaluate(&bindings);
+        assert_eq!(dts, Value::Term(Term::iri(turbohom_rdf::vocab::XSD_STRING)));
+    }
+
+    #[test]
+    fn value_coercions() {
+        assert!(Value::Boolean(true).as_bool());
+        assert!(!Value::Unbound.as_bool());
+        assert!(Value::Number(2.0).as_bool());
+        assert!(!Value::Number(0.0).as_bool());
+        assert_eq!(Value::Term(Term::integer(7)).as_number(), Some(7.0));
+        assert_eq!(Value::Boolean(true).as_number(), Some(1.0));
+        assert_eq!(Value::Unbound.as_string(), None);
+        assert_eq!(
+            Value::Term(Term::iri("http://x")).as_string(),
+            Some("http://x".to_string())
+        );
+    }
+}

@@ -1,0 +1,488 @@
+//! Tokenizer for the SPARQL subset.
+//!
+//! The only genuinely tricky part of lexing SPARQL is that `<` starts both an
+//! IRI (`<http://…>`) and the less-than operator inside `FILTER`. The lexer
+//! resolves the ambiguity by look-ahead: if a `>` appears before any
+//! whitespace, the token is an IRI, otherwise it is an operator — which is
+//! how every practical SPARQL tokenizer handles it.
+
+use std::fmt;
+
+/// A lexical token with its byte offset in the input (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind/payload.
+    pub kind: TokenKind,
+    /// Byte offset where the token starts.
+    pub offset: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// `<http://…>` (the IRI without the angle brackets).
+    Iri(String),
+    /// `prefix:local` (either part may be empty).
+    PrefixedName(String, String),
+    /// `?name` or `$name` (without the sigil).
+    Variable(String),
+    /// `"…"` string literal body (escapes already resolved).
+    StringLiteral(String),
+    /// `@lang` tag following a string literal (without `@`).
+    LangTag(String),
+    /// `^^` datatype marker.
+    DatatypeMarker,
+    /// Integer or decimal number (kept as text; the parser types it).
+    Number(String),
+    /// A bare word: keyword (`SELECT`, `WHERE`, …), `a`, `true`, `false`,
+    /// or a function name (`regex`, `bound`, …).
+    Word(String),
+    /// Single-character punctuation: `{ } ( ) . ; , *`
+    Punct(char),
+    /// Operator: `= != < <= > >= && || ! + - /`
+    Operator(String),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Iri(i) => write!(f, "<{i}>"),
+            TokenKind::PrefixedName(p, l) => write!(f, "{p}:{l}"),
+            TokenKind::Variable(v) => write!(f, "?{v}"),
+            TokenKind::StringLiteral(s) => write!(f, "\"{s}\""),
+            TokenKind::LangTag(l) => write!(f, "@{l}"),
+            TokenKind::DatatypeMarker => write!(f, "^^"),
+            TokenKind::Number(n) => write!(f, "{n}"),
+            TokenKind::Word(w) => write!(f, "{w}"),
+            TokenKind::Punct(c) => write!(f, "{c}"),
+            TokenKind::Operator(o) => write!(f, "{o}"),
+            TokenKind::Eof => write!(f, "<end of input>"),
+        }
+    }
+}
+
+/// The lexer: turns the query text into a token stream.
+pub struct Lexer<'a> {
+    chars: Vec<char>,
+    /// Byte offsets of each char (so error positions refer to the original text).
+    offsets: Vec<usize>,
+    pos: usize,
+    _input: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `input`.
+    pub fn new(input: &'a str) -> Self {
+        let mut chars = Vec::with_capacity(input.len());
+        let mut offsets = Vec::with_capacity(input.len());
+        for (o, c) in input.char_indices() {
+            chars.push(c);
+            offsets.push(o);
+        }
+        Lexer {
+            chars,
+            offsets,
+            pos: 0,
+            _input: input,
+        }
+    }
+
+    /// Tokenizes the whole input. Returns the tokens including a final
+    /// [`TokenKind::Eof`], or an error message with a byte offset.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, (String, usize)> {
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_whitespace_and_comments();
+            let offset = self.current_offset();
+            let Some(c) = self.peek() else {
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    offset,
+                });
+                return Ok(tokens);
+            };
+            let kind = match c {
+                '<' => self.lex_angle()?,
+                '?' | '$' => self.lex_variable()?,
+                '"' | '\'' => self.lex_string()?,
+                '@' => {
+                    self.bump();
+                    let tag = self.take_while(|c| c.is_alphanumeric() || c == '-');
+                    if tag.is_empty() {
+                        return Err(("empty language tag".into(), offset));
+                    }
+                    TokenKind::LangTag(tag)
+                }
+                '^' => {
+                    self.bump();
+                    if self.peek() == Some('^') {
+                        self.bump();
+                        TokenKind::DatatypeMarker
+                    } else {
+                        return Err(("expected `^^`".into(), offset));
+                    }
+                }
+                '{' | '}' | '(' | ')' | '.' | ';' | ',' | '*' => {
+                    // `.` could also start a decimal number like `.5`, but
+                    // SPARQL decimals in our benchmarks always have a leading
+                    // digit, so `.` is always punctuation here.
+                    self.bump();
+                    TokenKind::Punct(c)
+                }
+                '=' => {
+                    self.bump();
+                    TokenKind::Operator("=".into())
+                }
+                '!' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        TokenKind::Operator("!=".into())
+                    } else {
+                        TokenKind::Operator("!".into())
+                    }
+                }
+                '>' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        TokenKind::Operator(">=".into())
+                    } else {
+                        TokenKind::Operator(">".into())
+                    }
+                }
+                '&' => {
+                    self.bump();
+                    if self.peek() == Some('&') {
+                        self.bump();
+                        TokenKind::Operator("&&".into())
+                    } else {
+                        return Err(("expected `&&`".into(), offset));
+                    }
+                }
+                '|' => {
+                    self.bump();
+                    if self.peek() == Some('|') {
+                        self.bump();
+                        TokenKind::Operator("||".into())
+                    } else {
+                        return Err(("expected `||`".into(), offset));
+                    }
+                }
+                '+' | '/' => {
+                    self.bump();
+                    TokenKind::Operator(c.to_string())
+                }
+                '-' => {
+                    self.bump();
+                    // A minus immediately followed by a digit is a negative
+                    // number literal.
+                    if matches!(self.peek(), Some(d) if d.is_ascii_digit()) {
+                        let digits = self.lex_number_body();
+                        TokenKind::Number(format!("-{digits}"))
+                    } else {
+                        TokenKind::Operator("-".into())
+                    }
+                }
+                d if d.is_ascii_digit() => {
+                    let digits = self.lex_number_body();
+                    TokenKind::Number(digits)
+                }
+                c if c.is_alphabetic() || c == '_' => self.lex_word_or_prefixed(),
+                other => {
+                    return Err((format!("unexpected character {other:?}"), offset));
+                }
+            };
+            tokens.push(Token { kind, offset });
+        }
+    }
+
+    fn current_offset(&self) -> usize {
+        self.offsets.get(self.pos).copied().unwrap_or_else(|| {
+            self.offsets.last().map(|&o| o + 1).unwrap_or(0)
+        })
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn take_while(&mut self, predicate: impl Fn(char) -> bool) -> String {
+        let mut out = String::new();
+        while let Some(c) = self.peek() {
+            if predicate(c) {
+                out.push(c);
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    fn skip_whitespace_and_comments(&mut self) {
+        loop {
+            while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+                self.pos += 1;
+            }
+            if self.peek() == Some('#') {
+                while let Some(c) = self.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Lexes a token that starts with `<`: either an IRI or a comparison
+    /// operator, disambiguated by whether a `>` is reached before whitespace.
+    fn lex_angle(&mut self) -> Result<TokenKind, (String, usize)> {
+        let offset = self.current_offset();
+        let mut ahead = 1usize;
+        let mut is_iri = false;
+        while let Some(c) = self.peek_at(ahead) {
+            if c == '>' {
+                is_iri = true;
+                break;
+            }
+            if c.is_whitespace() {
+                break;
+            }
+            ahead += 1;
+        }
+        if is_iri {
+            self.bump(); // '<'
+            let mut iri = String::new();
+            loop {
+                match self.bump() {
+                    Some('>') => break,
+                    Some(c) => iri.push(c),
+                    None => return Err(("unterminated IRI".into(), offset)),
+                }
+            }
+            Ok(TokenKind::Iri(iri))
+        } else {
+            self.bump();
+            if self.peek() == Some('=') {
+                self.bump();
+                Ok(TokenKind::Operator("<=".into()))
+            } else {
+                Ok(TokenKind::Operator("<".into()))
+            }
+        }
+    }
+
+    fn lex_variable(&mut self) -> Result<TokenKind, (String, usize)> {
+        let offset = self.current_offset();
+        self.bump(); // '?' or '$'
+        let name = self.take_while(|c| c.is_alphanumeric() || c == '_');
+        if name.is_empty() {
+            return Err(("empty variable name".into(), offset));
+        }
+        Ok(TokenKind::Variable(name))
+    }
+
+    fn lex_string(&mut self) -> Result<TokenKind, (String, usize)> {
+        let offset = self.current_offset();
+        let quote = self.bump().expect("caller checked");
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                Some(c) if c == quote => break,
+                Some('\\') => match self.bump() {
+                    Some('n') => value.push('\n'),
+                    Some('t') => value.push('\t'),
+                    Some('r') => value.push('\r'),
+                    Some('"') => value.push('"'),
+                    Some('\'') => value.push('\''),
+                    Some('\\') => value.push('\\'),
+                    Some(c) => {
+                        value.push('\\');
+                        value.push(c);
+                    }
+                    None => return Err(("unterminated escape".into(), offset)),
+                },
+                Some(c) => value.push(c),
+                None => return Err(("unterminated string literal".into(), offset)),
+            }
+        }
+        Ok(TokenKind::StringLiteral(value))
+    }
+
+    fn lex_number_body(&mut self) -> String {
+        let mut digits = self.take_while(|c| c.is_ascii_digit());
+        if self.peek() == Some('.') && matches!(self.peek_at(1), Some(d) if d.is_ascii_digit()) {
+            self.bump();
+            digits.push('.');
+            digits.push_str(&self.take_while(|c| c.is_ascii_digit()));
+        }
+        // Exponent part (e.g. 1.5e3).
+        if matches!(self.peek(), Some('e' | 'E'))
+            && matches!(self.peek_at(1), Some(d) if d.is_ascii_digit() || d == '+' || d == '-')
+        {
+            digits.push(self.bump().unwrap());
+            if matches!(self.peek(), Some('+' | '-')) {
+                digits.push(self.bump().unwrap());
+            }
+            digits.push_str(&self.take_while(|c| c.is_ascii_digit()));
+        }
+        digits
+    }
+
+    /// Lexes a bare word, which may turn out to be a prefixed name
+    /// (`foaf:name`, `rdf:type`, `:localOnly`) or a keyword/identifier.
+    fn lex_word_or_prefixed(&mut self) -> TokenKind {
+        let word = self.take_while(|c| c.is_alphanumeric() || c == '_' || c == '-');
+        if self.peek() == Some(':') {
+            self.bump();
+            let local =
+                self.take_while(|c| c.is_alphanumeric() || c == '_' || c == '-' || c == '.');
+            // Trailing dots belong to the statement terminator.
+            let trimmed = local.trim_end_matches('.');
+            let removed = local.len() - trimmed.len();
+            self.pos -= removed;
+            TokenKind::PrefixedName(word, trimmed.to_string())
+        } else {
+            TokenKind::Word(word)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        Lexer::new(input)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_select_query_skeleton() {
+        let toks = kinds("SELECT ?x WHERE { ?x a <http://ex.org/T> . }");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Word("SELECT".into()),
+                TokenKind::Variable("x".into()),
+                TokenKind::Word("WHERE".into()),
+                TokenKind::Punct('{'),
+                TokenKind::Variable("x".into()),
+                TokenKind::Word("a".into()),
+                TokenKind::Iri("http://ex.org/T".into()),
+                TokenKind::Punct('.'),
+                TokenKind::Punct('}'),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_prefixed_names_and_prefix_decl() {
+        let toks = kinds("PREFIX rdf: <http://w3.org/rdf#> ?x rdf:type ub:Student .");
+        assert!(toks.contains(&TokenKind::PrefixedName("rdf".into(), "".into())));
+        assert!(toks.contains(&TokenKind::PrefixedName("rdf".into(), "type".into())));
+        assert!(toks.contains(&TokenKind::PrefixedName("ub".into(), "Student".into())));
+    }
+
+    #[test]
+    fn prefixed_name_before_statement_dot_keeps_dot_separate() {
+        let toks = kinds("?x ub:memberOf ub:dept1.univ0 . }");
+        // the local part may contain interior dots but the trailing dot is punctuation
+        assert!(toks.contains(&TokenKind::PrefixedName("ub".into(), "dept1.univ0".into())));
+        assert!(toks.contains(&TokenKind::Punct('.')));
+    }
+
+    #[test]
+    fn disambiguates_iri_from_less_than() {
+        let toks = kinds("FILTER (?x < 5 && ?y <= 3)");
+        assert!(toks.contains(&TokenKind::Operator("<".into())));
+        assert!(toks.contains(&TokenKind::Operator("<=".into())));
+        let toks2 = kinds("?x <http://ex.org/p> ?y .");
+        assert!(toks2.contains(&TokenKind::Iri("http://ex.org/p".into())));
+    }
+
+    #[test]
+    fn lexes_string_literals_with_lang_and_datatype() {
+        let toks = kinds(r#""hello"@en "5"^^<http://www.w3.org/2001/XMLSchema#integer>"#);
+        assert_eq!(toks[0], TokenKind::StringLiteral("hello".into()));
+        assert_eq!(toks[1], TokenKind::LangTag("en".into()));
+        assert_eq!(toks[2], TokenKind::StringLiteral("5".into()));
+        assert_eq!(toks[3], TokenKind::DatatypeMarker);
+        assert!(matches!(toks[4], TokenKind::Iri(_)));
+    }
+
+    #[test]
+    fn lexes_numbers_including_negative_and_decimal() {
+        let toks = kinds("42 -7 3.25 1.5e3");
+        assert_eq!(toks[0], TokenKind::Number("42".into()));
+        assert_eq!(toks[1], TokenKind::Number("-7".into()));
+        assert_eq!(toks[2], TokenKind::Number("3.25".into()));
+        assert_eq!(toks[3], TokenKind::Number("1.5e3".into()));
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let toks = kinds("= != > >= && || ! + - * /");
+        let ops: Vec<String> = toks
+            .iter()
+            .filter_map(|t| match t {
+                TokenKind::Operator(o) => Some(o.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ops, vec!["=", "!=", ">", ">=", "&&", "||", "!", "+", "-", "/"]);
+        assert!(toks.contains(&TokenKind::Punct('*')));
+    }
+
+    #[test]
+    fn skips_comments() {
+        let toks = kinds("SELECT ?x # trailing comment\n# whole line\nWHERE");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Word("SELECT".into()),
+                TokenKind::Variable("x".into()),
+                TokenKind::Word("WHERE".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn reports_errors_with_offsets() {
+        assert!(Lexer::new("SELECT ?").tokenize().is_err());
+        assert!(Lexer::new("\"unterminated").tokenize().is_err());
+        assert!(Lexer::new("& broken").tokenize().is_err());
+        let err = Lexer::new("SELECT ~").tokenize().unwrap_err();
+        assert_eq!(err.1, 7);
+    }
+
+    #[test]
+    fn single_quoted_strings_are_supported() {
+        let toks = kinds("'hi there'");
+        assert_eq!(toks[0], TokenKind::StringLiteral("hi there".into()));
+    }
+}

@@ -1,0 +1,28 @@
+//! SPARQL subset parser and algebra for the TurboHOM++ reproduction.
+//!
+//! The paper evaluates basic graph pattern (BGP) queries on LUBM, YAGO and
+//! BTC2012, and the Berlin SPARQL Benchmark "explore use case" queries which
+//! additionally use `OPTIONAL`, `FILTER` and `UNION` (paper Section 5.1).
+//! This crate parses exactly that subset:
+//!
+//! * `PREFIX` declarations and prefixed names,
+//! * `SELECT` with a projection list or `*`, `DISTINCT` (recognized and
+//!   recorded, excluded from timing as the paper does),
+//! * `WHERE` groups containing triple patterns (with `;`/`,` shorthand and
+//!   the `a` keyword), `OPTIONAL` groups (possibly nested), `FILTER`
+//!   expressions and `UNION` alternatives,
+//! * solution modifiers `ORDER BY`, `LIMIT`, `OFFSET` (parsed, recorded).
+//!
+//! The produced [`Query`] / [`GroupPattern`] algebra is consumed by the
+//! transformation crate (to build query graphs) and by the baseline engines
+//! directly.
+
+pub mod algebra;
+pub mod expression;
+pub mod lexer;
+pub mod parser;
+
+pub use algebra::{GroupPattern, Query, Selection, SparqlTerm, TriplePattern};
+pub use expression::{EvalContext, Expression, Value};
+pub use lexer::{Lexer, Token};
+pub use parser::{parse_query, ParseError};

@@ -1,0 +1,226 @@
+//! Shared types of the data-graph transformations.
+
+use std::collections::HashMap;
+use std::fmt;
+use turbohom_graph::{
+    ELabel, InverseLabelIndex, LabeledGraph, PredicateIndex, VLabel, VertexId,
+};
+use turbohom_rdf::TermId;
+
+/// Which transformation produced a [`TransformedGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransformKind {
+    /// The direct transformation of Section 3.2.
+    Direct,
+    /// The type-aware transformation of Section 4.1.
+    TypeAware,
+}
+
+/// Bidirectional mappings between RDF term ids and graph-level ids.
+///
+/// These are the `FV`, `FVL`, `FEL` functions of Definition 3 (and their
+/// inverses), materialized as hash maps / dense vectors.
+#[derive(Debug, Clone, Default)]
+pub struct GraphMappings {
+    /// RDF term → data vertex.
+    pub term_to_vertex: HashMap<TermId, VertexId>,
+    /// Data vertex → RDF term (dense).
+    pub vertex_to_term: Vec<TermId>,
+    /// RDF class term → vertex label (empty for the direct transformation).
+    pub term_to_vlabel: HashMap<TermId, VLabel>,
+    /// Vertex label → RDF class term (dense).
+    pub vlabel_to_term: Vec<TermId>,
+    /// RDF predicate term → edge label.
+    pub term_to_elabel: HashMap<TermId, ELabel>,
+    /// Edge label → RDF predicate term (dense).
+    pub elabel_to_term: Vec<TermId>,
+}
+
+impl GraphMappings {
+    /// Looks up the data vertex of an RDF term.
+    pub fn vertex_of(&self, term: TermId) -> Option<VertexId> {
+        self.term_to_vertex.get(&term).copied()
+    }
+
+    /// Looks up the RDF term of a data vertex.
+    pub fn term_of_vertex(&self, v: VertexId) -> Option<TermId> {
+        self.vertex_to_term.get(v.index()).copied()
+    }
+
+    /// Looks up the vertex label of an RDF class term.
+    pub fn vlabel_of(&self, term: TermId) -> Option<VLabel> {
+        self.term_to_vlabel.get(&term).copied()
+    }
+
+    /// Looks up the RDF class term of a vertex label.
+    pub fn term_of_vlabel(&self, l: VLabel) -> Option<TermId> {
+        self.vlabel_to_term.get(l.index()).copied()
+    }
+
+    /// Looks up the edge label of an RDF predicate term.
+    pub fn elabel_of(&self, term: TermId) -> Option<ELabel> {
+        self.term_to_elabel.get(&term).copied()
+    }
+
+    /// Looks up the RDF predicate term of an edge label.
+    pub fn term_of_elabel(&self, l: ELabel) -> Option<TermId> {
+        self.elabel_to_term.get(l.index()).copied()
+    }
+
+    /// Interns a term as a data vertex, returning the existing id if present.
+    pub(crate) fn intern_vertex(&mut self, term: TermId) -> VertexId {
+        if let Some(&v) = self.term_to_vertex.get(&term) {
+            return v;
+        }
+        let v = VertexId(self.vertex_to_term.len() as u32);
+        self.vertex_to_term.push(term);
+        self.term_to_vertex.insert(term, v);
+        v
+    }
+
+    /// Interns a class term as a vertex label.
+    pub(crate) fn intern_vlabel(&mut self, term: TermId) -> VLabel {
+        if let Some(&l) = self.term_to_vlabel.get(&term) {
+            return l;
+        }
+        let l = VLabel(self.vlabel_to_term.len() as u32);
+        self.vlabel_to_term.push(term);
+        self.term_to_vlabel.insert(term, l);
+        l
+    }
+
+    /// Interns a predicate term as an edge label.
+    pub(crate) fn intern_elabel(&mut self, term: TermId) -> ELabel {
+        if let Some(&l) = self.term_to_elabel.get(&term) {
+            return l;
+        }
+        let l = ELabel(self.elabel_to_term.len() as u32);
+        self.elabel_to_term.push(term);
+        self.term_to_elabel.insert(term, l);
+        l
+    }
+}
+
+/// A labeled graph together with its indexes and its mappings back to RDF
+/// terms. This is what the matching engine executes against.
+#[derive(Debug, Clone)]
+pub struct TransformedGraph {
+    /// Which transformation built this graph.
+    pub kind: TransformKind,
+    /// The CSR labeled graph.
+    pub graph: LabeledGraph,
+    /// The inverse vertex label list (Figure 9a).
+    pub inverse_labels: InverseLabelIndex,
+    /// The predicate index (Section 4.2).
+    pub predicates: PredicateIndex,
+    /// Term ↔ graph id mappings.
+    pub mappings: GraphMappings,
+    /// For the type-aware transformation: the *directly asserted* label set
+    /// of every vertex (`Lsimple`, Section 4.2), used under the simple
+    /// entailment regime. `None` for the direct transformation.
+    pub simple_labels: Option<Vec<Vec<VLabel>>>,
+}
+
+impl TransformedGraph {
+    /// Builds the derived indexes for `graph` and assembles the bundle.
+    pub fn assemble(
+        kind: TransformKind,
+        graph: LabeledGraph,
+        mappings: GraphMappings,
+        simple_labels: Option<Vec<Vec<VLabel>>>,
+    ) -> Self {
+        let inverse_labels = InverseLabelIndex::build(&graph);
+        let predicates = PredicateIndex::build(&graph);
+        TransformedGraph {
+            kind,
+            graph,
+            inverse_labels,
+            predicates,
+            mappings,
+            simple_labels,
+        }
+    }
+
+    /// The simple-entailment label set of `v`: the directly asserted types
+    /// when available, the full label set otherwise.
+    pub fn simple_labels_of(&self, v: VertexId) -> &[VLabel] {
+        match &self.simple_labels {
+            Some(per_vertex) => per_vertex
+                .get(v.index())
+                .map(|l| l.as_slice())
+                .unwrap_or(&[]),
+            None => self.graph.labels(v),
+        }
+    }
+}
+
+/// Errors the transformations can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransformError {
+    /// The query contains `?x rdf:type ?class` with a variable class, which
+    /// the type-aware transformation cannot fold (the engine falls back to
+    /// the direct transformation for such queries).
+    VariableTypeUnsupported,
+    /// The query contains a triple whose predicate is `rdfs:subClassOf` with
+    /// a variable; same fallback applies.
+    VariableSubclassUnsupported,
+    /// A blank node appeared where the transformation cannot handle it.
+    UnsupportedTerm(String),
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::VariableTypeUnsupported => write!(
+                f,
+                "type-aware transformation cannot fold `rdf:type` with a variable class"
+            ),
+            TransformError::VariableSubclassUnsupported => write!(
+                f,
+                "type-aware transformation cannot fold `rdfs:subClassOf` with a variable"
+            ),
+            TransformError::UnsupportedTerm(t) => write!(f, "unsupported term in query: {t}"),
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut m = GraphMappings::default();
+        let v0 = m.intern_vertex(TermId(10));
+        let v1 = m.intern_vertex(TermId(20));
+        let v0b = m.intern_vertex(TermId(10));
+        assert_eq!(v0, v0b);
+        assert_eq!(v0, VertexId(0));
+        assert_eq!(v1, VertexId(1));
+        assert_eq!(m.term_of_vertex(v1), Some(TermId(20)));
+        assert_eq!(m.vertex_of(TermId(20)), Some(v1));
+        assert_eq!(m.vertex_of(TermId(99)), None);
+
+        let l0 = m.intern_vlabel(TermId(5));
+        assert_eq!(l0, VLabel(0));
+        assert_eq!(m.term_of_vlabel(l0), Some(TermId(5)));
+        assert_eq!(m.vlabel_of(TermId(6)), None);
+
+        let e0 = m.intern_elabel(TermId(7));
+        let e1 = m.intern_elabel(TermId(8));
+        assert_eq!(m.term_of_elabel(e1), Some(TermId(8)));
+        assert_eq!(m.elabel_of(TermId(7)), Some(e0));
+    }
+
+    #[test]
+    fn transform_error_messages() {
+        assert!(TransformError::VariableTypeUnsupported
+            .to_string()
+            .contains("rdf:type"));
+        assert!(TransformError::UnsupportedTerm("x".into())
+            .to_string()
+            .contains('x'));
+    }
+}

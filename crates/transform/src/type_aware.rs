@@ -1,0 +1,330 @@
+//! The type-aware transformation (paper Section 4.1, Definition 3).
+//!
+//! Triples whose predicate is `rdf:type` or `rdfs:subClassOf` are not turned
+//! into edges. Instead, the classes an entity belongs to — following
+//! `rdf:type` once and `rdfs:subClassOf` transitively — become the entity
+//! vertex's *label set*. The class terms themselves stop being vertices
+//! (unless they also participate in ordinary triples), which is what shrinks
+//! the data and query graphs: `|V'| = |V| − |V_type|` in the paper's
+//! notation.
+//!
+//! The directly asserted types are retained separately as `Lsimple` so that
+//! queries under the simple entailment regime can be answered (Section 4.2).
+
+use crate::common::{GraphMappings, TransformKind, TransformedGraph};
+use std::collections::{HashMap, HashSet};
+use turbohom_graph::{LabeledGraphBuilder, VLabel};
+use turbohom_rdf::{Dataset, TermId};
+
+/// Applies the type-aware transformation to `dataset`.
+pub fn type_aware_transform(dataset: &Dataset) -> TransformedGraph {
+    let rdf_type = dataset.rdf_type_id();
+    let subclassof = dataset.subclassof_id();
+
+    let is_type_pred = |p: TermId| Some(p) == rdf_type;
+    let is_subclass_pred = |p: TermId| Some(p) == subclassof;
+
+    // ---- Pass 1: collect the schema hierarchy and direct type assertions.
+    let mut subclass_edges: HashMap<TermId, Vec<TermId>> = HashMap::new();
+    let mut direct_types: HashMap<TermId, Vec<TermId>> = HashMap::new();
+    for t in dataset.triples.iter() {
+        if is_subclass_pred(t.p) {
+            subclass_edges.entry(t.s).or_default().push(t.o);
+        } else if is_type_pred(t.p) {
+            direct_types.entry(t.s).or_default().push(t.o);
+        }
+    }
+
+    // Transitive superclass closure (schema graphs are tiny; DFS per class).
+    let superclasses = |class: TermId| -> Vec<TermId> {
+        let mut out = Vec::new();
+        let mut seen: HashSet<TermId> = HashSet::new();
+        let mut stack: Vec<TermId> = subclass_edges.get(&class).cloned().unwrap_or_default();
+        while let Some(c) = stack.pop() {
+            if c != class && seen.insert(c) {
+                out.push(c);
+                if let Some(next) = subclass_edges.get(&c) {
+                    stack.extend(next.iter().copied());
+                }
+            }
+        }
+        out
+    };
+
+    // ---- Pass 2: intern ids deterministically (triple insertion order).
+    let mut mappings = GraphMappings::default();
+    for t in dataset.triples.iter() {
+        if is_type_pred(t.p) {
+            mappings.intern_vertex(t.s);
+            mappings.intern_vlabel(t.o);
+        } else if is_subclass_pred(t.p) {
+            // Classes get labels but not vertices.
+            mappings.intern_vlabel(t.s);
+            mappings.intern_vlabel(t.o);
+        } else {
+            mappings.intern_vertex(t.s);
+            mappings.intern_vertex(t.o);
+            mappings.intern_elabel(t.p);
+        }
+    }
+
+    // ---- Pass 3: compute per-vertex label sets (full closure and Lsimple).
+    let n = mappings.vertex_to_term.len();
+    let mut full_labels: Vec<Vec<VLabel>> = vec![Vec::new(); n];
+    let mut simple_labels: Vec<Vec<VLabel>> = vec![Vec::new(); n];
+    for (&subject, types) in &direct_types {
+        let v = mappings
+            .vertex_of(subject)
+            .expect("typed subjects are interned as vertices");
+        let mut full: HashSet<TermId> = HashSet::new();
+        for &class in types {
+            full.insert(class);
+            for sup in superclasses(class) {
+                full.insert(sup);
+            }
+            let l = mappings.intern_vlabel(class);
+            if !simple_labels[v.index()].contains(&l) {
+                simple_labels[v.index()].push(l);
+            }
+        }
+        for class in full {
+            let l = mappings.intern_vlabel(class);
+            if !full_labels[v.index()].contains(&l) {
+                full_labels[v.index()].push(l);
+            }
+        }
+    }
+    for l in simple_labels.iter_mut() {
+        l.sort_unstable();
+    }
+
+    // ---- Pass 4: build the CSR graph from the non-schema triples.
+    let mut builder = LabeledGraphBuilder::with_capacity(n, dataset.len());
+    for labels in full_labels.into_iter() {
+        builder.add_vertex(labels);
+    }
+    for t in dataset.triples.iter() {
+        if is_type_pred(t.p) || is_subclass_pred(t.p) {
+            continue;
+        }
+        let s = mappings.vertex_of(t.s).expect("interned above");
+        let o = mappings.vertex_of(t.o).expect("interned above");
+        let p = mappings.elabel_of(t.p).expect("interned above");
+        builder.add_edge(s, o, p);
+    }
+
+    TransformedGraph::assemble(
+        TransformKind::TypeAware,
+        builder.build(),
+        mappings,
+        Some(simple_labels),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbohom_graph::Direction;
+    use turbohom_rdf::{vocab, Term};
+
+    fn ub(l: &str) -> String {
+        format!("http://ub.org/{l}")
+    }
+
+    /// The RDF graph of paper Figure 3 (same fixture as the direct test).
+    fn figure3_dataset() -> Dataset {
+        let mut ds = Dataset::new();
+        ds.insert_iris(&ub("student1"), vocab::RDF_TYPE, &ub("GraduateStudent"));
+        ds.insert_iris(&ub("GraduateStudent"), vocab::RDFS_SUBCLASSOF, &ub("Student"));
+        ds.insert_iris(&ub("univ1"), vocab::RDF_TYPE, &ub("University"));
+        ds.insert_iris(&ub("dept1.univ1"), vocab::RDF_TYPE, &ub("Department"));
+        ds.insert_iris(&ub("student1"), &ub("undergraduateDegreeFrom"), &ub("univ1"));
+        ds.insert_iris(&ub("student1"), &ub("memberOf"), &ub("dept1.univ1"));
+        ds.insert_iris(&ub("dept1.univ1"), &ub("subOrganizationOf"), &ub("univ1"));
+        ds.insert(
+            &Term::iri(ub("student1")),
+            &Term::iri(ub("telephone")),
+            &Term::literal("012-345-6789"),
+        );
+        ds.insert(
+            &Term::iri(ub("student1")),
+            &Term::iri(ub("emailAddress")),
+            &Term::literal("john@dept1.univ1.edu"),
+        );
+        ds
+    }
+
+    fn vertex(t: &TransformedGraph, ds: &Dataset, term: &Term) -> turbohom_graph::VertexId {
+        t.mappings
+            .vertex_of(ds.dictionary.id_of(term).unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn figure7_vertex_and_edge_counts() {
+        // Figure 7d: 5 vertices (student1, univ1, dept1.univ1, two literals),
+        // 5 edges, 4 vertex labels (GraduateStudent, Student, University,
+        // Department), 5 edge labels.
+        let ds = figure3_dataset();
+        let t = type_aware_transform(&ds);
+        assert_eq!(t.kind, TransformKind::TypeAware);
+        assert_eq!(t.graph.vertex_count(), 5);
+        assert_eq!(t.graph.edge_count(), 5);
+        assert_eq!(t.graph.vertex_label_count(), 4);
+        assert_eq!(t.graph.edge_label_count(), 5);
+    }
+
+    #[test]
+    fn type_closure_becomes_label_set() {
+        let ds = figure3_dataset();
+        let t = type_aware_transform(&ds);
+        let student1 = vertex(&t, &ds, &Term::iri(ub("student1")));
+        // L(student1) = {GraduateStudent, Student} — Student via subClassOf.
+        let grad = t
+            .mappings
+            .vlabel_of(ds.dictionary.id_of_iri(&ub("GraduateStudent")).unwrap())
+            .unwrap();
+        let student = t
+            .mappings
+            .vlabel_of(ds.dictionary.id_of_iri(&ub("Student")).unwrap())
+            .unwrap();
+        assert!(t.graph.has_label(student1, grad));
+        assert!(t.graph.has_label(student1, student));
+        assert_eq!(t.graph.labels(student1).len(), 2);
+    }
+
+    #[test]
+    fn simple_labels_only_keep_direct_assertions() {
+        let ds = figure3_dataset();
+        let t = type_aware_transform(&ds);
+        let student1 = vertex(&t, &ds, &Term::iri(ub("student1")));
+        let grad = t
+            .mappings
+            .vlabel_of(ds.dictionary.id_of_iri(&ub("GraduateStudent")).unwrap())
+            .unwrap();
+        let simple = t.simple_labels_of(student1);
+        assert_eq!(simple, &[grad]);
+        assert!(simple.len() < t.graph.labels(student1).len());
+    }
+
+    #[test]
+    fn class_terms_are_not_vertices() {
+        let ds = figure3_dataset();
+        let t = type_aware_transform(&ds);
+        for class in ["GraduateStudent", "Student", "University", "Department"] {
+            let id = ds.dictionary.id_of_iri(&ub(class)).unwrap();
+            assert!(t.mappings.vertex_of(id).is_none(), "{class} must not be a vertex");
+            assert!(t.mappings.vlabel_of(id).is_some(), "{class} must be a label");
+        }
+    }
+
+    #[test]
+    fn non_schema_topology_is_preserved() {
+        let ds = figure3_dataset();
+        let t = type_aware_transform(&ds);
+        let student1 = vertex(&t, &ds, &Term::iri(ub("student1")));
+        let univ1 = vertex(&t, &ds, &Term::iri(ub("univ1")));
+        let dept = vertex(&t, &ds, &Term::iri(ub("dept1.univ1")));
+        let el = |name: &str| {
+            t.mappings
+                .elabel_of(ds.dictionary.id_of_iri(&ub(name)).unwrap())
+                .unwrap()
+        };
+        assert!(t.graph.has_edge(student1, univ1, el("undergraduateDegreeFrom")));
+        assert!(t.graph.has_edge(student1, dept, el("memberOf")));
+        assert!(t.graph.has_edge(dept, univ1, el("subOrganizationOf")));
+        // No rdf:type edge label exists at all.
+        let rdf_type_id = ds.dictionary.id_of_iri(vocab::RDF_TYPE).unwrap();
+        assert!(t.mappings.elabel_of(rdf_type_id).is_none());
+    }
+
+    #[test]
+    fn edge_reduction_matches_schema_triple_count() {
+        // |E_type-aware| = |E_direct| − (#type triples + #subClassOf triples).
+        let ds = figure3_dataset();
+        let direct = crate::direct::direct_transform(&ds);
+        let aware = type_aware_transform(&ds);
+        let schema_triples = 4; // 3 rdf:type + 1 subClassOf
+        assert_eq!(
+            aware.graph.edge_count(),
+            direct.graph.edge_count() - schema_triples
+        );
+        assert!(aware.graph.vertex_count() < direct.graph.vertex_count());
+    }
+
+    #[test]
+    fn inverse_label_index_reflects_closure() {
+        let ds = figure3_dataset();
+        let t = type_aware_transform(&ds);
+        let student = t
+            .mappings
+            .vlabel_of(ds.dictionary.id_of_iri(&ub("Student")).unwrap())
+            .unwrap();
+        assert_eq!(t.inverse_labels.frequency(student), 1);
+        let university = t
+            .mappings
+            .vlabel_of(ds.dictionary.id_of_iri(&ub("University")).unwrap())
+            .unwrap();
+        let univ1 = vertex(&t, &ds, &Term::iri(ub("univ1")));
+        assert_eq!(t.inverse_labels.vertices_with_label(university), &[univ1]);
+    }
+
+    #[test]
+    fn deep_class_hierarchy_is_folded_transitively() {
+        let mut ds = Dataset::new();
+        ds.insert_iris(&ub("A"), vocab::RDFS_SUBCLASSOF, &ub("B"));
+        ds.insert_iris(&ub("B"), vocab::RDFS_SUBCLASSOF, &ub("C"));
+        ds.insert_iris(&ub("C"), vocab::RDFS_SUBCLASSOF, &ub("D"));
+        ds.insert_iris(&ub("x"), vocab::RDF_TYPE, &ub("A"));
+        ds.insert_iris(&ub("x"), &ub("knows"), &ub("y"));
+        let t = type_aware_transform(&ds);
+        let x = vertex(&t, &ds, &Term::iri(ub("x")));
+        assert_eq!(t.graph.labels(x).len(), 4);
+        assert_eq!(t.simple_labels_of(x).len(), 1);
+    }
+
+    #[test]
+    fn cyclic_hierarchy_terminates() {
+        let mut ds = Dataset::new();
+        ds.insert_iris(&ub("A"), vocab::RDFS_SUBCLASSOF, &ub("B"));
+        ds.insert_iris(&ub("B"), vocab::RDFS_SUBCLASSOF, &ub("A"));
+        ds.insert_iris(&ub("x"), vocab::RDF_TYPE, &ub("A"));
+        ds.insert_iris(&ub("x"), &ub("p"), &ub("y"));
+        let t = type_aware_transform(&ds);
+        let x = vertex(&t, &ds, &Term::iri(ub("x")));
+        assert_eq!(t.graph.labels(x).len(), 2);
+    }
+
+    #[test]
+    fn entity_appearing_only_in_type_triples_still_becomes_vertex() {
+        let mut ds = Dataset::new();
+        ds.insert_iris(&ub("lonely"), vocab::RDF_TYPE, &ub("Thing"));
+        let t = type_aware_transform(&ds);
+        assert_eq!(t.graph.vertex_count(), 1);
+        assert_eq!(t.graph.edge_count(), 0);
+        let lonely = vertex(&t, &ds, &Term::iri(ub("lonely")));
+        assert_eq!(t.graph.labels(lonely).len(), 1);
+        assert_eq!(t.graph.degree(lonely, Direction::Outgoing), 0);
+    }
+
+    #[test]
+    fn class_used_as_entity_is_both_label_and_vertex() {
+        // A class that also participates in a non-schema triple (common in
+        // BTC-style data) must be a vertex *and* a label.
+        let mut ds = Dataset::new();
+        ds.insert_iris(&ub("x"), vocab::RDF_TYPE, &ub("Curious"));
+        ds.insert_iris(&ub("Curious"), &ub("definedBy"), &ub("ontology1"));
+        let t = type_aware_transform(&ds);
+        let curious_id = ds.dictionary.id_of_iri(&ub("Curious")).unwrap();
+        assert!(t.mappings.vertex_of(curious_id).is_some());
+        assert!(t.mappings.vlabel_of(curious_id).is_some());
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let t = type_aware_transform(&Dataset::new());
+        assert_eq!(t.graph.vertex_count(), 0);
+        assert_eq!(t.graph.edge_count(), 0);
+        assert_eq!(t.graph.vertex_label_count(), 0);
+    }
+}

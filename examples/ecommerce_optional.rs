@@ -1,0 +1,62 @@
+//! General SPARQL features on the BSBM-like e-commerce dataset.
+//!
+//! Demonstrates the OPTIONAL / FILTER / UNION support of Section 5.1: the
+//! twelve explore-use-case queries run through TurboHOM++ and the hash-join
+//! baseline, and a few result bindings are printed.
+//!
+//! ```bash
+//! cargo run --release --example ecommerce_optional
+//! ```
+
+use turbohom::datasets::bsbm::{self, BsbmConfig, BsbmGenerator};
+use turbohom::engine::{EngineKind, Store, StoreOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = BsbmGenerator::new(BsbmConfig::scale(1)).generate();
+    println!("generated {} triples of e-commerce data", dataset.len());
+    let store = Store::from_dataset_with(dataset, StoreOptions::default());
+
+    println!(
+        "\n{:<4} {:>9} {:>14} {:>14}   {}",
+        "id", "solutions", "TurboHOM++", "HashJoin", "description"
+    );
+    for query in bsbm::queries() {
+        let graph = store.execute(&query.sparql, EngineKind::TurboHomPlusPlus)?;
+        let join = store.execute(&query.sparql, EngineKind::HashJoin)?;
+        assert_eq!(
+            graph.len(),
+            join.len(),
+            "engines disagree on {}: {} vs {}",
+            query.id,
+            graph.len(),
+            join.len()
+        );
+        println!(
+            "{:<4} {:>9} {:>12.3?} {:>12.3?}   {}",
+            query.id,
+            graph.len(),
+            graph.elapsed,
+            join.elapsed,
+            query.description
+        );
+    }
+
+    // Show what OPTIONAL answers look like: offers and (possibly missing)
+    // ratings for one product.
+    let q7 = &bsbm::queries()[6];
+    let results = store.execute(&q7.sparql, EngineKind::TurboHomPlusPlus)?;
+    println!("\nsample bindings for {} ({}):", q7.id, q7.description);
+    for binding in results.iter_bindings().take(5) {
+        let rating = binding
+            .get("rating")
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "(no rating)".to_string());
+        println!(
+            "  offer={} price={} review={} rating={rating}",
+            binding.get("offer").map(|t| t.to_string()).unwrap_or_default(),
+            binding.get("price").map(|t| t.to_string()).unwrap_or_default(),
+            binding.get("review").map(|t| t.to_string()).unwrap_or_default(),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! # TurboHOM++ — taming subgraph isomorphism for RDF query processing
+//!
+//! This is the facade crate of a full reproduction of the VLDB 2015 paper
+//! *"Taming Subgraph Isomorphism for RDF Query Processing"* (Kim, Shin, Han,
+//! Hong, Chafi). It re-exports the public API of every workspace crate so an
+//! application only needs a single dependency.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use turbohom::prelude::*;
+//!
+//! // Build a tiny RDF dataset in memory.
+//! let nt = r#"
+//! <http://ex.org/alice> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex.org/Student> .
+//! <http://ex.org/alice> <http://ex.org/memberOf> <http://ex.org/dept1> .
+//! <http://ex.org/dept1> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex.org/Department> .
+//! "#;
+//!
+//! let store = Store::from_ntriples(nt).unwrap();
+//! let query = r#"
+//! PREFIX ex: <http://ex.org/>
+//! PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+//! SELECT ?x WHERE { ?x rdf:type ex:Student . ?x ex:memberOf ?d . ?d rdf:type ex:Department . }
+//! "#;
+//! let results = store.execute(query, EngineKind::TurboHomPlusPlus).unwrap();
+//! assert_eq!(results.len(), 1);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`rdf`] | RDF terms, dictionary, N-Triples parsing, RDFS inference |
+//! | [`graph`] | CSR labeled graph, inverse label index, predicate index |
+//! | [`sparql`] | SPARQL subset parser and algebra |
+//! | [`transform`] | Direct and type-aware transformations |
+//! | [`core`] | The TurboHOM / TurboHOM++ matching engine |
+//! | [`baseline`] | RDF-3X-style merge-join and hash-join baseline engines |
+//! | [`datasets`] | LUBM / BSBM / YAGO-like / BTC-like generators and query sets |
+//! | [`engine`] | High-level [`Store`](engine::Store) API |
+
+pub use turbohom_baseline as baseline;
+pub use turbohom_core as core;
+pub use turbohom_datasets as datasets;
+pub use turbohom_engine as engine;
+pub use turbohom_graph as graph;
+pub use turbohom_rdf as rdf;
+pub use turbohom_sparql as sparql;
+pub use turbohom_transform as transform;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::core::{MatchSemantics, Optimizations, TurboHomConfig};
+    pub use crate::datasets::lubm::{LubmConfig, LubmGenerator};
+    pub use crate::engine::{EngineKind, PreparedQuery, QueryResults, Store};
+    pub use crate::graph::{LabeledGraph, QueryGraph};
+    pub use crate::rdf::{Dictionary, Term, Triple, TripleStore};
+    pub use crate::sparql::parse_query;
+}

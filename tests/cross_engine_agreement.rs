@@ -1,0 +1,175 @@
+//! Cross-engine agreement on every benchmark workload.
+//!
+//! The strongest correctness check this repository has: the graph-exploration
+//! engines (TurboHOM++ over the type-aware graph, TurboHOM over the direct
+//! graph) and the join-based engines (sort-merge, hash) are four largely
+//! independent implementations of SPARQL basic graph pattern semantics, so
+//! identical solution counts across all of them on every benchmark query is
+//! strong evidence that each one is right.
+
+use turbohom::datasets::{bsbm, btc, lubm, yago};
+use turbohom::engine::{EngineKind, Store, StoreOptions};
+
+fn assert_all_engines_agree(store: &Store, queries: &[turbohom::datasets::BenchmarkQuery]) {
+    for q in queries {
+        let mut counts = Vec::new();
+        for kind in EngineKind::all() {
+            let result = store
+                .execute(&q.sparql, kind)
+                .unwrap_or_else(|e| panic!("{} failed on {}: {e}", kind.label(), q.id));
+            counts.push((kind.label(), result.len()));
+        }
+        let first = counts[0].1;
+        assert!(
+            counts.iter().all(|(_, c)| *c == first),
+            "engines disagree on {}: {counts:?}",
+            q.id
+        );
+    }
+}
+
+#[test]
+fn lubm_queries_agree_across_engines() {
+    let dataset = lubm::LubmGenerator::new(lubm::LubmConfig::scale(2)).generate();
+    let store = Store::from_dataset(dataset);
+    assert_all_engines_agree(&store, &lubm::queries());
+}
+
+#[test]
+fn lubm_constant_queries_stay_constant_and_increasing_queries_grow() {
+    let small = Store::from_dataset(lubm::LubmGenerator::new(lubm::LubmConfig::scale(1)).generate());
+    let large = Store::from_dataset(lubm::LubmGenerator::new(lubm::LubmConfig::scale(4)).generate());
+    let queries = lubm::queries();
+    for q in &queries {
+        let a = small
+            .execute(&q.sparql, EngineKind::TurboHomPlusPlus)
+            .unwrap()
+            .len();
+        let b = large
+            .execute(&q.sparql, EngineKind::TurboHomPlusPlus)
+            .unwrap()
+            .len();
+        if lubm::constant_solution_queries().contains(&q.id.as_str()) {
+            assert_eq!(a, b, "{} should have a scale-independent solution count", q.id);
+        } else {
+            assert!(
+                b > a,
+                "{} should have more solutions at scale 4 ({a} vs {b})",
+                q.id
+            );
+        }
+    }
+}
+
+#[test]
+fn bsbm_queries_agree_across_engines() {
+    let dataset = bsbm::BsbmGenerator::new(bsbm::BsbmConfig::scale(1)).generate();
+    let store = Store::from_dataset(dataset);
+    // The TurboHOM (direct, unoptimized) engine also supports the general
+    // SPARQL features, so all four engines are compared.
+    assert_all_engines_agree(&store, &bsbm::queries());
+}
+
+#[test]
+fn yago_queries_agree_across_engines() {
+    let dataset = yago::YagoGenerator::new(yago::YagoConfig::scale(1)).generate();
+    let store = Store::from_dataset_with(
+        dataset,
+        StoreOptions {
+            inference: true,
+            threads: 1,
+        },
+    );
+    assert_all_engines_agree(&store, &yago::queries());
+}
+
+#[test]
+fn btc_queries_agree_across_engines() {
+    // BTC is loaded without inference, exactly as the paper does.
+    let dataset = btc::BtcGenerator::new(btc::BtcConfig::scale(1)).generate();
+    let store = Store::from_dataset(dataset);
+    assert_all_engines_agree(&store, &btc::queries());
+}
+
+#[test]
+fn parallel_execution_matches_sequential_on_lubm() {
+    let dataset = lubm::LubmGenerator::new(lubm::LubmConfig::scale(2)).generate();
+    let sequential = Store::from_dataset(dataset.clone());
+    let parallel = Store::from_dataset_with(
+        dataset,
+        StoreOptions {
+            inference: false,
+            threads: 4,
+        },
+    );
+    for q in lubm::queries() {
+        let a = sequential
+            .execute(&q.sparql, EngineKind::TurboHomPlusPlus)
+            .unwrap()
+            .len();
+        let b = parallel
+            .execute(&q.sparql, EngineKind::TurboHomPlusPlus)
+            .unwrap()
+            .len();
+        assert_eq!(a, b, "parallel result differs on {}", q.id);
+    }
+}
+
+#[test]
+fn optimizations_do_not_change_lubm_results() {
+    use turbohom::core::{OptimizationName, Optimizations, TurboHomConfig};
+    let dataset = lubm::LubmGenerator::new(lubm::LubmConfig::scale(1)).generate();
+    let store = Store::from_dataset(dataset);
+    for q in lubm::queries() {
+        let reference = store
+            .execute(&q.sparql, EngineKind::TurboHomPlusPlus)
+            .unwrap()
+            .len();
+        for name in OptimizationName::all() {
+            let config = TurboHomConfig::default().with_optimizations(Optimizations::only(name));
+            let result = store.execute_turbohom(&q.sparql, config, false).unwrap();
+            assert_eq!(
+                result.len(),
+                reference,
+                "{} with only {} differs",
+                q.id,
+                name.label()
+            );
+        }
+        let none = store
+            .execute_turbohom(
+                &q.sparql,
+                TurboHomConfig::default().with_optimizations(Optimizations::none()),
+                false,
+            )
+            .unwrap();
+        assert_eq!(none.len(), reference, "{} without optimizations differs", q.id);
+    }
+}
+
+#[test]
+fn simple_entailment_returns_a_subset() {
+    use turbohom::core::TurboHomConfig;
+    // Load the *raw* triples (no materialized closure) so the difference
+    // between the entailment regimes is visible: the full regime folds the
+    // subClassOf hierarchy into the label sets, the simple regime only sees
+    // the directly asserted types.
+    let config = lubm::LubmConfig {
+        materialize_rdfs: false,
+        ..lubm::LubmConfig::scale(1)
+    };
+    let dataset = lubm::LubmGenerator::new(config).generate();
+    let store = Store::from_dataset(dataset);
+    // Q6 (all students): nobody is asserted to be a plain `Student`, but
+    // everyone is one through the class hierarchy.
+    let q6 = &lubm::queries()[5];
+    let full = store.execute(&q6.sparql, EngineKind::TurboHomPlusPlus).unwrap();
+    let simple_config = TurboHomConfig {
+        simple_entailment: true,
+        ..TurboHomConfig::default()
+    };
+    let simple = store.execute_turbohom(&q6.sparql, simple_config, false).unwrap();
+    assert!(full.len() > 0);
+    assert_eq!(simple.len(), 0);
+    assert!(simple.len() < full.len());
+}
