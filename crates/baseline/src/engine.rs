@@ -48,7 +48,10 @@ pub struct BaselineEngine<'a> {
 pub struct MergeJoinEngine;
 
 impl MergeJoinEngine {
-    /// Creates the RDF-3X-style engine.
+    /// Creates the RDF-3X-style engine. Deliberately returns the shared
+    /// [`BaselineEngine`] runner rather than `Self` — `MergeJoinEngine` and
+    /// `HashJoinEngine` are facade names for the two join strategies.
+    #[allow(clippy::new_ret_no_self)]
     pub fn new<'a>(dataset: &'a Dataset, indexes: &'a PermutationIndexes) -> BaselineEngine<'a> {
         BaselineEngine {
             dataset,
@@ -62,7 +65,10 @@ impl MergeJoinEngine {
 pub struct HashJoinEngine;
 
 impl HashJoinEngine {
-    /// Creates the hash-join engine.
+    /// Creates the hash-join engine. Deliberately returns the shared
+    /// [`BaselineEngine`] runner rather than `Self`, like
+    /// [`MergeJoinEngine::new`].
+    #[allow(clippy::new_ret_no_self)]
     pub fn new<'a>(dataset: &'a Dataset, indexes: &'a PermutationIndexes) -> BaselineEngine<'a> {
         BaselineEngine {
             dataset,
@@ -213,7 +219,8 @@ impl<'a> BaselineEngine<'a> {
                     };
                     if let Some(matches) = index.get(&key) {
                         for &ri in matches {
-                            out.rows.push(combine(left, lrow, right, &right.rows[ri], &out.vars));
+                            out.rows
+                                .push(combine(left, lrow, right, &right.rows[ri], &out.vars));
                         }
                     }
                 }
@@ -283,7 +290,8 @@ impl<'a> BaselineEngine<'a> {
                 out.rows.push(combine(left, lrow, right, &nulls, &out.vars));
             } else {
                 for ri in matches {
-                    out.rows.push(combine(left, lrow, right, &right.rows[ri], &out.vars));
+                    out.rows
+                        .push(combine(left, lrow, right, &right.rows[ri], &out.vars));
                 }
             }
         }
@@ -346,12 +354,13 @@ fn build_hash_index(rel: &Relation, shared: &[String]) -> HashMap<Vec<TermId>, V
     index
 }
 
+/// A row of a [`Relation`] paired with its extracted join key (`None` when
+/// any key column is unbound).
+type KeyedRow<'r> = (Option<Vec<TermId>>, &'r Vec<Option<TermId>>);
+
 /// Pairs every row with its join key and sorts by it (None keys last).
-fn sorted_by_key<'r>(
-    rel: &'r Relation,
-    shared: &[String],
-) -> Vec<(Option<Vec<TermId>>, &'r Vec<Option<TermId>>)> {
-    let mut rows: Vec<(Option<Vec<TermId>>, &Vec<Option<TermId>>)> = rel
+fn sorted_by_key<'r>(rel: &'r Relation, shared: &[String]) -> Vec<KeyedRow<'r>> {
+    let mut rows: Vec<KeyedRow<'r>> = rel
         .rows
         .iter()
         .map(|row| (key_of(rel, row, shared), row))
@@ -429,7 +438,12 @@ mod tests {
             ?x ub:undergraduateDegreeFrom ?y . ?x ub:memberOf ?z . ?z ub:subOrganizationOf ?y .
         }"#;
 
-    fn run(ds: &Dataset, idx: &PermutationIndexes, strategy: JoinStrategy, q: &str) -> (Relation, BaselineStats) {
+    fn run(
+        ds: &Dataset,
+        idx: &PermutationIndexes,
+        strategy: JoinStrategy,
+        q: &str,
+    ) -> (Relation, BaselineStats) {
         let query = parse_query(q).unwrap();
         let engine = match strategy {
             JoinStrategy::SortMerge => MergeJoinEngine::new(ds, idx),
@@ -598,7 +612,8 @@ mod tests {
         let ds = dataset();
         let idx = PermutationIndexes::build(&ds);
         let engine = MergeJoinEngine::new(&ds, &idx);
-        let query = parse_query("SELECT ?x WHERE { OPTIONAL { ?x <http://ub.org/email> ?m . } }").unwrap();
+        let query =
+            parse_query("SELECT ?x WHERE { OPTIONAL { ?x <http://ub.org/email> ?m . } }").unwrap();
         let (rel, _) = engine.execute(&query);
         // Unit left-joined with 6 email rows → 6 rows.
         assert_eq!(rel.len(), 6);

@@ -108,7 +108,11 @@ impl PermutationIndexes {
     /// Chooses the ordering whose key prefix covers the bound positions of
     /// `pattern` so a contiguous range scan answers it.
     fn choose_ordering(pattern: IdPattern) -> Ordering {
-        let (s, p, o) = (pattern.0.is_some(), pattern.1.is_some(), pattern.2.is_some());
+        let (s, p, o) = (
+            pattern.0.is_some(),
+            pattern.1.is_some(),
+            pattern.2.is_some(),
+        );
         match (s, p, o) {
             (true, true, true) | (true, true, false) => Ordering::Spo,
             (true, false, true) => Ordering::Sop,
@@ -152,20 +156,18 @@ impl PermutationIndexes {
         let range = if prefix.is_empty() {
             0..table.len()
         } else {
-            let lower = table.partition_point(|t| {
-                prefix_cmp(t, &prefix) == std::cmp::Ordering::Less
-            });
-            let upper = table.partition_point(|t| {
-                prefix_cmp(t, &prefix) != std::cmp::Ordering::Greater
-            });
+            let lower =
+                table.partition_point(|t| prefix_cmp(t, &prefix) == std::cmp::Ordering::Less);
+            let upper =
+                table.partition_point(|t| prefix_cmp(t, &prefix) != std::cmp::Ordering::Greater);
             lower..upper
         };
         table[range]
             .iter()
             .filter(|t| {
-                pattern.0.map_or(true, |s| t.s == s)
-                    && pattern.1.map_or(true, |p| t.p == p)
-                    && pattern.2.map_or(true, |o| t.o == o)
+                pattern.0.is_none_or(|s| t.s == s)
+                    && pattern.1.is_none_or(|p| t.p == p)
+                    && pattern.2.is_none_or(|o| t.o == o)
             })
             .copied()
             .collect()
@@ -193,7 +195,8 @@ impl PermutationIndexes {
             return table.len();
         }
         let lower = table.partition_point(|t| prefix_cmp(t, &prefix) == std::cmp::Ordering::Less);
-        let upper = table.partition_point(|t| prefix_cmp(t, &prefix) != std::cmp::Ordering::Greater);
+        let upper =
+            table.partition_point(|t| prefix_cmp(t, &prefix) != std::cmp::Ordering::Greater);
         upper - lower
     }
 }
@@ -317,14 +320,14 @@ mod tests {
                         .triples
                         .iter()
                         .filter(|t| {
-                            s.map_or(true, |x| t.s == x)
-                                && p.map_or(true, |x| t.p == x)
-                                && o.map_or(true, |x| t.o == x)
+                            s.is_none_or(|x| t.s == x)
+                                && p.is_none_or(|x| t.p == x)
+                                && o.is_none_or(|x| t.o == x)
                         })
                         .copied()
                         .collect();
                     assert_eq!(scanned.len(), brute.len(), "pattern {s:?} {p:?} {o:?}");
-                    assert_eq!(idx.estimate((s, p, o)) >= scanned.len(), true);
+                    assert!(idx.estimate((s, p, o)) >= scanned.len());
                 }
             }
         }

@@ -19,7 +19,10 @@ pub struct Relation {
 impl Relation {
     /// An empty relation with the given header and no rows.
     pub fn empty(vars: Vec<String>) -> Self {
-        Relation { vars, rows: Vec::new() }
+        Relation {
+            vars,
+            rows: Vec::new(),
+        }
     }
 
     /// The "unit" relation: no columns, exactly one (empty) row. It is the
@@ -92,7 +95,10 @@ impl Relation {
     /// # Panics
     /// Panics if the headers differ (callers align headers via [`project`](Relation::project)).
     pub fn append(&mut self, mut other: Relation) {
-        assert_eq!(self.vars, other.vars, "appending relations with different headers");
+        assert_eq!(
+            self.vars, other.vars,
+            "appending relations with different headers"
+        );
         self.rows.append(&mut other.rows);
     }
 }

@@ -27,10 +27,17 @@ fn transformation_ablation(c: &mut Criterion) {
     let config = TurboHomConfig::default().with_optimizations(Optimizations::none());
     let mut group = c.benchmark_group("table7_transformation");
     configure(&mut group);
-    for query in queries.iter().filter(|q| ["Q2", "Q6", "Q9", "Q13", "Q14"].contains(&q.id.as_str())) {
-        group.bench_with_input(BenchmarkId::new("direct", &query.id), &query.sparql, |b, s| {
-            b.iter(|| store.execute_turbohom(s, config, true).unwrap().len());
-        });
+    for query in queries
+        .iter()
+        .filter(|q| ["Q2", "Q6", "Q9", "Q13", "Q14"].contains(&q.id.as_str()))
+    {
+        group.bench_with_input(
+            BenchmarkId::new("direct", &query.id),
+            &query.sparql,
+            |b, s| {
+                b.iter(|| store.execute_turbohom(s, config, true).unwrap().len());
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("type-aware", &query.id),
             &query.sparql,

@@ -76,5 +76,10 @@ fn transformations(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, dictionary_encoding, sorted_set_kernels, transformations);
+criterion_group!(
+    benches,
+    dictionary_encoding,
+    sorted_set_kernels,
+    transformations
+);
 criterion_main!(benches);

@@ -74,11 +74,8 @@ fn table1(w: &Workloads) {
         "{:<10} {:>12} {:>12} {:>14} {:>14}",
         "dataset", "|V| direct", "|E| direct", "|V| type-aware", "|E| type-aware"
     );
-    let mut datasets: Vec<(&str, &turbohom_engine::Store)> = w
-        .lubm
-        .iter()
-        .map(|(n, s)| (*n, s))
-        .collect();
+    let mut datasets: Vec<(&str, &turbohom_engine::Store)> =
+        w.lubm.iter().map(|(n, s)| (*n, s)).collect();
     datasets.push(("BTC-like", &w.btc));
     datasets.push(("BSBM-like", &w.bsbm));
     for (name, store) in datasets {
@@ -132,7 +129,12 @@ fn table3(w: &Workloads) {
 }
 
 /// Generic per-workload table: solutions + elapsed time per engine.
-fn workload_table(title: &str, store: &turbohom_engine::Store, queries: &[turbohom_datasets::BenchmarkQuery], engines: &[EngineKind]) {
+fn workload_table(
+    title: &str,
+    store: &turbohom_engine::Store,
+    queries: &[turbohom_datasets::BenchmarkQuery],
+    engines: &[EngineKind],
+) {
     heading(title);
     print!("{:<26}", "");
     for q in queries {
@@ -152,7 +154,8 @@ fn workload_table(title: &str, store: &turbohom_engine::Store, queries: &[turboh
         for q in queries {
             let (elapsed, count) = measure_engine(store, q, *kind);
             assert_eq!(
-                count, counts[&q.id],
+                count,
+                counts[&q.id],
                 "{} disagrees with TurboHOM++ on {}",
                 kind.label(),
                 q.id
@@ -240,7 +243,11 @@ fn figure6(w: &Workloads) {
         print!("{:>10}", q.id);
     }
     println!();
-    for kind in [EngineKind::TurboHom, EngineKind::MergeJoin, EngineKind::HashJoin] {
+    for kind in [
+        EngineKind::TurboHom,
+        EngineKind::MergeJoin,
+        EngineKind::HashJoin,
+    ] {
         print!("{:<26}", kind.label());
         for q in &queries {
             let (elapsed, _) = measure_engine(store, q, kind);
@@ -270,8 +277,7 @@ fn figure15(w: &Workloads) {
         let (base, _) = measure_turbohom(store, q, base_config, false);
         let mut cells = Vec::new();
         for opt in OptimizationName::all() {
-            let config =
-                TurboHomConfig::default().with_optimizations(Optimizations::only(opt));
+            let config = TurboHomConfig::default().with_optimizations(Optimizations::only(opt));
             let (t, _) = measure_turbohom(store, q, config, false);
             let reduced = base.saturating_sub(t);
             cells.push(format!("{:>12}", ms(reduced)));
@@ -319,7 +325,13 @@ fn figure16() {
                 }
                 Some(base) => base / t.max(1e-9),
             };
-            println!("{:<6} {:>9} {:>14} {:>9.2}x", q.id, threads, ms(elapsed), speedup);
+            println!(
+                "{:<6} {:>9} {:>14} {:>9.2}x",
+                q.id,
+                threads,
+                ms(elapsed),
+                speedup
+            );
         }
     }
 }

@@ -36,7 +36,11 @@ where
 }
 
 /// Runs `query` on `store` with `kind`, measured per the paper's protocol.
-pub fn measure_engine(store: &Store, query: &BenchmarkQuery, kind: EngineKind) -> (Duration, usize) {
+pub fn measure_engine(
+    store: &Store,
+    query: &BenchmarkQuery,
+    kind: EngineKind,
+) -> (Duration, usize) {
     let (elapsed, result) = measure(|| {
         store
             .execute(&query.sparql, kind)
@@ -148,6 +152,31 @@ impl Workloads {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn measure_implements_the_papers_five_run_protocol() {
+        // Feed `measure` five synthetic runs with known durations and check
+        // the Section 7.1 protocol: run five times, drop the best and the
+        // worst run, average the remaining three.
+        let synthetic = [5u64, 1, 3, 2, 9]; // milliseconds, deliberately unsorted
+        let mut call = 0usize;
+        let (avg, last) = measure(|| {
+            let result = QueryResults {
+                solution_count: call, // marks which run produced it
+                elapsed: Duration::from_millis(synthetic[call]),
+                ..QueryResults::default()
+            };
+            call += 1;
+            result
+        });
+        assert_eq!(call, 5, "the protocol must execute exactly five runs");
+        // Dropping best (1ms) and worst (9ms) keeps {2, 3, 5}ms.
+        let expected =
+            (Duration::from_millis(2) + Duration::from_millis(3) + Duration::from_millis(5)) / 3;
+        assert_eq!(avg, expected);
+        // The returned result is the one from the last run.
+        assert_eq!(last.len(), 4);
+    }
 
     #[test]
     fn measure_follows_drop_best_and_worst_protocol() {

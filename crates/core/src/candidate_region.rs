@@ -72,7 +72,17 @@ pub fn explore_candidate_region(
     };
     region.counts[tree.root] = 1;
     let mut path: Vec<VertexId> = vec![start];
-    let ok = explore(data, config, query, tree, tree.root, start, &mut region, &mut path, stats);
+    let ok = explore(
+        data,
+        config,
+        query,
+        tree,
+        tree.root,
+        start,
+        &mut region,
+        &mut path,
+        stats,
+    );
     if ok {
         stats.candidate_vertices += region.total_candidates();
         Some(region)
@@ -100,7 +110,8 @@ fn explore(
         let edge_info = tree.parent[child].expect("child has a parent tree edge");
         let qedge = query.graph.edge(edge_info.edge);
         let child_labels = &query.graph.vertex(child).labels;
-        let raw = filters::adjacent_candidates(data, v, edge_info.direction, qedge.label, child_labels);
+        let raw =
+            filters::adjacent_candidates(data, v, edge_info.direction, qedge.label, child_labels);
         stats.explored_vertices += raw.len();
 
         let mut valid = Vec::with_capacity(raw.len());
@@ -196,15 +207,9 @@ mod tests {
         let a = tq.graph.vertex_of_variable("a").unwrap();
         assert_eq!(sel.query_vertex, a);
         let tree = QueryTree::build(&tq.graph, sel.query_vertex);
-        let region = explore_candidate_region(
-            &t,
-            &config,
-            &tq,
-            &tree,
-            sel.start_vertices[0],
-            &mut stats,
-        )
-        .expect("region exists");
+        let region =
+            explore_candidate_region(&t, &config, &tq, &tree, sel.start_vertices[0], &mut stats)
+                .expect("region exists");
         let x = tq.graph.vertex_of_variable("x").unwrap();
         let y = tq.graph.vertex_of_variable("y").unwrap();
         let z = tq.graph.vertex_of_variable("z").unwrap();
@@ -324,15 +329,9 @@ mod tests {
         let mut stats = MatchStats::default();
 
         // Homomorphism: z may map back onto a (the path a→b→a is allowed).
-        let hom = explore_candidate_region(
-            &t,
-            &TurboHomConfig::default(),
-            &tq,
-            &tree,
-            a,
-            &mut stats,
-        )
-        .unwrap();
+        let hom =
+            explore_candidate_region(&t, &TurboHomConfig::default(), &tq, &tree, a, &mut stats)
+                .unwrap();
         assert_eq!(hom.count(z), 1);
 
         // Isomorphism: revisiting a on the exploration path is pruned, so the

@@ -47,7 +47,10 @@ impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::DisconnectedQuery => {
-                write!(f, "query graph is disconnected (cartesian products are not supported)")
+                write!(
+                    f,
+                    "query graph is disconnected (cartesian products are not supported)"
+                )
             }
             EngineError::NoRequiredPart => {
                 write!(f, "query has no required (non-OPTIONAL) part")
@@ -68,7 +71,11 @@ pub struct TurboHomEngine<'a> {
 impl<'a> TurboHomEngine<'a> {
     /// Creates an engine for `data`. The `dictionary` is needed to evaluate
     /// FILTER expressions (it maps matched vertices back to RDF terms).
-    pub fn new(data: &'a TransformedGraph, dictionary: &'a Dictionary, config: TurboHomConfig) -> Self {
+    pub fn new(
+        data: &'a TransformedGraph,
+        dictionary: &'a Dictionary,
+        config: TurboHomConfig,
+    ) -> Self {
         TurboHomEngine {
             data,
             dictionary,
@@ -96,9 +103,10 @@ impl<'a> TurboHomEngine<'a> {
         let mut stats = MatchStats::default();
         let selection = choose_start_vertex(self.data, &self.config, query, &mut stats);
         if selection.start_vertices.is_empty() {
-            let mut result = MatchResult::default();
-            result.stats = stats;
-            return Ok(result);
+            return Ok(MatchResult {
+                stats,
+                ..MatchResult::default()
+            });
         }
         let tree = QueryTree::build(&query.graph, selection.query_vertex);
         debug_assert!(tree.spans(&query.graph));
@@ -118,9 +126,23 @@ impl<'a> TurboHomEngine<'a> {
         }
 
         let result = if self.config.threads <= 1 {
-            self.run_sequential(query, &tree, &selection.start_vertices, &search_config, &inline_filters, stats)
+            self.run_sequential(
+                query,
+                &tree,
+                &selection.start_vertices,
+                &search_config,
+                &inline_filters,
+                stats,
+            )
         } else {
-            self.run_parallel(query, &tree, &selection.start_vertices, &search_config, &inline_filters, stats)
+            self.run_parallel(
+                query,
+                &tree,
+                &selection.start_vertices,
+                &search_config,
+                &inline_filters,
+                stats,
+            )
         };
         let mut result = result;
 
@@ -155,7 +177,8 @@ impl<'a> TurboHomEngine<'a> {
         let mut shared_order: Option<MatchingOrder> = None;
         for &vs in starts {
             stats.candidate_regions += 1;
-            let Some(region) = explore_candidate_region(self.data, config, query, tree, vs, &mut stats)
+            let Some(region) =
+                explore_candidate_region(self.data, config, query, tree, vs, &mut stats)
             else {
                 continue;
             };
@@ -233,8 +256,7 @@ impl<'a> TurboHomEngine<'a> {
         }
 
         let next = AtomicUsize::new(0);
-        let merged: Mutex<(Vec<Solution>, usize, MatchStats)> =
-            Mutex::new((Vec::new(), 0, stats));
+        let merged: Mutex<(Vec<Solution>, usize, MatchStats)> = Mutex::new((Vec::new(), 0, stats));
         let shared_order_ref = shared_order.as_ref();
         let chunk = chunk_size(starts.len(), config.threads);
 
@@ -267,8 +289,7 @@ impl<'a> TurboHomEngine<'a> {
                             let order = match shared_order_ref {
                                 Some(o) => o,
                                 None => {
-                                    order_storage =
-                                        MatchingOrder::determine(query, tree, &region);
+                                    order_storage = MatchingOrder::determine(query, tree, &region);
                                     local_stats.matching_orders_computed += 1;
                                     &order_storage
                                 }
@@ -591,8 +612,7 @@ mod tests {
             &ds,
             &data,
             TRIANGLE,
-            TurboHomConfig::default()
-                .with_optimizations(crate::config::Optimizations::none()),
+            TurboHomConfig::default().with_optimizations(crate::config::Optimizations::none()),
         );
         assert!(without.stats.matching_orders_computed >= 1);
         assert_eq!(
@@ -621,7 +641,11 @@ mod tests {
         let ds = {
             let mut ds = Dataset::new();
             ds.insert_iris(&ub("g1"), vocab::RDF_TYPE, &ub("GraduateStudent"));
-            ds.insert_iris(&ub("GraduateStudent"), vocab::RDFS_SUBCLASSOF, &ub("Student"));
+            ds.insert_iris(
+                &ub("GraduateStudent"),
+                vocab::RDFS_SUBCLASSOF,
+                &ub("Student"),
+            );
             ds.insert_iris(&ub("u1"), vocab::RDF_TYPE, &ub("Student"));
             ds.insert_iris(&ub("g1"), &ub("knows"), &ub("u1"));
             ds.insert_iris(&ub("u1"), &ub("knows"), &ub("g1"));

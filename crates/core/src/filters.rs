@@ -136,6 +136,10 @@ pub fn degree_filter(
     pass
 }
 
+/// A neighbor constraint of a query vertex: direction, optional edge label
+/// and the required neighbor label set.
+type NeighborConstraint = (Direction, Option<ELabel>, Vec<VLabel>);
+
 /// Applies the neighborhood label frequency (NLF) filter to data vertex `v`
 /// for query vertex `u`.
 ///
@@ -154,7 +158,7 @@ pub fn nlf_filter(
         return true;
     }
     // Group u's neighbor constraints and count how often each occurs.
-    let mut constraints: Vec<((Direction, Option<ELabel>, Vec<VLabel>), usize)> = Vec::new();
+    let mut constraints: Vec<(NeighborConstraint, usize)> = Vec::new();
     for (dir, el, labels) in query.neighbor_constraints(u) {
         let key = (dir, el, labels.to_vec());
         if let Some(entry) = constraints.iter_mut().find(|(k, _)| *k == key) {
@@ -199,8 +203,7 @@ pub fn qualifies(
     if !satisfies_labels(data, config, v, &qv.labels) {
         return false;
     }
-    degree_filter(data, config, query, u, v, stats)
-        && nlf_filter(data, config, query, u, v, stats)
+    degree_filter(data, config, query, u, v, stats) && nlf_filter(data, config, query, u, v, stats)
 }
 
 #[cfg(test)]
@@ -259,8 +262,10 @@ mod tests {
         let cands = adjacent_candidates(&t, dept, Direction::Incoming, Some(member_of), &[student]);
         assert_eq!(cands.len(), 2);
         // Wrong direction: nothing.
-        assert!(adjacent_candidates(&t, dept, Direction::Outgoing, Some(member_of), &[student])
-            .is_empty());
+        assert!(
+            adjacent_candidates(&t, dept, Direction::Outgoing, Some(member_of), &[student])
+                .is_empty()
+        );
         // No label constraint: still the two students.
         assert_eq!(
             adjacent_candidates(&t, dept, Direction::Incoming, Some(member_of), &[]).len(),
@@ -279,7 +284,10 @@ mod tests {
         );
     }
 
-    fn one_vertex_query(labels: Vec<VLabel>, neighbors: Vec<(Direction, Option<ELabel>, Vec<VLabel>)>) -> QueryGraph {
+    fn one_vertex_query(
+        labels: Vec<VLabel>,
+        neighbors: Vec<(Direction, Option<ELabel>, Vec<VLabel>)>,
+    ) -> QueryGraph {
         let mut q = QueryGraph::new();
         let u = q.add_vertex(QueryVertex {
             labels,
@@ -325,8 +333,22 @@ mod tests {
             ],
         );
         // s1 has both; s2 only memberOf.
-        assert!(degree_filter(&t, &config, &q, 0, vid(&ds, &t, "s1"), &mut stats));
-        assert!(!degree_filter(&t, &config, &q, 0, vid(&ds, &t, "s2"), &mut stats));
+        assert!(degree_filter(
+            &t,
+            &config,
+            &q,
+            0,
+            vid(&ds, &t, "s1"),
+            &mut stats
+        ));
+        assert!(!degree_filter(
+            &t,
+            &config,
+            &q,
+            0,
+            vid(&ds, &t, "s2"),
+            &mut stats
+        ));
         assert_eq!(stats.degree_filtered, 1);
     }
 
@@ -339,10 +361,21 @@ mod tests {
             vec![],
             vec![
                 (Direction::Outgoing, Some(el(&ds, &t, "memberOf")), vec![]),
-                (Direction::Outgoing, Some(el(&ds, &t, "takesCourse")), vec![]),
+                (
+                    Direction::Outgoing,
+                    Some(el(&ds, &t, "takesCourse")),
+                    vec![],
+                ),
             ],
         );
-        assert!(degree_filter(&t, &config, &q, 0, vid(&ds, &t, "s2"), &mut stats));
+        assert!(degree_filter(
+            &t,
+            &config,
+            &q,
+            0,
+            vid(&ds, &t, "s2"),
+            &mut stats
+        ));
         assert_eq!(stats.degree_filtered, 0);
     }
 
@@ -366,8 +399,22 @@ mod tests {
                 (Direction::Outgoing, Some(takes), vec![course_l]),
             ],
         );
-        assert!(nlf_filter(&t, &config, &q, 0, vid(&ds, &t, "s1"), &mut stats));
-        assert!(!nlf_filter(&t, &config, &q, 0, vid(&ds, &t, "s2"), &mut stats));
+        assert!(nlf_filter(
+            &t,
+            &config,
+            &q,
+            0,
+            vid(&ds, &t, "s1"),
+            &mut stats
+        ));
+        assert!(!nlf_filter(
+            &t,
+            &config,
+            &q,
+            0,
+            vid(&ds, &t, "s2"),
+            &mut stats
+        ));
         assert_eq!(stats.nlf_filtered, 1);
     }
 
@@ -390,7 +437,14 @@ mod tests {
                 (Direction::Incoming, Some(member_of), vec![student_l]),
             ],
         );
-        assert!(nlf_filter(&t, &config, &q, 0, vid(&ds, &t, "dept1"), &mut stats));
+        assert!(nlf_filter(
+            &t,
+            &config,
+            &q,
+            0,
+            vid(&ds, &t, "dept1"),
+            &mut stats
+        ));
         // Under homomorphism the same check also passes trivially, but a
         // query needing three distinct students fails under isomorphism.
         let q3 = one_vertex_query(
@@ -401,7 +455,14 @@ mod tests {
                 (Direction::Incoming, Some(member_of), vec![student_l]),
             ],
         );
-        assert!(!nlf_filter(&t, &config, &q3, 0, vid(&ds, &t, "dept1"), &mut stats));
+        assert!(!nlf_filter(
+            &t,
+            &config,
+            &q3,
+            0,
+            vid(&ds, &t, "dept1"),
+            &mut stats
+        ));
     }
 
     #[test]
@@ -438,7 +499,11 @@ mod tests {
         // s1 gets type GraduateStudent, Student only via subClassOf closure.
         let mut ds = Dataset::new();
         ds.insert_iris(&ub("g1"), vocab::RDF_TYPE, &ub("GraduateStudent"));
-        ds.insert_iris(&ub("GraduateStudent"), vocab::RDFS_SUBCLASSOF, &ub("Student"));
+        ds.insert_iris(
+            &ub("GraduateStudent"),
+            vocab::RDFS_SUBCLASSOF,
+            &ub("Student"),
+        );
         ds.insert_iris(&ub("g1"), &ub("memberOf"), &ub("dept1"));
         let t = type_aware_transform(&ds);
         let g1 = vid(&ds, &t, "g1");

@@ -62,7 +62,14 @@ impl MatchingOrder {
         // --- Phase A: required vertices, DFS over the tree, cheapest
         // subtree first.
         let subtree_cost = compute_subtree_costs(query, tree, region);
-        place_required_dfs(query, tree, tree.root, &subtree_cost, &mut order, &mut placed);
+        place_required_dfs(
+            query,
+            tree,
+            tree.root,
+            &subtree_cost,
+            &mut order,
+            &mut placed,
+        );
 
         // --- Phase B: optional clauses, clause forest in DFS order, each
         // clause contiguous and followed immediately by its nested clauses.
@@ -75,8 +82,13 @@ impl MatchingOrder {
                 None => clause_roots.push(c),
             }
         }
-        let mut clause_blocks: Vec<ClauseBlock> =
-            (0..clause_count).map(|c| ClauseBlock { clause: c, start: 0, end: 0 }).collect();
+        let mut clause_blocks: Vec<ClauseBlock> = (0..clause_count)
+            .map(|c| ClauseBlock {
+                clause: c,
+                start: 0,
+                end: 0,
+            })
+            .collect();
         for &root_clause in &clause_roots {
             place_clause_dfs(
                 query,
@@ -202,11 +214,9 @@ fn place_clause_dfs(
     // preferring the cheapest subtree.
     while !remaining.is_empty() {
         remaining.sort_by_key(|&u| subtree_cost[u]);
-        let next = remaining.iter().position(|&u| {
-            tree.parent[u]
-                .map(|e| placed[e.parent])
-                .unwrap_or(true)
-        });
+        let next = remaining
+            .iter()
+            .position(|&u| tree.parent[u].map(|e| placed[e.parent]).unwrap_or(true));
         match next {
             Some(i) => {
                 let u = remaining.remove(i);
@@ -364,14 +374,15 @@ mod tests {
         // Query vertices: ?p, ?price, ?r, ?h (the type triple is folded).
         assert_eq!(order.len(), 4);
         // The first positions are required, the rest optional.
-        let clauses_in_order: Vec<Option<usize>> = order
-            .order
-            .iter()
-            .map(|&u| tq.vertex_clause[u])
-            .collect();
+        let clauses_in_order: Vec<Option<usize>> =
+            order.order.iter().map(|&u| tq.vertex_clause[u]).collect();
         let first_optional = clauses_in_order.iter().position(|c| c.is_some()).unwrap();
-        assert!(clauses_in_order[..first_optional].iter().all(|c| c.is_none()));
-        assert!(clauses_in_order[first_optional..].iter().all(|c| c.is_some()));
+        assert!(clauses_in_order[..first_optional]
+            .iter()
+            .all(|c| c.is_none()));
+        assert!(clauses_in_order[first_optional..]
+            .iter()
+            .all(|c| c.is_some()));
         // Clause blocks: clause 0 (rating) spans its own vertex and the
         // nested clause 1 (homepage); clause 1 is nested inside it.
         let b0 = order.clause_blocks[0];
@@ -408,7 +419,10 @@ mod tests {
         let order = MatchingOrder::determine(&tq, &tree, &region);
         let b0 = order.clause_blocks[0];
         let b1 = order.clause_blocks[1];
-        assert!(b0.end <= b1.start || b1.end <= b0.start, "blocks overlap: {b0:?} {b1:?}");
+        assert!(
+            b0.end <= b1.start || b1.end <= b0.start,
+            "blocks overlap: {b0:?} {b1:?}"
+        );
         assert_eq!(b0.end - b0.start, 1);
         assert_eq!(b1.end - b1.start, 1);
     }

@@ -140,9 +140,24 @@ mod tests {
         for i in 0..3u32 {
             q.add_vertex(QueryVertex::variable(format!("v{i}"), vec![VLabel(i)]));
         }
-        q.add_edge(QueryEdge { from: 0, to: 1, label: Some(ELabel(0)), variable: None });
-        q.add_edge(QueryEdge { from: 0, to: 2, label: Some(ELabel(1)), variable: None });
-        q.add_edge(QueryEdge { from: 2, to: 1, label: Some(ELabel(2)), variable: None });
+        q.add_edge(QueryEdge {
+            from: 0,
+            to: 1,
+            label: Some(ELabel(0)),
+            variable: None,
+        });
+        q.add_edge(QueryEdge {
+            from: 0,
+            to: 2,
+            label: Some(ELabel(1)),
+            variable: None,
+        });
+        q.add_edge(QueryEdge {
+            from: 2,
+            to: 1,
+            label: Some(ELabel(2)),
+            variable: None,
+        });
         q
     }
 
@@ -181,7 +196,12 @@ mod tests {
             q.add_vertex(QueryVertex::variable(format!("v{i}"), vec![]));
         }
         for i in 1..4 {
-            q.add_edge(QueryEdge { from: 0, to: i, label: Some(ELabel(0)), variable: None });
+            q.add_edge(QueryEdge {
+                from: 0,
+                to: i,
+                label: Some(ELabel(0)),
+                variable: None,
+            });
         }
         let t = QueryTree::build(&q, 0);
         assert!(t.non_tree_edges.is_empty());
@@ -198,7 +218,12 @@ mod tests {
             q.add_vertex(QueryVertex::variable(format!("v{i}"), vec![]));
         }
         for i in 0..3 {
-            q.add_edge(QueryEdge { from: i, to: i + 1, label: Some(ELabel(0)), variable: None });
+            q.add_edge(QueryEdge {
+                from: i,
+                to: i + 1,
+                label: Some(ELabel(0)),
+                variable: None,
+            });
         }
         let t = QueryTree::build(&q, 0);
         assert_eq!(t.depth(3), Some(3));
@@ -211,7 +236,12 @@ mod tests {
     fn self_loop_is_a_non_tree_edge() {
         let mut q = QueryGraph::new();
         q.add_vertex(QueryVertex::blank());
-        q.add_edge(QueryEdge { from: 0, to: 0, label: Some(ELabel(0)), variable: None });
+        q.add_edge(QueryEdge {
+            from: 0,
+            to: 0,
+            label: Some(ELabel(0)),
+            variable: None,
+        });
         let t = QueryTree::build(&q, 0);
         assert!(t.spans(&q));
         assert_eq!(t.non_tree_edges, vec![0]);

@@ -73,7 +73,8 @@ mod tests {
     fn result_len_tracks_solution_count() {
         let mut r = MatchResult::default();
         assert!(r.is_empty());
-        r.solutions.push(Solution::from_vertices(vec![Some(VertexId(0))], 0));
+        r.solutions
+            .push(Solution::from_vertices(vec![Some(VertexId(0))], 0));
         r.solution_count = 1;
         assert_eq!(r.len(), 1);
         assert!(!r.is_empty());

@@ -69,10 +69,9 @@ pub fn enumerate_start_vertices(
     let base: Vec<VertexId> = if let Some(bound) = qv.bound {
         vec![bound]
     } else if !qv.labels.is_empty() {
-        match data.inverse_labels.vertices_with_all_labels(&qv.labels) {
-            Some(v) => v,
-            None => Vec::new(),
-        }
+        data.inverse_labels
+            .vertices_with_all_labels(&qv.labels)
+            .unwrap_or_default()
     } else {
         // No label, no ID: take the most selective constant-predicate
         // incidence list, or every vertex as a last resort.
@@ -80,7 +79,7 @@ pub fn enumerate_start_vertices(
         for &(ei, dir) in query.graph.incident_edges(u) {
             if let Some(el) = query.graph.edge(ei).label {
                 let endpoints = data.predicates.endpoints(el, dir);
-                if best.as_ref().map_or(true, |b| endpoints.len() < b.len()) {
+                if best.as_ref().is_none_or(|b| endpoints.len() < b.len()) {
                     best = Some(endpoints.to_vec());
                 }
             }

@@ -189,39 +189,38 @@ impl<'a> SubgraphSearcher<'a> {
         // Candidate narrowing: with +INT intersect the candidate list with
         // every constraint adjacency list at once; without it, probe each
         // candidate against each constraint individually.
-        let candidates: Vec<VertexId> = if self.config.optimizations.intersection_joinable
-            && !constraints.is_empty()
-        {
-            self.stats.intersection_ops += 1;
-            let u_labels = &self.query.graph.vertex(u).labels;
-            let mut owned: Vec<Vec<VertexId>> = Vec::new();
-            let mut slices: Vec<&[VertexId]> = vec![base];
-            for c in &constraints {
-                match c.label {
-                    Some(el) => {
-                        if u_labels.len() == 1 {
-                            slices.push(self.data.graph.neighbors_typed(
-                                c.matched,
-                                c.direction,
-                                el,
-                                u_labels[0],
-                            ));
-                        } else {
-                            slices.push(self.data.graph.neighbors(c.matched, c.direction, el));
+        let candidates: Vec<VertexId> =
+            if self.config.optimizations.intersection_joinable && !constraints.is_empty() {
+                self.stats.intersection_ops += 1;
+                let u_labels = &self.query.graph.vertex(u).labels;
+                let mut owned: Vec<Vec<VertexId>> = Vec::new();
+                let mut slices: Vec<&[VertexId]> = vec![base];
+                for c in &constraints {
+                    match c.label {
+                        Some(el) => {
+                            if u_labels.len() == 1 {
+                                slices.push(self.data.graph.neighbors_typed(
+                                    c.matched,
+                                    c.direction,
+                                    el,
+                                    u_labels[0],
+                                ));
+                            } else {
+                                slices.push(self.data.graph.neighbors(c.matched, c.direction, el));
+                            }
+                        }
+                        None => {
+                            owned.push(self.data.graph.all_neighbors(c.matched, c.direction));
                         }
                     }
-                    None => {
-                        owned.push(self.data.graph.all_neighbors(c.matched, c.direction));
-                    }
                 }
-            }
-            for o in &owned {
-                slices.push(o.as_slice());
-            }
-            ops::intersect_k(&slices)
-        } else {
-            base.to_vec()
-        };
+                for o in &owned {
+                    slices.push(o.as_slice());
+                }
+                ops::intersect_k(&slices)
+            } else {
+                base.to_vec()
+            };
 
         let mut emitted = 0usize;
         for v in candidates {
@@ -281,10 +280,9 @@ impl<'a> SubgraphSearcher<'a> {
         candidate: VertexId,
     ) -> bool {
         match label {
-            Some(el) => ops::contains_sorted(
-                self.data.graph.neighbors(from, direction, el),
-                candidate,
-            ),
+            Some(el) => {
+                ops::contains_sorted(self.data.graph.neighbors(from, direction, el), candidate)
+            }
             None => {
                 let (s, o) = match direction {
                     Direction::Outgoing => (from, candidate),
@@ -338,7 +336,11 @@ impl<'a> SubgraphSearcher<'a> {
                 }
             }
         }
-        let combinations: usize = variable_edges.iter().map(|(_, l)| l.len()).product::<usize>().max(1);
+        let combinations: usize = variable_edges
+            .iter()
+            .map(|(_, l)| l.len())
+            .product::<usize>()
+            .max(1);
 
         let remaining = self
             .config
@@ -355,7 +357,11 @@ impl<'a> SubgraphSearcher<'a> {
 
         self.solution_count += to_emit;
         self.stats.solutions += to_emit;
-        if self.config.max_solutions.map_or(false, |m| self.solution_count >= m) {
+        if self
+            .config
+            .max_solutions
+            .is_some_and(|m| self.solution_count >= m)
+        {
             self.limit_reached = true;
         }
         if self.config.count_only {
@@ -427,7 +433,8 @@ mod tests {
         let mut order: Option<MatchingOrder> = None;
         for &start in &sel.start_vertices {
             stats.candidate_regions += 1;
-            let Some(region) = explore_candidate_region(data, config, &tq, &tree, start, &mut stats)
+            let Some(region) =
+                explore_candidate_region(data, config, &tq, &tree, start, &mut stats)
             else {
                 continue;
             };
@@ -443,7 +450,7 @@ mod tests {
             total += searcher.solution_count;
             solutions.extend(searcher.solutions);
             stats.merge(&searcher.stats);
-            if config.max_solutions.map_or(false, |m| total >= m) {
+            if config.max_solutions.is_some_and(|m| total >= m) {
                 break;
             }
         }
@@ -575,8 +582,7 @@ mod tests {
             &TurboHomConfig::default(),
         );
         assert_eq!(count, 2);
-        let labels: HashSet<Option<ELabel>> =
-            solutions.iter().map(|s| s.edge_labels[0]).collect();
+        let labels: HashSet<Option<ELabel>> = solutions.iter().map(|s| s.edge_labels[0]).collect();
         assert_eq!(labels.len(), 2);
         assert!(labels.iter().all(|l| l.is_some()));
     }

@@ -93,7 +93,11 @@ impl BsbmGenerator {
         for t in 0..6 {
             let ty = voc(&format!("ProductType{t}"));
             ds.insert(&ty, &rdf_type, &voc("ProductType"));
-            ds.insert(&ty, &Term::iri(vocab::RDFS_SUBCLASSOF), &voc("ProductTypeRoot"));
+            ds.insert(
+                &ty,
+                &Term::iri(vocab::RDFS_SUBCLASSOF),
+                &voc("ProductTypeRoot"),
+            );
         }
 
         // Features.
@@ -111,7 +115,11 @@ impl BsbmGenerator {
         for p in 0..producers {
             let producer = inst(&format!("Producer{p}"));
             ds.insert(&producer, &rdf_type, &voc("Producer"));
-            ds.insert(&producer, &voc("label"), &Term::literal(format!("Producer {p}")));
+            ds.insert(
+                &producer,
+                &voc("label"),
+                &Term::literal(format!("Producer {p}")),
+            );
             ds.insert(
                 &producer,
                 &voc("country"),
@@ -123,7 +131,11 @@ impl BsbmGenerator {
         for v in 0..vendors {
             let vendor = inst(&format!("Vendor{v}"));
             ds.insert(&vendor, &rdf_type, &voc("Vendor"));
-            ds.insert(&vendor, &voc("label"), &Term::literal(format!("Vendor {v}")));
+            ds.insert(
+                &vendor,
+                &voc("label"),
+                &Term::literal(format!("Vendor {v}")),
+            );
             ds.insert(
                 &vendor,
                 &voc("country"),
@@ -135,7 +147,11 @@ impl BsbmGenerator {
         for r in 0..reviewers {
             let reviewer = inst(&format!("Reviewer{r}"));
             ds.insert(&reviewer, &rdf_type, &voc("Person"));
-            ds.insert(&reviewer, &voc("name"), &Term::literal(format!("Reviewer {r}")));
+            ds.insert(
+                &reviewer,
+                &voc("name"),
+                &Term::literal(format!("Reviewer {r}")),
+            );
             ds.insert(
                 &reviewer,
                 &voc("country"),
@@ -144,15 +160,13 @@ impl BsbmGenerator {
         }
 
         // Products, offers, reviews.
-        let adjectives = ["great", "solid", "cheap", "premium", "classic", "alpha", "omega"];
+        let adjectives = [
+            "great", "solid", "cheap", "premium", "classic", "alpha", "omega",
+        ];
         for i in 0..products {
             let product = inst(&format!("Product{i}"));
             ds.insert(&product, &rdf_type, &voc("Product"));
-            ds.insert(
-                &product,
-                &rdf_type,
-                &voc(&format!("ProductType{}", i % 6)),
-            );
+            ds.insert(&product, &rdf_type, &voc(&format!("ProductType{}", i % 6)));
             ds.insert(
                 &product,
                 &voc("label"),
@@ -170,11 +184,27 @@ impl BsbmGenerator {
             let feature_count = 3 + rng.gen_range(0..3);
             for _ in 0..feature_count {
                 let f = rng.gen_range(0..cfg.features);
-                ds.insert(&product, &voc("productFeature"), &inst(&format!("ProductFeature{f}")));
+                ds.insert(
+                    &product,
+                    &voc("productFeature"),
+                    &inst(&format!("ProductFeature{f}")),
+                );
             }
-            ds.insert(&product, &voc("propertyNum1"), &Term::integer(rng.gen_range(1..2000)));
-            ds.insert(&product, &voc("propertyNum2"), &Term::integer(rng.gen_range(1..2000)));
-            ds.insert(&product, &voc("propertyNum3"), &Term::integer(rng.gen_range(1..2000)));
+            ds.insert(
+                &product,
+                &voc("propertyNum1"),
+                &Term::integer(rng.gen_range(1..2000)),
+            );
+            ds.insert(
+                &product,
+                &voc("propertyNum2"),
+                &Term::integer(rng.gen_range(1..2000)),
+            );
+            ds.insert(
+                &product,
+                &voc("propertyNum3"),
+                &Term::integer(rng.gen_range(1..2000)),
+            );
             // 70 % of the products have a text property (used by OPTIONAL queries).
             if rng.gen_ratio(7, 10) {
                 ds.insert(
@@ -194,7 +224,11 @@ impl BsbmGenerator {
                     &voc("vendor"),
                     &inst(&format!("Vendor{}", rng.gen_range(0..vendors))),
                 );
-                ds.insert(&offer, &voc("price"), &Term::double(rng.gen_range(10.0..5000.0)));
+                ds.insert(
+                    &offer,
+                    &voc("price"),
+                    &Term::double(rng.gen_range(10.0..5000.0)),
+                );
                 ds.insert(
                     &offer,
                     &voc("deliveryDays"),
@@ -218,7 +252,11 @@ impl BsbmGenerator {
                     &Term::literal(format!("review {k} of product {i}")),
                 );
                 if rng.gen_ratio(3, 5) {
-                    ds.insert(&review, &voc("rating1"), &Term::integer(rng.gen_range(1..=10)));
+                    ds.insert(
+                        &review,
+                        &voc("rating1"),
+                        &Term::integer(rng.gen_range(1..=10)),
+                    );
                 }
             }
         }
@@ -369,7 +407,10 @@ mod tests {
     #[test]
     fn products_have_numeric_properties() {
         let ds = BsbmGenerator::new(BsbmConfig::scale(1)).generate();
-        let p1 = ds.dictionary.id_of_iri(&format!("{BSBM}propertyNum1")).unwrap();
+        let p1 = ds
+            .dictionary
+            .id_of_iri(&format!("{BSBM}propertyNum1"))
+            .unwrap();
         assert_eq!(ds.count_predicate(p1), BsbmConfig::scale(1).products());
     }
 

@@ -112,11 +112,7 @@ impl BtcGenerator {
                 &Term::iri(vocab::RDFS_LABEL),
                 &Term::literal(format!("Place number {p}")),
             );
-            ds.insert(
-                &place,
-                &dbo("country"),
-                &dbr(&format!("Country{}", p % 12)),
-            );
+            ds.insert(&place, &dbo("country"), &dbr(&format!("Country{}", p % 12)));
         }
 
         // FOAF profiles: irregular — not everyone has every property, a third
@@ -126,7 +122,11 @@ impl BtcGenerator {
             if i % 3 != 0 {
                 ds.insert(&p, &rdf_type, &foaf("Person"));
             }
-            ds.insert(&p, &foaf("name"), &Term::literal(format!("Crawled Person {i}")));
+            ds.insert(
+                &p,
+                &foaf("name"),
+                &Term::literal(format!("Crawled Person {i}")),
+            );
             if rng.gen_ratio(2, 3) {
                 ds.insert(
                     &p,
@@ -161,7 +161,11 @@ impl BtcGenerator {
                 );
             }
             if rng.gen_ratio(1, 6) {
-                ds.insert(&p, &dbo("occupation"), &dbr(&format!("Occupation{}", i % 9)));
+                ds.insert(
+                    &p,
+                    &dbo("occupation"),
+                    &dbr(&format!("Occupation{}", i % 9)),
+                );
             }
         }
 

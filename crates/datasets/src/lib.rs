@@ -36,7 +36,11 @@ pub struct BenchmarkQuery {
 
 impl BenchmarkQuery {
     /// Creates a benchmark query.
-    pub fn new(id: impl Into<String>, description: impl Into<String>, sparql: impl Into<String>) -> Self {
+    pub fn new(
+        id: impl Into<String>,
+        description: impl Into<String>,
+        sparql: impl Into<String>,
+    ) -> Self {
         BenchmarkQuery {
             id: id.into(),
             description: description.into(),

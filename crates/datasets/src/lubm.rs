@@ -132,9 +132,7 @@ impl LubmGenerator {
                 // that Department0.University0 is byte-identical across scale
                 // factors — which is what keeps the "constant solution
                 // queries" constant, exactly as in the original generator.
-                let mut rng = ChaCha8Rng::seed_from_u64(
-                    cfg.seed ^ ((u as u64) << 20) ^ (d as u64),
-                );
+                let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ ((u as u64) << 20) ^ (d as u64));
                 self.generate_department(&mut ds, &mut rng, u, d);
             }
         }
@@ -234,9 +232,11 @@ impl LubmGenerator {
             let c = &courses[p % courses.len()];
             ds.insert(&prof, &ub("teacherOf"), c);
             taught_by.push((c.clone(), prof.clone()));
-            let gc = &grad_courses[p % grad_courses.len()];
-            ds.insert(&prof, &ub("teacherOf"), gc);
-            taught_by.push((gc.clone(), prof.clone()));
+            if !grad_courses.is_empty() {
+                let gc = &grad_courses[p % grad_courses.len()];
+                ds.insert(&prof, &ub("teacherOf"), gc);
+                taught_by.push((gc.clone(), prof.clone()));
+            }
             // Publications.
             for k in 0..cfg.publications_per_professor {
                 let publication = entity_iri(u, d, &format!("Publication{p}_{k}"));
@@ -309,6 +309,17 @@ impl LubmGenerator {
             if cfg.with_inference {
                 ds.insert(&university_iri(degree_univ), &ub("hasAlumnus"), &student);
             }
+            // Every graduate student takes an "assigned" graduate course,
+            // spreading students across courses the way the original
+            // generator does — this keeps every graduate course populated,
+            // so Q1's solution set is nonempty and constant across scales.
+            if !grad_courses.is_empty() {
+                ds.insert(
+                    &student,
+                    &ub("takesCourse"),
+                    &grad_courses[s % grad_courses.len()],
+                );
+            }
             // Advisor and courses; with probability ~1/3 the student takes a
             // course taught by the advisor (which is what gives Q9 solutions).
             let advisor = &professors[rng.gen_range(0..professors.len())];
@@ -320,11 +331,15 @@ impl LubmGenerator {
                 .collect();
             for _ in 0..2 {
                 let course = if !advisor_courses.is_empty() && rng.gen_ratio(1, 3) {
-                    advisor_courses[rng.gen_range(0..advisor_courses.len())].clone()
+                    Some(advisor_courses[rng.gen_range(0..advisor_courses.len())].clone())
+                } else if !grad_courses.is_empty() {
+                    Some(grad_courses[rng.gen_range(0..grad_courses.len())].clone())
                 } else {
-                    grad_courses[rng.gen_range(0..grad_courses.len())].clone()
+                    None
                 };
-                ds.insert(&student, &ub("takesCourse"), &course);
+                if let Some(course) = course {
+                    ds.insert(&student, &ub("takesCourse"), &course);
+                }
             }
             // One in four graduate students is a teaching assistant.
             if rng.gen_ratio(1, 4) {
@@ -488,7 +503,10 @@ mod tests {
     fn triple_count_scales_roughly_linearly() {
         let one = LubmGenerator::new(LubmConfig::scale(1)).generate().len();
         let four = LubmGenerator::new(LubmConfig::scale(4)).generate().len();
-        assert!(four > 3 * one, "scale 4 ({four}) should be ≈4× scale 1 ({one})");
+        assert!(
+            four > 3 * one,
+            "scale 4 ({four}) should be ≈4× scale 1 ({one})"
+        );
         assert!(four < 5 * one);
     }
 
@@ -552,12 +570,18 @@ mod tests {
             ..LubmConfig::scale(1)
         };
         let ds = LubmGenerator::new(cfg).generate();
-        assert!(ds.dictionary.id_of_iri(&format!("{UB}hasAlumnus")).is_none());
+        assert!(ds
+            .dictionary
+            .id_of_iri(&format!("{UB}hasAlumnus"))
+            .is_none());
         assert!(ds.dictionary.id_of_iri(&format!("{UB}Chair")).is_some()); // schema triple only
         let chair = ds.dictionary.id_of_iri(&format!("{UB}Chair")).unwrap();
         let rdf_type = ds.rdf_type_id().unwrap();
         assert_eq!(
-            ds.triples.iter().filter(|t| t.p == rdf_type && t.o == chair).count(),
+            ds.triples
+                .iter()
+                .filter(|t| t.p == rdf_type && t.o == chair)
+                .count(),
             0
         );
     }

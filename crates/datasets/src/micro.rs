@@ -105,15 +105,27 @@ pub fn figure2_query() -> BenchmarkQuery {
 /// illustrate the transformations).
 pub fn figure3() -> Dataset {
     let mut ds = Dataset::new();
-    ds.insert(&ex("student1"), &Term::iri(vocab::RDF_TYPE), &ex("GraduateStudent"));
+    ds.insert(
+        &ex("student1"),
+        &Term::iri(vocab::RDF_TYPE),
+        &ex("GraduateStudent"),
+    );
     ds.insert(
         &ex("GraduateStudent"),
         &Term::iri(vocab::RDFS_SUBCLASSOF),
         &ex("Student"),
     );
     ds.insert(&ex("univ1"), &Term::iri(vocab::RDF_TYPE), &ex("University"));
-    ds.insert(&ex("dept1.univ1"), &Term::iri(vocab::RDF_TYPE), &ex("Department"));
-    ds.insert(&ex("student1"), &ex("undergraduateDegreeFrom"), &ex("univ1"));
+    ds.insert(
+        &ex("dept1.univ1"),
+        &Term::iri(vocab::RDF_TYPE),
+        &ex("Department"),
+    );
+    ds.insert(
+        &ex("student1"),
+        &ex("undergraduateDegreeFrom"),
+        &ex("univ1"),
+    );
     ds.insert(&ex("student1"), &ex("memberOf"), &ex("dept1.univ1"));
     ds.insert(&ex("dept1.univ1"), &ex("subOrganizationOf"), &ex("univ1"));
     ds.insert(

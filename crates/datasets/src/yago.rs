@@ -110,7 +110,11 @@ impl YagoGenerator {
         for u in 0..universities {
             let uni = res(&format!("University_{u}"));
             ds.insert(&uni, &rdf_type, &res("University"));
-            ds.insert(&uni, &res("locatedIn"), &res(&format!("City_{}", u % cities)));
+            ds.insert(
+                &uni,
+                &res("locatedIn"),
+                &res(&format!("City_{}", u % cities)),
+            );
         }
         for p in 0..prizes {
             ds.insert(&res(&format!("Prize_{p}")), &rdf_type, &res("Prize"));
@@ -156,7 +160,11 @@ impl YagoGenerator {
             if rng.gen_ratio(1, 5) {
                 let spouse = rng.gen_range(0..persons);
                 if spouse != p {
-                    ds.insert(&person, &res("marriedTo"), &res(&format!("Person_{spouse}")));
+                    ds.insert(
+                        &person,
+                        &res("marriedTo"),
+                        &res(&format!("Person_{spouse}")),
+                    );
                 }
             }
             match profession {
@@ -169,14 +177,12 @@ impl YagoGenerator {
                         );
                     }
                 }
-                "Writer" => {
-                    if rng.gen_ratio(1, 2) {
-                        ds.insert(
-                            &person,
-                            &res("directed"),
-                            &res(&format!("Movie_{}", rng.gen_range(0..movies))),
-                        );
-                    }
+                "Writer" if rng.gen_ratio(1, 2) => {
+                    ds.insert(
+                        &person,
+                        &res("directed"),
+                        &res(&format!("Movie_{}", rng.gen_range(0..movies))),
+                    );
                 }
                 _ => {}
             }
@@ -205,9 +211,8 @@ fn skewed_index(rng: &mut ChaCha8Rng, n: usize) -> usize {
 
 /// The 8 YAGO-style benchmark queries.
 pub fn queries() -> Vec<BenchmarkQuery> {
-    let prologue = format!(
-        "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\nPREFIX y: <{Y}>\n"
-    );
+    let prologue =
+        format!("PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\nPREFIX y: <{Y}>\n");
     let q = |id: &str, desc: &str, body: &str| {
         BenchmarkQuery::new(id, desc, format!("{prologue}{body}"))
     };

@@ -418,7 +418,9 @@ impl<'s> PreparedQuery<'s> {
                 self.store
                     .run_turbohom(&self.query, TurboHomConfig::turbohom(), true)
             }
-            EngineKind::MergeJoin => Ok(self.store.run_baseline(&self.query, JoinStrategy::SortMerge)),
+            EngineKind::MergeJoin => Ok(self
+                .store
+                .run_baseline(&self.query, JoinStrategy::SortMerge)),
             EngineKind::HashJoin => Ok(self.store.run_baseline(&self.query, JoinStrategy::Hash)),
         }
     }
@@ -434,11 +436,7 @@ fn branch_needs_direct(branch: &GroupPattern) -> bool {
         .iter()
         .any(|t| matches!(t.predicate, SparqlTerm::Variable(_)))
         || branch.optionals.iter().any(branch_needs_direct)
-        || branch
-            .unions
-            .iter()
-            .flatten()
-            .any(branch_needs_direct)
+        || branch.unions.iter().flatten().any(branch_needs_direct)
 }
 
 /// All FILTER expressions of a branch, including those inside OPTIONALs
@@ -463,7 +461,7 @@ fn split_components(branch: &GroupPattern) -> Vec<GroupPattern> {
     // Union-find over the term keys of the required triples.
     let mut keys: Vec<String> = Vec::new();
     let mut parents: Vec<usize> = Vec::new();
-    fn find(parents: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parents: &mut [usize], mut x: usize) -> usize {
         while parents[x] != x {
             parents[x] = parents[parents[x]];
             x = parents[x];
@@ -491,7 +489,11 @@ fn split_components(branch: &GroupPattern) -> Vec<GroupPattern> {
             key_index(&mut keys, &mut parents, term_key(&triple.object)),
         ];
         if triple.predicate.is_variable() {
-            nodes.push(key_index(&mut keys, &mut parents, term_key(&triple.predicate)));
+            nodes.push(key_index(
+                &mut keys,
+                &mut parents,
+                term_key(&triple.predicate),
+            ));
         }
         let root = find(&mut parents, nodes[0]);
         for &n in &nodes[1..] {
@@ -511,12 +513,13 @@ fn split_components(branch: &GroupPattern) -> Vec<GroupPattern> {
     if distinct_roots.len() <= 1 {
         return vec![branch.clone()];
     }
-    let mut components: Vec<GroupPattern> = distinct_roots
-        .iter()
-        .map(|_| GroupPattern::new())
-        .collect();
+    let mut components: Vec<GroupPattern> =
+        distinct_roots.iter().map(|_| GroupPattern::new()).collect();
     for (triple, root) in branch.triples.iter().zip(&roots) {
-        let idx = distinct_roots.iter().position(|r| r == root).expect("root present");
+        let idx = distinct_roots
+            .iter()
+            .position(|r| r == root)
+            .expect("root present");
         components[idx].triples.push(triple.clone());
     }
     // Attach each OPTIONAL to the first component sharing a variable.
@@ -545,7 +548,11 @@ mod tests {
 
     fn sample_store() -> Store {
         let mut ds = Dataset::new();
-        ds.insert_iris(&ub("GraduateStudent"), vocab::RDFS_SUBCLASSOF, &ub("Student"));
+        ds.insert_iris(
+            &ub("GraduateStudent"),
+            vocab::RDFS_SUBCLASSOF,
+            &ub("Student"),
+        );
         for i in 0..3 {
             let s = ub(&format!("student{i}"));
             ds.insert_iris(&s, vocab::RDF_TYPE, &ub("GraduateStudent"));
@@ -585,7 +592,13 @@ mod tests {
         let q = r#"PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
                    PREFIX ub: <http://ub.org/>
                    SELECT ?x WHERE { ?x rdf:type ub:Student . }"#;
-        assert_eq!(store.execute(q, EngineKind::TurboHomPlusPlus).unwrap().len(), 3);
+        assert_eq!(
+            store
+                .execute(q, EngineKind::TurboHomPlusPlus)
+                .unwrap()
+                .len(),
+            3
+        );
         assert_eq!(store.execute(q, EngineKind::MergeJoin).unwrap().len(), 3);
     }
 

@@ -186,7 +186,11 @@ fn build_direction(
                 let start = typed_targets.len() as u32;
                 typed_targets.extend_from_slice(&ts);
                 let end = typed_targets.len() as u32;
-                type_groups.push(TypeGroup { vlabel: vl, start, end });
+                type_groups.push(TypeGroup {
+                    vlabel: vl,
+                    start,
+                    end,
+                });
             }
             let type_end = type_groups.len() as u32;
 

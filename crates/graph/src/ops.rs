@@ -219,8 +219,12 @@ mod tests {
             x
         };
         for _ in 0..50 {
-            let mut a: Vec<VertexId> = (0..(next() % 200)).map(|_| VertexId((next() % 500) as u32)).collect();
-            let mut b: Vec<VertexId> = (0..(next() % 40)).map(|_| VertexId((next() % 500) as u32)).collect();
+            let mut a: Vec<VertexId> = (0..(next() % 200))
+                .map(|_| VertexId((next() % 500) as u32))
+                .collect();
+            let mut b: Vec<VertexId> = (0..(next() % 40))
+                .map(|_| VertexId((next() % 500) as u32))
+                .collect();
             canonicalize(&mut a);
             canonicalize(&mut b);
             assert_eq!(intersect_adaptive(&a, &b), intersect_merge(&a, &b));

@@ -171,7 +171,11 @@ impl QueryGraph {
         u: usize,
     ) -> impl Iterator<Item = (Direction, Option<ELabel>, &[VLabel])> + '_ {
         self.neighbors(u).map(move |(other, ei, dir)| {
-            (dir, self.edges[ei].label, self.vertices[other].labels.as_slice())
+            (
+                dir,
+                self.edges[ei].label,
+                self.vertices[other].labels.as_slice(),
+            )
         })
     }
 
@@ -286,11 +290,9 @@ mod tests {
         let q = figure8_query();
         let cons: Vec<_> = q.neighbor_constraints(0).collect();
         assert_eq!(cons.len(), 2);
-        assert!(cons
-            .iter()
-            .any(|(d, el, ls)| *d == Direction::Outgoing
-                && *el == Some(ELabel(0))
-                && *ls == [VLabel(2)]));
+        assert!(cons.iter().any(|(d, el, ls)| *d == Direction::Outgoing
+            && *el == Some(ELabel(0))
+            && *ls == [VLabel(2)]));
     }
 
     #[test]

@@ -162,7 +162,7 @@ mod tests {
     #[test]
     fn decode_round_trips() {
         let mut d = Dictionary::new();
-        let terms = vec![
+        let terms = [
             Term::iri("http://ex.org/a"),
             Term::literal("hello"),
             Term::typed_literal("3", crate::vocab::XSD_INTEGER),

@@ -137,8 +137,12 @@ impl InferenceEngine {
         let subpropertyof = dataset
             .dictionary
             .encode_owned(Term::iri(vocab::RDFS_SUBPROPERTYOF));
-        let domain = dataset.dictionary.encode_owned(Term::iri(vocab::RDFS_DOMAIN));
-        let range = dataset.dictionary.encode_owned(Term::iri(vocab::RDFS_RANGE));
+        let domain = dataset
+            .dictionary
+            .encode_owned(Term::iri(vocab::RDFS_DOMAIN));
+        let range = dataset
+            .dictionary
+            .encode_owned(Term::iri(vocab::RDFS_RANGE));
 
         // ---- 1. Hierarchy closures (rdfs11 / rdfs5) --------------------
         let subclass_closure = if self.config.class_hierarchy {
@@ -311,12 +315,20 @@ mod tests {
     fn schema_dataset() -> Dataset {
         let mut ds = Dataset::new();
         // Class hierarchy: FullProfessor ⊑ Professor ⊑ Faculty ⊑ Person
-        ds.insert_iris(&iri("FullProfessor"), vocab::RDFS_SUBCLASSOF, &iri("Professor"));
+        ds.insert_iris(
+            &iri("FullProfessor"),
+            vocab::RDFS_SUBCLASSOF,
+            &iri("Professor"),
+        );
         ds.insert_iris(&iri("Professor"), vocab::RDFS_SUBCLASSOF, &iri("Faculty"));
         ds.insert_iris(&iri("Faculty"), vocab::RDFS_SUBCLASSOF, &iri("Person"));
         // Property hierarchy: headOf ⊑ worksFor ⊑ memberOf
         ds.insert_iris(&iri("headOf"), vocab::RDFS_SUBPROPERTYOF, &iri("worksFor"));
-        ds.insert_iris(&iri("worksFor"), vocab::RDFS_SUBPROPERTYOF, &iri("memberOf"));
+        ds.insert_iris(
+            &iri("worksFor"),
+            vocab::RDFS_SUBPROPERTYOF,
+            &iri("memberOf"),
+        );
         // Domain and range of teacherOf.
         ds.insert_iris(&iri("teacherOf"), vocab::RDFS_DOMAIN, &iri("Faculty"));
         ds.insert_iris(&iri("teacherOf"), vocab::RDFS_RANGE, &iri("Course"));
@@ -372,8 +384,16 @@ mod tests {
     #[test]
     fn domain_derived_types_are_also_inherited() {
         let mut ds = Dataset::new();
-        ds.insert_iris(&iri("GraduateCourse"), vocab::RDFS_SUBCLASSOF, &iri("Course"));
-        ds.insert_iris(&iri("takesGradCourse"), vocab::RDFS_RANGE, &iri("GraduateCourse"));
+        ds.insert_iris(
+            &iri("GraduateCourse"),
+            vocab::RDFS_SUBCLASSOF,
+            &iri("Course"),
+        );
+        ds.insert_iris(
+            &iri("takesGradCourse"),
+            vocab::RDFS_RANGE,
+            &iri("GraduateCourse"),
+        );
         ds.insert_iris(&iri("s1"), &iri("takesGradCourse"), &iri("c1"));
         InferenceEngine::default().materialize(&mut ds);
         assert!(has_type(&ds, "c1", "GraduateCourse"));

@@ -103,7 +103,9 @@ impl<'a> Cursor<'a> {
     }
 
     fn rest(&self) -> String {
-        self.chars[self.pos.min(self.chars.len())..].iter().collect()
+        self.chars[self.pos.min(self.chars.len())..]
+            .iter()
+            .collect()
     }
 
     fn skip_ws(&mut self) {
@@ -341,11 +343,8 @@ mod tests {
         let back = parse_ntriples(&text).unwrap();
         assert_eq!(back.len(), ds.len());
         // Every original triple must exist in the re-parsed dataset (compare decoded).
-        let decoded_back: std::collections::HashSet<_> = back
-            .triples
-            .iter()
-            .map(|t| back.decode(t))
-            .collect();
+        let decoded_back: std::collections::HashSet<_> =
+            back.triples.iter().map(|t| back.decode(t)).collect();
         for t in ds.triples.iter() {
             assert!(decoded_back.contains(&ds.decode(t)));
         }

@@ -141,7 +141,12 @@ impl Term {
             Term::Iri(iri) => {
                 if iri.is_empty()
                     || iri.chars().any(|c| {
-                        c.is_whitespace() || c == '<' || c == '>' || c == '"' || c == '{' || c == '}'
+                        c.is_whitespace()
+                            || c == '<'
+                            || c == '>'
+                            || c == '"'
+                            || c == '{'
+                            || c == '}'
                     })
                 {
                     Err(RdfError::InvalidIri(iri.clone()))
@@ -222,7 +227,10 @@ mod tests {
 
     #[test]
     fn iri_display_is_angle_bracketed() {
-        assert_eq!(Term::iri("http://ex.org/a").to_string(), "<http://ex.org/a>");
+        assert_eq!(
+            Term::iri("http://ex.org/a").to_string(),
+            "<http://ex.org/a>"
+        );
     }
 
     #[test]
@@ -238,10 +246,7 @@ mod tests {
     #[test]
     fn typed_literal_display() {
         let t = Term::typed_literal("42", vocab::XSD_INTEGER);
-        assert_eq!(
-            t.to_string(),
-            format!("\"42\"^^<{}>", vocab::XSD_INTEGER)
-        );
+        assert_eq!(t.to_string(), format!("\"42\"^^<{}>", vocab::XSD_INTEGER));
     }
 
     #[test]

@@ -235,7 +235,9 @@ mod tests {
 
     #[test]
     fn store_from_iterator() {
-        let s: TripleStore = (0..5).map(|i| Triple::new(id(i), id(100), id(i + 1))).collect();
+        let s: TripleStore = (0..5)
+            .map(|i| Triple::new(id(i), id(100), id(i + 1)))
+            .collect();
         assert_eq!(s.len(), 5);
         assert!(s.contains(&Triple::new(id(3), id(100), id(4))));
     }

@@ -188,9 +188,7 @@ impl GroupPattern {
                     for branch_expanded in branch.expand_unions() {
                         let mut combined = partial.clone();
                         combined.triples.extend(branch_expanded.triples.clone());
-                        combined
-                            .optionals
-                            .extend(branch_expanded.optionals.clone());
+                        combined.optionals.extend(branch_expanded.optionals.clone());
                         combined.filters.extend(branch_expanded.filters.clone());
                         next.push(combined);
                     }
@@ -325,7 +323,11 @@ mod tests {
             b
         };
         g.unions.push(vec![branch("http://a"), branch("http://b")]);
-        g.unions.push(vec![branch("http://c"), branch("http://d"), branch("http://e")]);
+        g.unions.push(vec![
+            branch("http://c"),
+            branch("http://d"),
+            branch("http://e"),
+        ]);
         assert_eq!(g.expand_unions().len(), 6);
     }
 

@@ -202,7 +202,10 @@ impl Expression {
             }
             Expression::Not(e) => Value::Boolean(!e.evaluate(bindings).as_bool()),
             Expression::Arithmetic(a, op, b) => {
-                match (a.evaluate(bindings).as_number(), b.evaluate(bindings).as_number()) {
+                match (
+                    a.evaluate(bindings).as_number(),
+                    b.evaluate(bindings).as_number(),
+                ) {
                     (Some(x), Some(y)) => Value::Number(match op {
                         ArithOp::Add => x + y,
                         ArithOp::Sub => x - y,
@@ -404,7 +407,10 @@ mod tests {
     use super::*;
 
     fn ctx(pairs: &[(&str, Term)]) -> EvalContext {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
     }
 
     fn num(n: i64) -> Expression {
@@ -428,7 +434,10 @@ mod tests {
 
     #[test]
     fn string_comparison_falls_back_lexicographically() {
-        let bindings = ctx(&[("a", Term::literal("apple")), ("b", Term::literal("banana"))]);
+        let bindings = ctx(&[
+            ("a", Term::literal("apple")),
+            ("b", Term::literal("banana")),
+        ]);
         let e = Expression::Compare(Box::new(var("a")), CompareOp::Lt, Box::new(var("b")));
         assert!(e.evaluate_bool(&bindings));
         let eq = Expression::Compare(
@@ -548,7 +557,10 @@ mod tests {
     fn lang_and_datatype_accessors() {
         let bindings = ctx(&[
             ("l", Term::lang_literal("chat", "fr")),
-            ("d", Term::typed_literal("5", turbohom_rdf::vocab::XSD_INTEGER)),
+            (
+                "d",
+                Term::typed_literal("5", turbohom_rdf::vocab::XSD_INTEGER),
+            ),
             ("p", Term::literal("plain")),
         ]);
         let lang = Expression::Lang(Box::new(var("l"))).evaluate(&bindings);

@@ -200,9 +200,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn current_offset(&self) -> usize {
-        self.offsets.get(self.pos).copied().unwrap_or_else(|| {
-            self.offsets.last().map(|&o| o + 1).unwrap_or(0)
-        })
+        self.offsets
+            .get(self.pos)
+            .copied()
+            .unwrap_or_else(|| self.offsets.last().map(|&o| o + 1).unwrap_or(0))
     }
 
     fn peek(&self) -> Option<char> {
@@ -453,7 +454,10 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(ops, vec!["=", "!=", ">", ">=", "&&", "||", "!", "+", "-", "/"]);
+        assert_eq!(
+            ops,
+            vec!["=", "!=", ">", ">=", "&&", "||", "!", "+", "-", "/"]
+        );
         assert!(toks.contains(&TokenKind::Punct('*')));
     }
 

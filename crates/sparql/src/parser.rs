@@ -18,7 +18,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SPARQL parse error at offset {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "SPARQL parse error at offset {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -31,6 +35,9 @@ pub fn parse_query(input: &str) -> Result<Query, ParseError> {
         .map_err(|(message, offset)| ParseError { message, offset })?;
     Parser::new(tokens).parse()
 }
+
+/// Parsed solution modifiers: `ORDER BY` variables, `LIMIT`, `OFFSET`.
+type Modifiers = (Vec<String>, Option<usize>, Option<usize>);
 
 struct Parser {
     tokens: Vec<Token>,
@@ -58,7 +65,9 @@ impl Parser {
     }
 
     fn bump(&mut self) -> TokenKind {
-        let kind = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        let kind = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .kind
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -89,7 +98,10 @@ impl Parser {
         if self.eat_word(word) {
             Ok(())
         } else {
-            self.error(format!("expected keyword `{word}`, found `{}`", self.peek()))
+            self.error(format!(
+                "expected keyword `{word}`, found `{}`",
+                self.peek()
+            ))
         }
     }
 
@@ -148,7 +160,9 @@ impl Parser {
             if self.eat_word("BASE") {
                 match self.bump() {
                     TokenKind::Iri(_) => {}
-                    other => return self.error(format!("expected IRI after BASE, found `{other}`")),
+                    other => {
+                        return self.error(format!("expected IRI after BASE, found `{other}`"))
+                    }
                 }
                 continue;
             }
@@ -183,7 +197,7 @@ impl Parser {
         Ok(Selection::Variables(vars))
     }
 
-    fn parse_modifiers(&mut self) -> Result<(Vec<String>, Option<usize>, Option<usize>), ParseError> {
+    fn parse_modifiers(&mut self) -> Result<Modifiers, ParseError> {
         let mut order_by = Vec::new();
         let mut limit = None;
         let mut offset = None;
@@ -230,12 +244,10 @@ impl Parser {
 
     fn parse_unsigned(&mut self) -> Result<usize, ParseError> {
         match self.bump() {
-            TokenKind::Number(n) => n
-                .parse::<usize>()
-                .map_err(|_| ParseError {
-                    message: format!("expected a non-negative integer, found `{n}`"),
-                    offset: self.offset(),
-                }),
+            TokenKind::Number(n) => n.parse::<usize>().map_err(|_| ParseError {
+                message: format!("expected a non-negative integer, found `{n}`"),
+                offset: self.offset(),
+            }),
             other => self.error(format!("expected a number, found `{other}`")),
         }
     }
@@ -342,7 +354,9 @@ impl Parser {
                 let base = self.resolve_prefix(&prefix)?;
                 Ok(SparqlTerm::Constant(Term::Iri(format!("{base}{local}"))))
             }
-            TokenKind::StringLiteral(value) => Ok(SparqlTerm::Constant(self.finish_literal(value)?)),
+            TokenKind::StringLiteral(value) => {
+                Ok(SparqlTerm::Constant(self.finish_literal(value)?))
+            }
             TokenKind::Number(n) => Ok(SparqlTerm::Constant(number_literal(&n))),
             TokenKind::Word(w) if w.eq_ignore_ascii_case("true") => Ok(SparqlTerm::Constant(
                 Term::typed_literal("true", vocab::XSD_BOOLEAN),
@@ -377,10 +391,13 @@ impl Parser {
     }
 
     fn resolve_prefix(&self, prefix: &str) -> Result<String, ParseError> {
-        self.prefixes.get(prefix).cloned().ok_or_else(|| ParseError {
-            message: format!("undeclared prefix `{prefix}:`"),
-            offset: self.offset(),
-        })
+        self.prefixes
+            .get(prefix)
+            .cloned()
+            .ok_or_else(|| ParseError {
+                message: format!("undeclared prefix `{prefix}:`"),
+                offset: self.offset(),
+            })
     }
 
     // ---- expressions ------------------------------------------------------
@@ -537,7 +554,8 @@ impl Parser {
                 let pattern = match self.bump() {
                     TokenKind::StringLiteral(s) => s,
                     other => {
-                        return self.error(format!("expected REGEX pattern string, found `{other}`"))
+                        return self
+                            .error(format!("expected REGEX pattern string, found `{other}`"))
                     }
                 };
                 let flags = if self.eat_punct(',') {
@@ -559,7 +577,9 @@ impl Parser {
                 self.expect_punct('(')?;
                 let var = match self.bump() {
                     TokenKind::Variable(v) => v,
-                    other => return self.error(format!("expected variable in BOUND, found `{other}`")),
+                    other => {
+                        return self.error(format!("expected variable in BOUND, found `{other}`"))
+                    }
                 };
                 self.expect_punct(')')?;
                 Ok(Expression::Bound(var))
@@ -648,9 +668,18 @@ mod tests {
         )
         .unwrap();
         assert_eq!(q.pattern.triples.len(), 3);
-        assert_eq!(q.pattern.triples[0].predicate, SparqlTerm::iri(vocab::RDF_TYPE));
-        assert_eq!(q.pattern.triples[1].object, SparqlTerm::iri("http://ex.org/f1"));
-        assert_eq!(q.pattern.triples[2].object, SparqlTerm::iri("http://ex.org/f2"));
+        assert_eq!(
+            q.pattern.triples[0].predicate,
+            SparqlTerm::iri(vocab::RDF_TYPE)
+        );
+        assert_eq!(
+            q.pattern.triples[1].object,
+            SparqlTerm::iri("http://ex.org/f1")
+        );
+        assert_eq!(
+            q.pattern.triples[2].object,
+            SparqlTerm::iri("http://ex.org/f2")
+        );
         // All three share the same subject variable.
         for t in &q.pattern.triples {
             assert_eq!(t.subject, SparqlTerm::var("x"));
@@ -738,10 +767,9 @@ mod tests {
 
     #[test]
     fn parses_modifiers() {
-        let q = parse_query(
-            "SELECT ?s WHERE { ?s ?p ?o . } ORDER BY DESC(?s) ?o LIMIT 10 OFFSET 5",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT ?s WHERE { ?s ?p ?o . } ORDER BY DESC(?s) ?o LIMIT 10 OFFSET 5")
+                .unwrap();
         assert_eq!(q.order_by, vec!["s", "o"]);
         assert_eq!(q.limit, Some(10));
         assert_eq!(q.offset, Some(5));
@@ -773,7 +801,8 @@ mod tests {
 
     #[test]
     fn variable_predicate_is_allowed() {
-        let q = parse_query("SELECT ?p WHERE { <http://ex.org/s> ?p <http://ex.org/o> . }").unwrap();
+        let q =
+            parse_query("SELECT ?p WHERE { <http://ex.org/s> ?p <http://ex.org/o> . }").unwrap();
         assert!(q.pattern.triples[0].predicate.is_variable());
     }
 

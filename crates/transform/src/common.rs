@@ -2,9 +2,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use turbohom_graph::{
-    ELabel, InverseLabelIndex, LabeledGraph, PredicateIndex, VLabel, VertexId,
-};
+use turbohom_graph::{ELabel, InverseLabelIndex, LabeledGraph, PredicateIndex, VLabel, VertexId};
 use turbohom_rdf::TermId;
 
 /// Which transformation produced a [`TransformedGraph`].

@@ -49,10 +49,18 @@ mod tests {
         let mut ds = Dataset::new();
         let ub = |l: &str| format!("http://ub.org/{l}");
         ds.insert_iris(&ub("student1"), vocab::RDF_TYPE, &ub("GraduateStudent"));
-        ds.insert_iris(&ub("GraduateStudent"), vocab::RDFS_SUBCLASSOF, &ub("Student"));
+        ds.insert_iris(
+            &ub("GraduateStudent"),
+            vocab::RDFS_SUBCLASSOF,
+            &ub("Student"),
+        );
         ds.insert_iris(&ub("univ1"), vocab::RDF_TYPE, &ub("University"));
         ds.insert_iris(&ub("dept1.univ1"), vocab::RDF_TYPE, &ub("Department"));
-        ds.insert_iris(&ub("student1"), &ub("undergraduateDegreeFrom"), &ub("univ1"));
+        ds.insert_iris(
+            &ub("student1"),
+            &ub("undergraduateDegreeFrom"),
+            &ub("univ1"),
+        );
         ds.insert_iris(&ub("student1"), &ub("memberOf"), &ub("dept1.univ1"));
         ds.insert_iris(&ub("dept1.univ1"), &ub("subOrganizationOf"), &ub("univ1"));
         ds.insert(

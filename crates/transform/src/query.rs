@@ -66,11 +66,21 @@ struct VertexDraft {
     clause_set: bool,
 }
 
+/// Internal mutable draft of a query edge.
+#[derive(Debug, Clone)]
+struct EdgeDraft {
+    from: usize,
+    to: usize,
+    label: Option<ELabel>,
+    variable: Option<String>,
+    clause: Option<usize>,
+}
+
 struct QueryBuilder<'a> {
     data: &'a TransformedGraph,
     dictionary: &'a Dictionary,
     vertices: Vec<VertexDraft>,
-    edges: Vec<(usize, usize, Option<ELabel>, Option<String>, Option<usize>)>,
+    edges: Vec<EdgeDraft>,
     var_map: HashMap<String, usize>,
     const_map: HashMap<Term, usize>,
     clause_parents: Vec<Option<usize>>,
@@ -154,7 +164,11 @@ impl<'a> QueryBuilder<'a> {
         idx
     }
 
-    fn add_group(&mut self, group: &GroupPattern, clause: Option<usize>) -> Result<(), TransformError> {
+    fn add_group(
+        &mut self,
+        group: &GroupPattern,
+        clause: Option<usize>,
+    ) -> Result<(), TransformError> {
         if !group.unions.is_empty() {
             return Err(TransformError::UnsupportedTerm(
                 "UNION must be expanded before query transformation".into(),
@@ -217,7 +231,13 @@ impl<'a> QueryBuilder<'a> {
                 (Some(el), None)
             }
         };
-        self.edges.push((s, o, label, variable, clause));
+        self.edges.push(EdgeDraft {
+            from: s,
+            to: o,
+            label,
+            variable,
+            clause,
+        });
         Ok(())
     }
 
@@ -271,14 +291,14 @@ impl<'a> QueryBuilder<'a> {
             vertex_clause.push(draft.clause);
         }
         let mut edge_clause = Vec::with_capacity(self.edges.len());
-        for (from, to, label, variable, clause) in &self.edges {
+        for edge in &self.edges {
             graph.add_edge(QueryEdge {
-                from: *from,
-                to: *to,
-                label: *label,
-                variable: variable.clone(),
+                from: edge.from,
+                to: edge.to,
+                label: edge.label,
+                variable: edge.variable.clone(),
             });
-            edge_clause.push(*clause);
+            edge_clause.push(edge.clause);
         }
         TransformedQuery {
             graph,
@@ -321,10 +341,18 @@ mod tests {
         let mut ds = Dataset::new();
         ds.insert_iris(&ub("student1"), vocab::RDF_TYPE, &ub("GraduateStudent"));
         ds.insert_iris(&ub("student1"), vocab::RDF_TYPE, &ub("Student"));
-        ds.insert_iris(&ub("GraduateStudent"), vocab::RDFS_SUBCLASSOF, &ub("Student"));
+        ds.insert_iris(
+            &ub("GraduateStudent"),
+            vocab::RDFS_SUBCLASSOF,
+            &ub("Student"),
+        );
         ds.insert_iris(&ub("univ1"), vocab::RDF_TYPE, &ub("University"));
         ds.insert_iris(&ub("dept1"), vocab::RDF_TYPE, &ub("Department"));
-        ds.insert_iris(&ub("student1"), &ub("undergraduateDegreeFrom"), &ub("univ1"));
+        ds.insert_iris(
+            &ub("student1"),
+            &ub("undergraduateDegreeFrom"),
+            &ub("univ1"),
+        );
         ds.insert_iris(&ub("student1"), &ub("memberOf"), &ub("dept1"));
         ds.insert_iris(&ub("dept1"), &ub("subOrganizationOf"), &ub("univ1"));
         ds
@@ -371,7 +399,12 @@ mod tests {
         assert_eq!(tq.graph.vertex_count(), 6);
         assert_eq!(tq.graph.edge_count(), 6);
         // The three class vertices are bound constants.
-        let bound_count = tq.graph.vertices().iter().filter(|v| v.bound.is_some()).count();
+        let bound_count = tq
+            .graph
+            .vertices()
+            .iter()
+            .filter(|v| v.bound.is_some())
+            .count();
         assert_eq!(bound_count, 3);
     }
 
@@ -386,7 +419,12 @@ mod tests {
         let data = type_aware_transform(&ds);
         let tq = transform_query(&query.pattern, &data, &ds.dictionary).unwrap();
         assert_eq!(tq.graph.vertex_count(), 2);
-        let student_vertex = tq.graph.vertices().iter().find(|v| v.bound.is_some()).unwrap();
+        let student_vertex = tq
+            .graph
+            .vertices()
+            .iter()
+            .find(|v| v.bound.is_some())
+            .unwrap();
         let expected = data
             .mappings
             .vertex_of(ds.dictionary.id_of_iri(&ub("student1")).unwrap())
@@ -492,7 +530,10 @@ mod tests {
         assert!(!tq.unsatisfiable);
         // The unknown predicate is represented by a sentinel edge label that
         // matches no data edge.
-        assert_eq!(tq.graph.edge(2).label, Some(turbohom_graph::ELabel(u32::MAX)));
+        assert_eq!(
+            tq.graph.edge(2).label,
+            Some(turbohom_graph::ELabel(u32::MAX))
+        );
     }
 
     #[test]

@@ -135,10 +135,18 @@ mod tests {
     fn figure3_dataset() -> Dataset {
         let mut ds = Dataset::new();
         ds.insert_iris(&ub("student1"), vocab::RDF_TYPE, &ub("GraduateStudent"));
-        ds.insert_iris(&ub("GraduateStudent"), vocab::RDFS_SUBCLASSOF, &ub("Student"));
+        ds.insert_iris(
+            &ub("GraduateStudent"),
+            vocab::RDFS_SUBCLASSOF,
+            &ub("Student"),
+        );
         ds.insert_iris(&ub("univ1"), vocab::RDF_TYPE, &ub("University"));
         ds.insert_iris(&ub("dept1.univ1"), vocab::RDF_TYPE, &ub("Department"));
-        ds.insert_iris(&ub("student1"), &ub("undergraduateDegreeFrom"), &ub("univ1"));
+        ds.insert_iris(
+            &ub("student1"),
+            &ub("undergraduateDegreeFrom"),
+            &ub("univ1"),
+        );
         ds.insert_iris(&ub("student1"), &ub("memberOf"), &ub("dept1.univ1"));
         ds.insert_iris(&ub("dept1.univ1"), &ub("subOrganizationOf"), &ub("univ1"));
         ds.insert(
@@ -213,8 +221,14 @@ mod tests {
         let t = type_aware_transform(&ds);
         for class in ["GraduateStudent", "Student", "University", "Department"] {
             let id = ds.dictionary.id_of_iri(&ub(class)).unwrap();
-            assert!(t.mappings.vertex_of(id).is_none(), "{class} must not be a vertex");
-            assert!(t.mappings.vlabel_of(id).is_some(), "{class} must be a label");
+            assert!(
+                t.mappings.vertex_of(id).is_none(),
+                "{class} must not be a vertex"
+            );
+            assert!(
+                t.mappings.vlabel_of(id).is_some(),
+                "{class} must be a label"
+            );
         }
     }
 
@@ -230,7 +244,9 @@ mod tests {
                 .elabel_of(ds.dictionary.id_of_iri(&ub(name)).unwrap())
                 .unwrap()
         };
-        assert!(t.graph.has_edge(student1, univ1, el("undergraduateDegreeFrom")));
+        assert!(t
+            .graph
+            .has_edge(student1, univ1, el("undergraduateDegreeFrom")));
         assert!(t.graph.has_edge(student1, dept, el("memberOf")));
         assert!(t.graph.has_edge(dept, univ1, el("subOrganizationOf")));
         // No rdf:type edge label exists at all.

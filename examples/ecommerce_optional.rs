@@ -17,8 +17,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let store = Store::from_dataset_with(dataset, StoreOptions::default());
 
     println!(
-        "\n{:<4} {:>9} {:>14} {:>14}   {}",
-        "id", "solutions", "TurboHOM++", "HashJoin", "description"
+        "\n{:<4} {:>9} {:>14} {:>14}   description",
+        "id", "solutions", "TurboHOM++", "HashJoin"
     );
     for query in bsbm::queries() {
         let graph = store.execute(&query.sparql, EngineKind::TurboHomPlusPlus)?;
@@ -53,9 +53,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .unwrap_or_else(|| "(no rating)".to_string());
         println!(
             "  offer={} price={} review={} rating={rating}",
-            binding.get("offer").map(|t| t.to_string()).unwrap_or_default(),
-            binding.get("price").map(|t| t.to_string()).unwrap_or_default(),
-            binding.get("review").map(|t| t.to_string()).unwrap_or_default(),
+            binding
+                .get("offer")
+                .map(|t| t.to_string())
+                .unwrap_or_default(),
+            binding
+                .get("price")
+                .map(|t| t.to_string())
+                .unwrap_or_default(),
+            binding
+                .get("review")
+                .map(|t| t.to_string())
+                .unwrap_or_default(),
         );
     }
     Ok(())

@@ -63,7 +63,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // BTC-like: a crawl mixture with irregular typing, loaded *without*
     // inference, exactly as the paper treats BTC2012.
-    let btc_store = Store::from_dataset(btc::BtcGenerator::new(btc::BtcConfig::scale(2)).generate());
+    let btc_store =
+        Store::from_dataset(btc::BtcGenerator::new(btc::BtcConfig::scale(2)).generate());
     run_workload("BTC-like", &btc_store, &btc::queries())?;
 
     // Show the difference between an entity-anchored query (one candidate

@@ -64,7 +64,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let row: Vec<String> = results
                 .variables
                 .iter()
-                .map(|v| format!("?{v} = {}", binding.get(v.as_str()).map(|t| t.to_string()).unwrap_or_else(|| "UNBOUND".into())))
+                .map(|v| {
+                    format!(
+                        "?{v} = {}",
+                        binding
+                            .get(v.as_str())
+                            .map(|t| t.to_string())
+                            .unwrap_or_else(|| "UNBOUND".into())
+                    )
+                })
                 .collect();
             println!("  {}", row.join("  "));
         }

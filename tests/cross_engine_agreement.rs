@@ -37,8 +37,10 @@ fn lubm_queries_agree_across_engines() {
 
 #[test]
 fn lubm_constant_queries_stay_constant_and_increasing_queries_grow() {
-    let small = Store::from_dataset(lubm::LubmGenerator::new(lubm::LubmConfig::scale(1)).generate());
-    let large = Store::from_dataset(lubm::LubmGenerator::new(lubm::LubmConfig::scale(4)).generate());
+    let small =
+        Store::from_dataset(lubm::LubmGenerator::new(lubm::LubmConfig::scale(1)).generate());
+    let large =
+        Store::from_dataset(lubm::LubmGenerator::new(lubm::LubmConfig::scale(4)).generate());
     let queries = lubm::queries();
     for q in &queries {
         let a = small
@@ -50,7 +52,11 @@ fn lubm_constant_queries_stay_constant_and_increasing_queries_grow() {
             .unwrap()
             .len();
         if lubm::constant_solution_queries().contains(&q.id.as_str()) {
-            assert_eq!(a, b, "{} should have a scale-independent solution count", q.id);
+            assert_eq!(
+                a, b,
+                "{} should have a scale-independent solution count",
+                q.id
+            );
         } else {
             assert!(
                 b > a,
@@ -143,7 +149,12 @@ fn optimizations_do_not_change_lubm_results() {
                 false,
             )
             .unwrap();
-        assert_eq!(none.len(), reference, "{} without optimizations differs", q.id);
+        assert_eq!(
+            none.len(),
+            reference,
+            "{} without optimizations differs",
+            q.id
+        );
     }
 }
 
@@ -163,13 +174,17 @@ fn simple_entailment_returns_a_subset() {
     // Q6 (all students): nobody is asserted to be a plain `Student`, but
     // everyone is one through the class hierarchy.
     let q6 = &lubm::queries()[5];
-    let full = store.execute(&q6.sparql, EngineKind::TurboHomPlusPlus).unwrap();
+    let full = store
+        .execute(&q6.sparql, EngineKind::TurboHomPlusPlus)
+        .unwrap();
     let simple_config = TurboHomConfig {
         simple_entailment: true,
         ..TurboHomConfig::default()
     };
-    let simple = store.execute_turbohom(&q6.sparql, simple_config, false).unwrap();
-    assert!(full.len() > 0);
+    let simple = store
+        .execute_turbohom(&q6.sparql, simple_config, false)
+        .unwrap();
+    assert!(!full.is_empty());
     assert_eq!(simple.len(), 0);
     assert!(simple.len() < full.len());
 }

@@ -51,7 +51,9 @@ fn figure2_matching_order_effect_shows_in_stats() {
     let ds = micro::figure2(10, 200, 5);
     let store = Store::from_dataset(ds);
     let q = micro::figure2_query();
-    let result = store.execute(&q.sparql, EngineKind::TurboHomPlusPlus).unwrap();
+    let result = store
+        .execute(&q.sparql, EngineKind::TurboHomPlusPlus)
+        .unwrap();
     // 10 × 200 × 5 combinations exist (the query is a star with independent
     // branches), and all engines agree.
     assert_eq!(result.len(), 10 * 200 * 5);

@@ -11,7 +11,9 @@ use proptest::prelude::*;
 use turbohom::engine::{EngineKind, Store};
 use turbohom::graph::ops;
 use turbohom::graph::VertexId;
-use turbohom::rdf::{parse_ntriples, serialize_ntriples, Dataset, Dictionary, InferenceEngine, Term};
+use turbohom::rdf::{
+    parse_ntriples, serialize_ntriples, Dataset, Dictionary, InferenceEngine, Term,
+};
 
 // ---------------------------------------------------------------------------
 // Random dataset / query generation helpers
@@ -66,8 +68,7 @@ fn query_strategy() -> impl Strategy<Value = String> {
     )
         .prop_map(|(patterns, spec, class)| {
             let mut body = String::new();
-            for i in 0..patterns {
-                let (pred, forward, obj_kind) = spec[i];
+            for (i, &(pred, forward, obj_kind)) in spec.iter().enumerate().take(patterns) {
                 let subject = format!("?v{i}");
                 let object = match obj_kind {
                     0 => format!("?v{}", i + 1),

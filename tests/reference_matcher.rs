@@ -49,9 +49,9 @@ fn brute_force_count(dataset: &Dataset, patterns: &[TriplePattern]) -> usize {
         };
         let mut total = 0usize;
         for triple in dataset.triples.iter() {
-            if subject.map_or(false, |s| s != triple.s)
-                || predicate.map_or(false, |p| p != triple.p)
-                || object.map_or(false, |o| o != triple.o)
+            if subject.is_some_and(|s| s != triple.s)
+                || predicate.is_some_and(|p| p != triple.p)
+                || object.is_some_and(|o| o != triple.o)
             {
                 continue;
             }
@@ -126,8 +126,7 @@ fn query_strategy() -> impl Strategy<Value = String> {
     )
         .prop_map(|(len, spec, end_constant)| {
             let mut body = String::new();
-            for i in 0..len {
-                let (p, forward) = spec[i];
+            for (i, &(p, forward)) in spec.iter().enumerate().take(len) {
                 let from = format!("?v{i}");
                 let to = if i + 1 == len {
                     match end_constant {

@@ -1,0 +1,250 @@
+//! Vendored, API-compatible stub of the `criterion` benchmark harness.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! subset of criterion's API that the `turbohom-bench` targets use —
+//! benchmark groups with `sample_size` / `warm_up_time` / `measurement_time`
+//! configuration, `bench_function` / `bench_with_input`, `BenchmarkId`, and
+//! the `criterion_group!` / `criterion_main!` macros. Benchmarks really run
+//! and report mean / min / max wall-clock time per iteration to stdout; the
+//! statistical machinery (outlier detection, HTML reports) is intentionally
+//! absent. See `vendor/README.md`.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Reads CLI filter arguments the way `cargo bench -- <filter>` passes them,
+/// skipping harness flags like `--bench`.
+fn cli_filters() -> Vec<String> {
+    std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect()
+}
+
+/// Opaque measurement marker types, mirroring `criterion::measurement`.
+pub mod measurement {
+    /// Wall-clock time measurement (the default and only one provided).
+    #[derive(Debug, Default, Clone, Copy)]
+    pub struct WallTime;
+}
+
+/// Prevents the compiler from optimizing away a benchmarked value.
+#[inline]
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// A benchmark identifier composed of a function name and a parameter,
+/// rendered as `function/parameter`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayable parameter.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Conversion of the various id shapes `bench_function` accepts.
+pub trait IntoBenchmarkId {
+    /// Renders the id as the display string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing callback handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then running `iterations` samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warm-up call (caches, lazy statics).
+        hint::black_box(routine());
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            hint::black_box(routine());
+            self.elapsed.push(start.elapsed());
+        }
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Debug)]
+pub struct Criterion {
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filters: cli_filters(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(
+        &mut self,
+        group_name: S,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            criterion: self,
+            name: group_name.into(),
+            sample_size: 10,
+            _measurement: measurement::WallTime,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sampling configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    _measurement: M,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; the stub's single warm-up call is not
+    /// time-bounded.
+    pub fn warm_up_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub always runs exactly
+    /// `sample_size` samples.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let full = format!("{}/{}", self.name, id);
+        let filters = &self.criterion.filters;
+        if !filters.is_empty() && !filters.iter().any(|pat| full.contains(pat.as_str())) {
+            return;
+        }
+        let mut bencher = Bencher {
+            iterations: self.sample_size as u64,
+            elapsed: Vec::with_capacity(self.sample_size),
+        };
+        f(&mut bencher);
+        let samples = &bencher.elapsed;
+        if samples.is_empty() {
+            println!("{full:60} (no samples)");
+            return;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        println!("{full:60} mean {mean:>12.3?}  min {min:>12.3?}  max {max:>12.3?}");
+    }
+
+    /// Runs a benchmark with no extra input.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        self.run(id.into_id(), f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: IntoBenchmarkId, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(id.into_id(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Throughput configuration, accepted and ignored by the stub.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench harness entry point, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

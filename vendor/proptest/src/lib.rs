@@ -1,0 +1,497 @@
+//! Vendored, API-compatible stub of the `proptest` property-testing crate.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! subset of proptest's API that this workspace's test suites use: the
+//! [`proptest!`] macro, the [`Strategy`](strategy::Strategy) trait with
+//! `prop_map`, integer/float range and tuple strategies, char-class regex
+//! string strategies, [`collection::vec`] / [`collection::btree_set`],
+//! [`option::of`], [`bool::ANY`] and the `prop_assert*` macros.
+//!
+//! Test cases are generated from a deterministic per-case seed (the case
+//! index), so a failure is reproducible by rerunning the test; there is no
+//! shrinking — the failing assertion message is expected to carry the
+//! interesting context, which the tests in this workspace arrange by
+//! embedding the generated query/dataset in their assertion messages.
+//! See `vendor/README.md`.
+
+/// Deterministic RNG and run configuration.
+pub mod test_runner {
+    use rand::{RngCore, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// The deterministic generator driving value generation — a thin wrapper
+    /// over the sibling vendored [`ChaCha8Rng`] so the seeding and sampling
+    /// logic lives in one place (the `rand` stubs).
+    #[derive(Debug, Clone)]
+    pub struct TestRng(ChaCha8Rng);
+
+    impl TestRng {
+        /// Creates a generator for one test case.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng(ChaCha8Rng::seed_from_u64(seed))
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            RngCore::next_u64(&mut self.0)
+        }
+
+        /// Returns a value uniform in `0..bound` (`bound` must be nonzero).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "below(0) is meaningless");
+            self.next_u64() % bound
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u32(&mut self) -> u32 {
+            self.0.next_u32()
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// Run configuration, mirroring `proptest::test_runner::ProptestConfig`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and primitive strategies.
+pub mod strategy {
+    use crate::string::CharClassPattern;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `map_fn`.
+        fn prop_map<U, F>(self, map_fn: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map {
+                inner: self,
+                map_fn,
+            }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        map_fn: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.map_fn)(self.inner.generate(rng))
+        }
+    }
+
+    /// Integer and float ranges are strategies; the sampling logic is the
+    /// vendored `rand` crate's, so there is exactly one uniform sampler to
+    /// maintain across the stubs.
+    impl<T> Strategy for Range<T>
+    where
+        Range<T>: rand::SampleRange<T> + Clone,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rand::SampleRange::sample_one(self.clone(), rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// String literals act as (char-class) regex strategies, mirroring
+    /// proptest's `impl Strategy for &str`.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            CharClassPattern::parse(self).generate(rng)
+        }
+    }
+
+    /// A strategy always yielding clones of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// Minimal char-class regex support for string strategies.
+pub mod string {
+    use crate::test_runner::TestRng;
+
+    /// A parsed pattern of the shape `[class]{min,max}` (or a bare
+    /// `[class]`, meaning exactly one char), e.g. `"[a-z]{1,8}"`.
+    #[derive(Debug, Clone)]
+    pub struct CharClassPattern {
+        /// The characters the class can produce.
+        alphabet: Vec<char>,
+        /// Inclusive length bounds.
+        min_len: usize,
+        max_len: usize,
+    }
+
+    impl CharClassPattern {
+        /// Parses the supported regex subset; panics with a clear message on
+        /// anything beyond it.
+        pub fn parse(pattern: &str) -> Self {
+            fn unsupported(pattern: &str) -> ! {
+                panic!(
+                    "vendored proptest only supports `[class]{{min,max}}` regex \
+                     string strategies, got {pattern:?}"
+                )
+            }
+            let rest = pattern
+                .strip_prefix('[')
+                .unwrap_or_else(|| unsupported(pattern));
+            let (class, rest) = rest.split_once(']').unwrap_or_else(|| unsupported(pattern));
+            let mut alphabet = Vec::new();
+            let chars: Vec<char> = class.chars().collect();
+            let mut i = 0;
+            while i < chars.len() {
+                if i + 2 < chars.len() && chars[i + 1] == '-' {
+                    let (lo, hi) = (chars[i], chars[i + 2]);
+                    assert!(lo <= hi, "invalid char range in {pattern:?}");
+                    alphabet.extend(lo..=hi);
+                    i += 3;
+                } else {
+                    alphabet.push(chars[i]);
+                    i += 1;
+                }
+            }
+            assert!(!alphabet.is_empty(), "empty char class in {pattern:?}");
+            let (min_len, max_len) = if rest.is_empty() {
+                (1, 1)
+            } else {
+                let body = rest
+                    .strip_prefix('{')
+                    .and_then(|r| r.strip_suffix('}'))
+                    .unwrap_or_else(|| unsupported(pattern));
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim()
+                            .parse::<usize>()
+                            .unwrap_or_else(|_| unsupported(pattern)),
+                        hi.trim()
+                            .parse::<usize>()
+                            .unwrap_or_else(|_| unsupported(pattern)),
+                    ),
+                    None => {
+                        let n = body
+                            .trim()
+                            .parse::<usize>()
+                            .unwrap_or_else(|_| unsupported(pattern));
+                        (n, n)
+                    }
+                }
+            };
+            assert!(min_len <= max_len, "inverted repetition in {pattern:?}");
+            CharClassPattern {
+                alphabet,
+                min_len,
+                max_len,
+            }
+        }
+
+        /// Generates one string matching the pattern.
+        pub fn generate(&self, rng: &mut TestRng) -> String {
+            let len = self.min_len + rng.below((self.max_len - self.min_len + 1) as u64) as usize;
+            (0..len)
+                .map(|_| self.alphabet[rng.below(self.alphabet.len() as u64) as usize])
+                .collect()
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive range of collection sizes, mirroring
+    /// `proptest::collection::SizeRange`.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl SizeRange {
+        fn draw(&self, rng: &mut TestRng) -> usize {
+            self.min + rng.below((self.max - self.min + 1) as u64) as usize
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                min: exact,
+                max: exact,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty collection size range");
+            SizeRange {
+                min: range.start,
+                max: range.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(range: RangeInclusive<usize>) -> Self {
+            assert!(range.start() <= range.end(), "empty collection size range");
+            SizeRange {
+                min: *range.start(),
+                max: *range.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s with lengths drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates `Vec`s of values from `element` with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.draw(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet`s drawn with up to `size` insertions.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates `BTreeSet`s of values from `element`; duplicates collapse,
+    /// so like upstream the set may be smaller than the drawn size.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.draw(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding `None` a quarter of the time, `Some` otherwise.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Wraps `inner` values in `Option`, sometimes generating `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// `bool` strategies.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy type behind [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Generates `true` or `false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.below(2) == 1
+        }
+    }
+}
+
+/// Asserts a condition inside a property, with an optional message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property, with an optional message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property, with an optional message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_ne!($left, $right, $($fmt)*) };
+}
+
+/// Expands property functions into `#[test]` functions that run the body
+/// over `cases` deterministically generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                $(let $arg = &($strat);)+
+                for __case in 0..__config.cases {
+                    let mut __rng =
+                        $crate::test_runner::TestRng::from_seed(u64::from(__case));
+                    $(let $arg = $crate::strategy::Strategy::generate($arg, &mut __rng);)+
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body),
+                    );
+                    if let Err(__panic) = __outcome {
+                        eprintln!(
+                            "proptest property {} failed at case #{} (deterministic seed {})",
+                            stringify!($name), __case, __case,
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// The items users are expected to import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
