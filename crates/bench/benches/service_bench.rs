@@ -1,0 +1,84 @@
+//! Service-path throughput: cold (parse + transform every call, via
+//! `Store::execute`) versus warm (plan-cache hit, straight to enumeration)
+//! versus concurrent warm traffic from several client threads.
+//!
+//! The cold/warm pair quantifies what the plan cache buys per request; the
+//! concurrent group checks that the shared service scales instead of
+//! serializing on a lock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+use turbohom_bench::lubm_store;
+use turbohom_datasets::lubm;
+use turbohom_service::{QueryOptions, QueryService};
+
+fn service_throughput(c: &mut Criterion) {
+    let store = Arc::new(lubm_store(4));
+    let service = Arc::new(QueryService::new(Arc::clone(&store)));
+    let queries: Vec<_> = lubm::queries().into_iter().take(7).collect();
+
+    let mut group = c.benchmark_group("service_throughput");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500));
+
+    for query in &queries {
+        // Cold path: the embedded API re-parses and re-transforms per call.
+        group.bench_with_input(
+            BenchmarkId::new("cold_execute", &query.id),
+            &query.sparql,
+            |b, sparql| {
+                b.iter(|| {
+                    store
+                        .execute(sparql, turbohom_engine::EngineKind::TurboHomPlusPlus)
+                        .unwrap()
+                        .len()
+                });
+            },
+        );
+        // Warm path: plan-cache hit, enumeration only.
+        service
+            .query(&query.sparql, QueryOptions::default())
+            .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("warm_service", &query.id),
+            &query.sparql,
+            |b, sparql| {
+                b.iter(|| {
+                    let response = service.query(sparql, QueryOptions::default()).unwrap();
+                    assert!(response.cache_hit);
+                    response.results.len()
+                });
+            },
+        );
+    }
+
+    // Concurrent warm traffic: 4 client threads sweep all 7 queries.
+    group.bench_function("concurrent_4x7_warm", |b| {
+        b.iter(|| {
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    let service = &service;
+                    let queries = &queries;
+                    scope.spawn(move || {
+                        let mut total = 0usize;
+                        for q in queries {
+                            total += service
+                                .query(&q.sparql, QueryOptions::default())
+                                .unwrap()
+                                .results
+                                .len();
+                        }
+                        total
+                    });
+                }
+            });
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, service_throughput);
+criterion_main!(benches);

@@ -9,6 +9,10 @@
 //! table/figure, with locally measured numbers. The mapping from experiment
 //! id to paper artifact is documented in DESIGN.md §2 and the measured
 //! results are recorded in EXPERIMENTS.md.
+//!
+//! `--engines=turbohom++,mergejoin` restricts the per-engine tables to the
+//! listed engines (names are parsed case-insensitively via
+//! `EngineKind::from_str`).
 
 use std::collections::BTreeMap;
 use turbohom_bench::*;
@@ -18,6 +22,22 @@ use turbohom_engine::EngineKind;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let engines: Vec<EngineKind> = args
+        .iter()
+        .filter_map(|a| a.strip_prefix("--engines="))
+        .flat_map(|list| list.split(','))
+        .map(|name| {
+            name.parse::<EngineKind>().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    let engines = if engines.is_empty() {
+        EngineKind::all().to_vec()
+    } else {
+        engines
+    };
     let mut requested: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with('-'))
@@ -48,17 +68,27 @@ fn main() {
         match experiment.as_str() {
             "table1" => table1(&workloads),
             "table2" => table2(&workloads),
-            "table3" => table3(&workloads),
-            "table4" => table4(&workloads),
-            "table5" => table5(&workloads),
-            "table6" => table6(&workloads),
+            "table3" => table3(&workloads, &engines),
+            "table4" => table4(&workloads, &engines),
+            "table5" => table5(&workloads, &engines),
+            "table6" => table6(&workloads, &engines),
             "table7" => table7(&workloads),
-            "figure6" => figure6(&workloads),
+            "figure6" => figure6(&workloads, &engines),
             "figure15" => figure15(&workloads),
             "figure16" => figure16(),
             other => eprintln!("unknown experiment `{other}` (expected table1..table7, figure6, figure15, figure16, all)"),
         }
     }
+}
+
+/// Keeps `defaults` in order, dropping the engines not selected on the
+/// command line.
+fn select(defaults: &[EngineKind], selected: &[EngineKind]) -> Vec<EngineKind> {
+    defaults
+        .iter()
+        .copied()
+        .filter(|k| selected.contains(k))
+        .collect()
 }
 
 fn heading(title: &str) {
@@ -108,7 +138,7 @@ fn table2(w: &Workloads) {
 }
 
 /// Table 3: elapsed times of the LUBM queries for every engine, per scale.
-fn table3(w: &Workloads) {
+fn table3(w: &Workloads, engines: &[EngineKind]) {
     let queries = lubm::queries();
     for (name, store) in &w.lubm {
         heading(&format!("Table 3 — elapsed time in {name} [ms]"));
@@ -117,7 +147,7 @@ fn table3(w: &Workloads) {
             print!("{:>10}", q.id);
         }
         println!();
-        for kind in EngineKind::all() {
+        for kind in select(&EngineKind::all(), engines) {
             print!("{:<26}", kind.label());
             for q in &queries {
                 let (elapsed, _) = measure_engine(store, q, kind);
@@ -167,38 +197,41 @@ fn workload_table(
 }
 
 /// Table 4: YAGO-like workload.
-fn table4(w: &Workloads) {
+fn table4(w: &Workloads, engines: &[EngineKind]) {
     workload_table(
         "Table 4 — number of solutions and elapsed time [ms] in YAGO-like data",
         &w.yago,
         &yago::queries(),
-        &EngineKind::all(),
+        &select(&EngineKind::all(), engines),
     );
 }
 
 /// Table 5: BTC-like workload.
-fn table5(w: &Workloads) {
+fn table5(w: &Workloads, engines: &[EngineKind]) {
     workload_table(
         "Table 5 — number of solutions and elapsed time [ms] in BTC-like data",
         &w.btc,
         &btc::queries(),
-        &EngineKind::all(),
+        &select(&EngineKind::all(), engines),
     );
 }
 
 /// Table 6: BSBM-like explore workload (general SPARQL features). The paper
 /// can only run the commercial System-X here; we additionally run both of
 /// our join baselines.
-fn table6(w: &Workloads) {
+fn table6(w: &Workloads, engines: &[EngineKind]) {
     workload_table(
         "Table 6 — number of solutions and elapsed time [ms] in BSBM-like data",
         &w.bsbm,
         &bsbm::queries(),
-        &[
-            EngineKind::TurboHomPlusPlus,
-            EngineKind::MergeJoin,
-            EngineKind::HashJoin,
-        ],
+        &select(
+            &[
+                EngineKind::TurboHomPlusPlus,
+                EngineKind::MergeJoin,
+                EngineKind::HashJoin,
+            ],
+            engines,
+        ),
     );
 }
 
@@ -232,7 +265,7 @@ fn table7(w: &Workloads) {
 /// Figure 6: the unoptimized TurboHOM over the direct transformation
 /// compared with the join-based engines (log-scale bars in the paper; a
 /// table here).
-fn figure6(w: &Workloads) {
+fn figure6(w: &Workloads, engines: &[EngineKind]) {
     let (name, store) = w.lubm.last().expect("at least one LUBM scale");
     heading(&format!(
         "Figure 6 — direct-transformation TurboHOM vs join engines in {name} [ms]"
@@ -243,11 +276,14 @@ fn figure6(w: &Workloads) {
         print!("{:>10}", q.id);
     }
     println!();
-    for kind in [
-        EngineKind::TurboHom,
-        EngineKind::MergeJoin,
-        EngineKind::HashJoin,
-    ] {
+    for kind in select(
+        &[
+            EngineKind::TurboHom,
+            EngineKind::MergeJoin,
+            EngineKind::HashJoin,
+        ],
+        engines,
+    ) {
         print!("{:<26}", kind.label());
         for q in &queries {
             let (elapsed, _) = measure_engine(store, q, kind);

@@ -90,8 +90,26 @@ impl<'a> TurboHomEngine<'a> {
 
     /// Executes one (union-free) transformed query.
     pub fn execute(&self, query: &TransformedQuery) -> Result<MatchResult, EngineError> {
+        self.execute_with_order(query, None)
+            .map(|(result, _)| result)
+    }
+
+    /// Executes like [`execute`](Self::execute), but additionally accepts a
+    /// matching order computed by a previous run of the *same* query on the
+    /// *same* data graph (the plan-cache warm path), and returns the order
+    /// this run computed so the caller can cache it.
+    ///
+    /// The preset only takes effect under `+REUSE` (without it the order is
+    /// per-region by design). When a preset is supplied, no order is computed
+    /// at all — `MatchStats::matching_orders_computed` stays `0` — and the
+    /// returned order is `None` (the caller already holds it).
+    pub fn execute_with_order(
+        &self,
+        query: &TransformedQuery,
+        preset_order: Option<&MatchingOrder>,
+    ) -> Result<(MatchResult, Option<MatchingOrder>), EngineError> {
         if query.unsatisfiable || query.graph.vertex_count() == 0 {
-            return Ok(MatchResult::default());
+            return Ok((MatchResult::default(), None));
         }
         if !query.graph.is_connected() {
             return Err(EngineError::DisconnectedQuery);
@@ -103,10 +121,13 @@ impl<'a> TurboHomEngine<'a> {
         let mut stats = MatchStats::default();
         let selection = choose_start_vertex(self.data, &self.config, query, &mut stats);
         if selection.start_vertices.is_empty() {
-            return Ok(MatchResult {
-                stats,
-                ..MatchResult::default()
-            });
+            return Ok((
+                MatchResult {
+                    stats,
+                    ..MatchResult::default()
+                },
+                None,
+            ));
         }
         let tree = QueryTree::build(&query.graph, selection.query_vertex);
         debug_assert!(tree.spans(&query.graph));
@@ -125,13 +146,14 @@ impl<'a> TurboHomEngine<'a> {
             search_config.max_solutions = None;
         }
 
-        let result = if self.config.threads <= 1 {
+        let (result, computed_order) = if self.config.threads <= 1 {
             self.run_sequential(
                 query,
                 &tree,
                 &selection.start_vertices,
                 &search_config,
                 &inline_filters,
+                preset_order,
                 stats,
             )
         } else {
@@ -141,6 +163,7 @@ impl<'a> TurboHomEngine<'a> {
                 &selection.start_vertices,
                 &search_config,
                 &inline_filters,
+                preset_order,
                 stats,
             )
         };
@@ -158,7 +181,7 @@ impl<'a> TurboHomEngine<'a> {
         if self.config.count_only {
             result.solutions.clear();
         }
-        Ok(result)
+        Ok((result, computed_order))
     }
 
     /// Sequential execution (Algorithm 1's outer loop).
@@ -170,8 +193,9 @@ impl<'a> TurboHomEngine<'a> {
         starts: &[VertexId],
         config: &TurboHomConfig,
         inline_filters: &[Vec<&Expression>],
+        preset_order: Option<&MatchingOrder>,
         mut stats: MatchStats,
-    ) -> MatchResult {
+    ) -> (MatchResult, Option<MatchingOrder>) {
         let mut solutions = Vec::new();
         let mut count = 0usize;
         let mut shared_order: Option<MatchingOrder> = None;
@@ -185,11 +209,15 @@ impl<'a> TurboHomEngine<'a> {
             stats.nonempty_regions += 1;
             let order_storage;
             let order = if config.optimizations.reuse_matching_order {
-                if shared_order.is_none() {
-                    shared_order = Some(MatchingOrder::determine(query, tree, &region));
-                    stats.matching_orders_computed += 1;
+                if let Some(preset) = preset_order {
+                    preset
+                } else {
+                    if shared_order.is_none() {
+                        shared_order = Some(MatchingOrder::determine(query, tree, &region));
+                        stats.matching_orders_computed += 1;
+                    }
+                    shared_order.as_ref().unwrap()
                 }
-                shared_order.as_ref().unwrap()
             } else {
                 order_storage = MatchingOrder::determine(query, tree, &region);
                 stats.matching_orders_computed += 1;
@@ -214,11 +242,14 @@ impl<'a> TurboHomEngine<'a> {
                 }
             }
         }
-        MatchResult {
-            solutions,
-            solution_count: count,
-            stats,
-        }
+        (
+            MatchResult {
+                solutions,
+                solution_count: count,
+                stats,
+            },
+            shared_order,
+        )
     }
 
     /// Parallel execution: starting vertices are handed to worker threads in
@@ -232,12 +263,13 @@ impl<'a> TurboHomEngine<'a> {
         starts: &[VertexId],
         config: &TurboHomConfig,
         inline_filters: &[Vec<&Expression>],
+        preset_order: Option<&MatchingOrder>,
         mut stats: MatchStats,
-    ) -> MatchResult {
+    ) -> (MatchResult, Option<MatchingOrder>) {
         // With +REUSE the matching order comes from the first non-empty
         // region; compute it up front so every worker can share it.
         let mut shared_order: Option<MatchingOrder> = None;
-        if config.optimizations.reuse_matching_order {
+        if config.optimizations.reuse_matching_order && preset_order.is_none() {
             for &vs in starts {
                 stats.candidate_regions += 1;
                 if let Some(region) =
@@ -257,7 +289,13 @@ impl<'a> TurboHomEngine<'a> {
 
         let next = AtomicUsize::new(0);
         let merged: Mutex<(Vec<Solution>, usize, MatchStats)> = Mutex::new((Vec::new(), 0, stats));
-        let shared_order_ref = shared_order.as_ref();
+        // Like the sequential path, the preset only applies under +REUSE;
+        // without it every region determines its own order.
+        let shared_order_ref = if config.optimizations.reuse_matching_order {
+            preset_order.or(shared_order.as_ref())
+        } else {
+            None
+        };
         let chunk = chunk_size(starts.len(), config.threads);
 
         std::thread::scope(|scope| {
@@ -318,11 +356,14 @@ impl<'a> TurboHomEngine<'a> {
         });
 
         let (solutions, count, stats) = merged.into_inner();
-        MatchResult {
-            solutions,
-            solution_count: count,
-            stats,
-        }
+        (
+            MatchResult {
+                solutions,
+                solution_count: count,
+                stats,
+            },
+            shared_order,
+        )
     }
 
     /// Splits the query's filters into per-vertex inline filters and
@@ -619,6 +660,39 @@ mod tests {
             without.stats.matching_orders_computed,
             without.stats.nonempty_regions
         );
+    }
+
+    #[test]
+    fn preset_matching_order_skips_order_computation() {
+        let ds = university_dataset();
+        let data = type_aware_transform(&ds);
+        let q = parse_query(TRIANGLE).unwrap();
+        let tq = transform_query(&q.pattern, &data, &ds.dictionary).unwrap();
+        let engine = TurboHomEngine::new(&data, &ds.dictionary, TurboHomConfig::default());
+        // Cold run: computes the order once (+REUSE) and hands it back.
+        let (cold, order) = engine.execute_with_order(&tq, None).unwrap();
+        assert_eq!(cold.stats.matching_orders_computed, 1);
+        let order = order.expect("cold run must surface the computed order");
+        // Warm run: the preset is used, no order is determined at all.
+        let (warm, recomputed) = engine.execute_with_order(&tq, Some(&order)).unwrap();
+        assert_eq!(warm.stats.matching_orders_computed, 0);
+        assert!(recomputed.is_none());
+        assert_eq!(warm.len(), cold.len());
+        let mut a: Vec<_> = cold.solutions.iter().map(|s| s.vertices.clone()).collect();
+        let mut b: Vec<_> = warm.solutions.iter().map(|s| s.vertices.clone()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        // The same holds for the parallel path.
+        let par_engine = TurboHomEngine::new(
+            &data,
+            &ds.dictionary,
+            TurboHomConfig::default().with_threads(4),
+        );
+        let (par, recomputed) = par_engine.execute_with_order(&tq, Some(&order)).unwrap();
+        assert_eq!(par.stats.matching_orders_computed, 0);
+        assert!(recomputed.is_none());
+        assert_eq!(par.len(), cold.len());
     }
 
     #[test]

@@ -32,5 +32,6 @@ pub mod subgraph_search;
 
 pub use config::{MatchSemantics, OptimizationName, Optimizations, TurboHomConfig};
 pub use engine::{EngineError, TurboHomEngine};
+pub use matching_order::MatchingOrder;
 pub use result::{MatchResult, Solution};
 pub use stats::MatchStats;

@@ -9,9 +9,24 @@
 //! build on.
 
 pub mod error;
+pub mod plan;
 pub mod results;
 pub mod store;
 
 pub use error::StoreError;
-pub use results::{QueryResults, ResultRow};
-pub use store::{EngineKind, PreparedQuery, Store, StoreOptions};
+pub use plan::QueryPlan;
+pub use results::{json_escape, QueryResults, ResultRow};
+pub use store::{EngineKind, ParseEngineKindError, PreparedQuery, Store, StoreOptions};
+
+/// Compile-time proof that the shared-service types can cross threads: a
+/// `QueryService` hands `Arc<Store>` and cached `Arc<QueryPlan>`s to every
+/// worker, which is only sound if they are `Send + Sync`. Adding interior
+/// mutability (`Rc`, `RefCell`, raw pointers…) anywhere inside them turns
+/// this into a build error rather than a runtime surprise.
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    assert_send_sync::<Store>();
+    assert_send_sync::<QueryPlan>();
+    assert_send_sync::<QueryResults>();
+    assert_send_sync::<StoreError>();
+};

@@ -1,0 +1,453 @@
+//! Prepared execution plans: the parse + transform half of query execution,
+//! split from the run half.
+//!
+//! [`Store::execute`] does three jobs per call: parse the SPARQL text,
+//! transform every union-free branch into a query graph, and enumerate
+//! matches. The first two depend only on the (immutable) store and the query
+//! text, so a service that answers the same queries over and over can do
+//! them once, keep the resulting [`QueryPlan`], and jump straight to
+//! enumeration on every later request — this is what the `turbohom-service`
+//! plan cache stores under a normalized query fingerprint.
+//!
+//! A plan additionally memoizes the TurboHOM++ *matching order* (paper
+//! Section 4.3, `+REUSE`): the first run computes it from the first
+//! non-empty candidate region and parks it in the plan, so warm runs skip
+//! order determination as well (`MatchStats::matching_orders_computed == 0`).
+//!
+//! Plans are `Send + Sync` (asserted at compile time in `lib.rs`) and can be
+//! run concurrently from many threads against the store that prepared them.
+
+use crate::error::StoreError;
+use crate::results::{QueryResults, ResultRow};
+use crate::store::{branch_needs_direct, collect_filters, split_components, EngineKind, Store};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Instant;
+use turbohom_baseline::JoinStrategy;
+use turbohom_core::{MatchingOrder, TurboHomConfig, TurboHomEngine};
+use turbohom_sparql::{EvalContext, Expression, GroupPattern, Query};
+use turbohom_transform::{TransformKind, TransformedQuery};
+
+/// A fully prepared query: parsed, union-expanded, component-split and
+/// transformed for one [`EngineKind`] against one [`Store`].
+pub struct QueryPlan {
+    kind: EngineKind,
+    projected: Vec<String>,
+    mode: PlanMode,
+}
+
+pub(crate) enum PlanMode {
+    /// The graph-matching engines (TurboHOM++ / TurboHOM): pre-transformed
+    /// branches plus the engine configuration.
+    Graph {
+        config: TurboHomConfig,
+        branches: Vec<BranchPlan>,
+    },
+    /// The join baselines evaluate the algebra directly; preparing them
+    /// means having parsed the query.
+    Join {
+        query: Query,
+        strategy: JoinStrategy,
+    },
+}
+
+/// One union-free branch of the query.
+pub(crate) struct BranchPlan {
+    /// The connected components of the branch's required BGP (almost always
+    /// exactly one).
+    components: Vec<ComponentPlan>,
+    /// Branch filters re-applied after the cartesian combination; only used
+    /// when there is more than one component (`split_components` drops them
+    /// from the per-component groups).
+    filters: Vec<Expression>,
+}
+
+/// One connected component: a transformed query graph ready to match.
+pub(crate) struct ComponentPlan {
+    /// Match over the direct graph instead of the type-aware one.
+    use_direct: bool,
+    transformed: TransformedQuery,
+    /// The component's own variables (its output columns when the branch has
+    /// several components; empty for single-component branches, which render
+    /// straight onto the projection).
+    vars: Vec<String>,
+    /// The `+REUSE` matching order memoized by the first run (`Arc` so the
+    /// warm path clones a pointer, not the order itself).
+    cached_order: Mutex<Option<Arc<MatchingOrder>>>,
+}
+
+impl QueryPlan {
+    /// The engine this plan was prepared for.
+    pub fn kind(&self) -> EngineKind {
+        self.kind
+    }
+
+    /// The projected variable names, in output order.
+    pub fn projected_variables(&self) -> &[String] {
+        &self.projected
+    }
+
+    /// Number of transformed connected components across all branches
+    /// (`0` for join-baseline plans).
+    pub fn component_count(&self) -> usize {
+        match &self.mode {
+            PlanMode::Graph { branches, .. } => branches.iter().map(|b| b.components.len()).sum(),
+            PlanMode::Join { .. } => 0,
+        }
+    }
+
+    /// Number of components whose matching order is currently memoized.
+    /// `component_count()` of them after the first run, `0` before.
+    pub fn cached_order_count(&self) -> usize {
+        match &self.mode {
+            PlanMode::Graph { branches, .. } => branches
+                .iter()
+                .flat_map(|b| &b.components)
+                .filter(|c| c.cached_order.lock().is_some())
+                .count(),
+            PlanMode::Join { .. } => 0,
+        }
+    }
+}
+
+impl Store {
+    /// Parses a SPARQL query and builds the full execution plan for `kind`.
+    pub fn prepare_plan(&self, sparql: &str, kind: EngineKind) -> Result<QueryPlan, StoreError> {
+        self.plan_query(&turbohom_sparql::parse_query(sparql)?, kind)
+    }
+
+    /// Builds the execution plan for an already parsed query. Only the
+    /// join-baseline plans keep a copy of the algebra; the graph-engine
+    /// plans borrow it just long enough to transform the branches.
+    pub fn plan_query(&self, query: &Query, kind: EngineKind) -> Result<QueryPlan, StoreError> {
+        let projected = query.projected_variables();
+        let mode = match kind {
+            EngineKind::TurboHomPlusPlus => PlanMode::Graph {
+                config: self.default_config(),
+                branches: self.plan_branches(query, false)?,
+            },
+            EngineKind::TurboHom => PlanMode::Graph {
+                config: TurboHomConfig::turbohom(),
+                branches: self.plan_branches(query, true)?,
+            },
+            EngineKind::MergeJoin => PlanMode::Join {
+                query: query.clone(),
+                strategy: JoinStrategy::SortMerge,
+            },
+            EngineKind::HashJoin => PlanMode::Join {
+                query: query.clone(),
+                strategy: JoinStrategy::Hash,
+            },
+        };
+        Ok(QueryPlan {
+            kind,
+            projected,
+            mode,
+        })
+    }
+
+    /// Runs a prepared plan with its built-in configuration.
+    pub fn run_plan(&self, plan: &QueryPlan) -> Result<QueryResults, StoreError> {
+        self.run_plan_with(plan, None)
+    }
+
+    /// Runs a prepared plan, optionally overriding the worker-thread count
+    /// for this run only (the join baselines are single-threaded and ignore
+    /// the override).
+    pub fn run_plan_with(
+        &self,
+        plan: &QueryPlan,
+        threads: Option<usize>,
+    ) -> Result<QueryResults, StoreError> {
+        match &plan.mode {
+            PlanMode::Graph { config, branches } => {
+                let config = match threads {
+                    Some(t) => config.with_threads(t),
+                    None => *config,
+                };
+                self.run_graph_plan(branches, config, plan.projected.clone())
+            }
+            PlanMode::Join { query, strategy } => Ok(self.run_baseline(query, *strategy)),
+        }
+    }
+
+    /// Expands the query's unions and transforms every branch (the prepare
+    /// half of `execute_turbohom`).
+    pub(crate) fn plan_branches(
+        &self,
+        query: &Query,
+        force_direct: bool,
+    ) -> Result<Vec<BranchPlan>, StoreError> {
+        let mut branches = Vec::new();
+        for branch in query.pattern.expand_unions() {
+            let components = split_components(&branch);
+            if components.len() <= 1 {
+                branches.push(BranchPlan {
+                    components: vec![self.plan_component(&branch, force_direct, Vec::new())?],
+                    filters: Vec::new(),
+                });
+            } else {
+                let components = components
+                    .iter()
+                    .map(|c| self.plan_component(c, force_direct, c.all_variables()))
+                    .collect::<Result<Vec<_>, _>>()?;
+                branches.push(BranchPlan {
+                    components,
+                    filters: collect_filters(&branch),
+                });
+            }
+        }
+        Ok(branches)
+    }
+
+    /// Transforms one connected, union-free group.
+    fn plan_component(
+        &self,
+        group: &GroupPattern,
+        force_direct: bool,
+        vars: Vec<String>,
+    ) -> Result<ComponentPlan, StoreError> {
+        let use_direct = force_direct || branch_needs_direct(group);
+        let (graph, transformed) = self.transform_branch(group, use_direct)?;
+        Ok(ComponentPlan {
+            // `transform_branch` may have fallen back to the direct graph.
+            use_direct: graph.kind == TransformKind::Direct,
+            transformed,
+            vars,
+            cached_order: Mutex::new(None),
+        })
+    }
+
+    /// Runs pre-transformed branches (the run half of `execute_turbohom`).
+    /// The reported `elapsed` covers pattern matching and result rendering
+    /// only — parsing and transformation happened at plan time.
+    pub(crate) fn run_graph_plan(
+        &self,
+        branches: &[BranchPlan],
+        config: TurboHomConfig,
+        projected: Vec<String>,
+    ) -> Result<QueryResults, StoreError> {
+        let start = Instant::now();
+        let mut rows: Vec<ResultRow> = Vec::new();
+        let mut count = 0usize;
+        for branch in branches {
+            let (mut branch_rows, branch_count) =
+                self.run_branch_plan(branch, config, &projected)?;
+            rows.append(&mut branch_rows);
+            count += branch_count;
+        }
+        Ok(QueryResults {
+            variables: projected,
+            rows,
+            solution_count: count,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Runs one branch. Connected branches go straight to the matching
+    /// engine; a branch whose required BGP falls apart into several
+    /// connected components (e.g. BSBM Q5, which compares two unrelated
+    /// products through a FILTER) is evaluated component by component, the
+    /// partial results are combined by a cartesian product, and the branch
+    /// filters are applied to the combined rows.
+    fn run_branch_plan(
+        &self,
+        branch: &BranchPlan,
+        config: TurboHomConfig,
+        projected: &[String],
+    ) -> Result<(Vec<ResultRow>, usize), StoreError> {
+        if let [component] = branch.components.as_slice() {
+            return self.run_component_plan(component, config, projected);
+        }
+        // Evaluate each component over its own variables.
+        let mut partials: Vec<(&[String], Vec<ResultRow>)> = Vec::new();
+        for component in &branch.components {
+            let (rows, _) = self.run_component_plan(component, config, &component.vars)?;
+            partials.push((&component.vars, rows));
+        }
+        // Cartesian product of the component results.
+        let all_vars: Vec<String> = partials
+            .iter()
+            .flat_map(|(v, _)| v.iter().cloned())
+            .collect();
+        let mut combined: Vec<ResultRow> = vec![Vec::new()];
+        for (_, rows) in &partials {
+            let mut next = Vec::with_capacity(combined.len() * rows.len());
+            for prefix in &combined {
+                for row in rows {
+                    let mut r = prefix.clone();
+                    r.extend(row.iter().cloned());
+                    next.push(r);
+                }
+            }
+            combined = next;
+            if combined.is_empty() {
+                break;
+            }
+        }
+        // Apply the branch filters over the combined rows.
+        let filtered: Vec<ResultRow> = combined
+            .into_iter()
+            .filter(|row| {
+                let mut ctx = EvalContext::new();
+                for (var, term) in all_vars.iter().zip(row.iter()) {
+                    if let Some(term) = term {
+                        ctx.insert(var.clone(), term.clone());
+                    }
+                }
+                branch.filters.iter().all(|f| f.evaluate_bool(&ctx))
+            })
+            .collect();
+        // Project onto the requested variables.
+        let indices: Vec<Option<usize>> = projected
+            .iter()
+            .map(|v| all_vars.iter().position(|x| x == v))
+            .collect();
+        let rows: Vec<ResultRow> = filtered
+            .iter()
+            .map(|row| {
+                indices
+                    .iter()
+                    .map(|i| i.and_then(|i| row[i].clone()))
+                    .collect()
+            })
+            .collect();
+        let count = rows.len();
+        Ok((rows, count))
+    }
+
+    /// Runs one transformed component, reusing (or memoizing) its matching
+    /// order, and renders the result rows over `out_vars`.
+    fn run_component_plan(
+        &self,
+        component: &ComponentPlan,
+        config: TurboHomConfig,
+        out_vars: &[String],
+    ) -> Result<(Vec<ResultRow>, usize), StoreError> {
+        let graph = if component.use_direct {
+            &self.direct
+        } else {
+            &self.type_aware
+        };
+        let engine = TurboHomEngine::new(graph, &self.dataset.dictionary, config);
+        let preset = component.cached_order.lock().clone();
+        let (result, computed) =
+            engine.execute_with_order(&component.transformed, preset.as_deref())?;
+        if let Some(order) = computed {
+            let mut slot = component.cached_order.lock();
+            if slot.is_none() {
+                *slot = Some(Arc::new(order));
+            }
+        }
+        let mut rows = Vec::new();
+        self.append_rows(&mut rows, graph, &component.transformed, &result, out_vars);
+        Ok((rows, result.solution_count))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreOptions;
+    use turbohom_rdf::{vocab, Dataset};
+
+    fn ub(l: &str) -> String {
+        format!("http://ub.org/{l}")
+    }
+
+    fn sample_store() -> Store {
+        let mut ds = Dataset::new();
+        ds.insert_iris(
+            &ub("GraduateStudent"),
+            vocab::RDFS_SUBCLASSOF,
+            &ub("Student"),
+        );
+        for i in 0..4 {
+            let s = ub(&format!("student{i}"));
+            ds.insert_iris(&s, vocab::RDF_TYPE, &ub("GraduateStudent"));
+            ds.insert_iris(&s, &ub("memberOf"), &ub("dept0"));
+        }
+        ds.insert_iris(&ub("dept0"), vocab::RDF_TYPE, &ub("Department"));
+        ds.insert_iris(&ub("dept0"), &ub("subOrganizationOf"), &ub("univ0"));
+        ds.insert_iris(&ub("univ0"), vocab::RDF_TYPE, &ub("University"));
+        Store::from_dataset_with(
+            ds,
+            StoreOptions {
+                inference: true,
+                threads: 1,
+            },
+        )
+    }
+
+    const Q: &str = r#"PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+                       PREFIX ub: <http://ub.org/>
+                       SELECT ?x ?d WHERE { ?x rdf:type ub:Student . ?x ub:memberOf ?d . }"#;
+
+    #[test]
+    fn plans_run_like_execute_for_every_engine() {
+        let store = sample_store();
+        for kind in EngineKind::all() {
+            let plan = store.prepare_plan(Q, kind).unwrap();
+            assert_eq!(plan.kind(), kind);
+            assert_eq!(plan.projected_variables(), ["x", "d"]);
+            let direct = store.execute(Q, kind).unwrap();
+            let planned = store.run_plan(&plan).unwrap();
+            assert_eq!(planned.len(), direct.len());
+            assert_eq!(planned.rows, direct.rows);
+        }
+    }
+
+    #[test]
+    fn first_run_memoizes_the_matching_order() {
+        let store = sample_store();
+        let plan = store.prepare_plan(Q, EngineKind::TurboHomPlusPlus).unwrap();
+        assert_eq!(plan.component_count(), 1);
+        assert_eq!(plan.cached_order_count(), 0);
+        let cold = store.run_plan(&plan).unwrap();
+        assert_eq!(plan.cached_order_count(), 1);
+        let warm = store.run_plan(&plan).unwrap();
+        assert_eq!(warm.rows, cold.rows);
+        // The cached order survives a thread override.
+        let threaded = store.run_plan_with(&plan, Some(4)).unwrap();
+        assert_eq!(threaded.len(), cold.len());
+    }
+
+    #[test]
+    fn join_plans_have_no_graph_components() {
+        let store = sample_store();
+        let plan = store.prepare_plan(Q, EngineKind::MergeJoin).unwrap();
+        assert_eq!(plan.component_count(), 0);
+        assert_eq!(plan.cached_order_count(), 0);
+        assert_eq!(store.run_plan(&plan).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn multi_component_branch_plan_combines_components() {
+        let store = sample_store();
+        // Two unrelated patterns joined by a FILTER — two components.
+        let q = r#"PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+                   PREFIX ub: <http://ub.org/>
+                   SELECT ?a ?b WHERE {
+                     ?a rdf:type ub:Department . ?b rdf:type ub:University .
+                     FILTER (?a != ?b)
+                   }"#;
+        let plan = store.prepare_plan(q, EngineKind::TurboHomPlusPlus).unwrap();
+        assert_eq!(plan.component_count(), 2);
+        let r = store.run_plan(&plan).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(
+            r.rows,
+            store.execute(q, EngineKind::TurboHomPlusPlus).unwrap().rows
+        );
+        // Both component orders get memoized on the first run.
+        assert_eq!(plan.cached_order_count(), 2);
+    }
+
+    #[test]
+    fn plan_errors_match_execute_errors() {
+        let store = sample_store();
+        assert!(store
+            .prepare_plan("SELECT WHERE", EngineKind::TurboHomPlusPlus)
+            .is_err());
+    }
+}

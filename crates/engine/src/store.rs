@@ -2,10 +2,12 @@
 //! need, and the uniform query entry point.
 
 use crate::error::StoreError;
+use crate::plan::QueryPlan;
 use crate::results::{QueryResults, ResultRow};
+use std::fmt;
 use std::time::Instant;
 use turbohom_baseline::{HashJoinEngine, JoinStrategy, MergeJoinEngine, PermutationIndexes};
-use turbohom_core::{MatchResult, TurboHomConfig, TurboHomEngine};
+use turbohom_core::{MatchResult, TurboHomConfig};
 use turbohom_rdf::{parse_ntriples, Dataset, InferenceConfig, InferenceEngine, Term};
 use turbohom_sparql::{parse_query, GroupPattern, Query, SparqlTerm};
 use turbohom_transform::{
@@ -14,7 +16,7 @@ use turbohom_transform::{
 };
 
 /// Which execution engine to use for a query.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EngineKind {
     /// The paper's contribution: e-graph homomorphism matching over the
     /// type-aware transformed graph with all optimizations
@@ -30,8 +32,13 @@ pub enum EngineKind {
 }
 
 impl EngineKind {
+    /// Number of engine kinds (the length of [`EngineKind::all`]; sizes the
+    /// per-engine metric arrays, so a new variant cannot silently outgrow
+    /// them).
+    pub const COUNT: usize = 4;
+
     /// All engine kinds, in the order the experiment tables list them.
-    pub fn all() -> [EngineKind; 4] {
+    pub fn all() -> [EngineKind; Self::COUNT] {
         [
             EngineKind::TurboHomPlusPlus,
             EngineKind::TurboHom,
@@ -47,6 +54,71 @@ impl EngineKind {
             EngineKind::TurboHom => "TurboHOM (direct)",
             EngineKind::MergeJoin => "MergeJoin (RDF-3X-like)",
             EngineKind::HashJoin => "HashJoin (System-Y)",
+        }
+    }
+
+    /// Short machine-readable name: what [`Display`](fmt::Display) prints and
+    /// what [`FromStr`](std::str::FromStr) accepts (among other aliases).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineKind::TurboHomPlusPlus => "turbohom++",
+            EngineKind::TurboHom => "turbohom",
+            EngineKind::MergeJoin => "mergejoin",
+            EngineKind::HashJoin => "hashjoin",
+        }
+    }
+
+    /// The position of this kind in [`EngineKind::all`] (used to index
+    /// per-engine metric arrays).
+    pub fn index(&self) -> usize {
+        Self::all()
+            .iter()
+            .position(|k| k == self)
+            .expect("all() covers every kind")
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when an engine name cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseEngineKindError {
+    input: String,
+}
+
+impl fmt::Display for ParseEngineKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown engine `{}` (expected one of: turbohom++, turbohom, mergejoin, hashjoin)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseEngineKindError {}
+
+impl std::str::FromStr for EngineKind {
+    type Err = ParseEngineKindError;
+
+    /// Parses an engine name case-insensitively, ignoring `-`, `_`, spaces
+    /// and parentheses so the experiment-table labels round-trip too.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let key: String = s
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric() || *c == '+')
+            .map(|c| c.to_ascii_lowercase())
+            .collect();
+        match key.as_str() {
+            "turbohom++" | "turbohomplusplus" => Ok(EngineKind::TurboHomPlusPlus),
+            "turbohom" | "turbohomdirect" => Ok(EngineKind::TurboHom),
+            "mergejoin" | "mergejoinrdf3xlike" | "sortmerge" | "rdf3x" => Ok(EngineKind::MergeJoin),
+            "hashjoin" | "hashjoinsystemy" | "hash" => Ok(EngineKind::HashJoin),
+            _ => Err(ParseEngineKindError { input: s.into() }),
         }
     }
 }
@@ -71,10 +143,14 @@ impl Default for StoreOptions {
 }
 
 /// An in-memory RDF store with all engine-specific structures materialized.
+///
+/// A `Store` is immutable after construction and `Send + Sync`: services
+/// share one behind an `Arc` across worker threads (see the
+/// `turbohom-service` crate).
 pub struct Store {
-    dataset: Dataset,
-    type_aware: TransformedGraph,
-    direct: TransformedGraph,
+    pub(crate) dataset: Dataset,
+    pub(crate) type_aware: TransformedGraph,
+    pub(crate) direct: TransformedGraph,
     permutations: PermutationIndexes,
     options: StoreOptions,
 }
@@ -151,8 +227,24 @@ impl Store {
     }
 
     /// Parses and executes a SPARQL query with the chosen engine.
+    ///
+    /// This is sugar for [`prepare_plan`](Self::prepare_plan) followed by
+    /// [`run_plan`](Self::run_plan); callers that execute the same query
+    /// repeatedly should keep (or cache) the plan instead.
     pub fn execute(&self, sparql: &str, kind: EngineKind) -> Result<QueryResults, StoreError> {
-        self.prepare(sparql)?.execute(kind)
+        self.run_plan(&self.prepare_plan(sparql, kind)?)
+    }
+
+    /// Like [`execute`](Self::execute), but overriding the number of worker
+    /// threads for this request only (the store-level
+    /// [`StoreOptions::threads`] remains the default).
+    pub fn execute_with_threads(
+        &self,
+        sparql: &str,
+        kind: EngineKind,
+        threads: Option<usize>,
+    ) -> Result<QueryResults, StoreError> {
+        self.run_plan_with(&self.prepare_plan(sparql, kind)?, threads)
     }
 
     /// Executes with an explicit TurboHOM configuration (used by the
@@ -166,129 +258,15 @@ impl Store {
         force_direct: bool,
     ) -> Result<QueryResults, StoreError> {
         let query = parse_query(sparql)?;
-        self.run_turbohom(&query, config, force_direct)
+        let branches = self.plan_branches(&query, force_direct)?;
+        self.run_graph_plan(&branches, config, query.projected_variables())
     }
 
     // ---- internal execution paths -------------------------------------
 
-    fn run_turbohom(
-        &self,
-        query: &Query,
-        config: TurboHomConfig,
-        force_direct: bool,
-    ) -> Result<QueryResults, StoreError> {
-        let projected = query.projected_variables();
-        let start = Instant::now();
-        let mut rows: Vec<ResultRow> = Vec::new();
-        let mut count = 0usize;
-        for branch in query.pattern.expand_unions() {
-            let (mut branch_rows, branch_count) =
-                self.run_branch(&branch, config, force_direct, &projected)?;
-            rows.append(&mut branch_rows);
-            count += branch_count;
-        }
-        Ok(QueryResults {
-            variables: projected,
-            rows,
-            solution_count: count,
-            elapsed: start.elapsed(),
-        })
-    }
-
-    /// Runs one union-free branch. Connected branches go straight to the
-    /// matching engine; a branch whose required BGP falls apart into several
-    /// connected components (e.g. BSBM Q5, which compares two unrelated
-    /// products through a FILTER) is evaluated component by component, the
-    /// partial results are combined by a cartesian product, and the branch
-    /// filters are applied to the combined rows.
-    fn run_branch(
-        &self,
-        branch: &GroupPattern,
-        config: TurboHomConfig,
-        force_direct: bool,
-        projected: &[String],
-    ) -> Result<(Vec<ResultRow>, usize), StoreError> {
-        let components = split_components(branch);
-        if components.len() <= 1 {
-            return self.run_connected(branch, config, force_direct, projected);
-        }
-        // Evaluate each component over its own variables.
-        let mut partials: Vec<(Vec<String>, Vec<ResultRow>)> = Vec::new();
-        for component in &components {
-            let vars = component.all_variables();
-            let (rows, _) = self.run_connected(component, config, force_direct, &vars)?;
-            partials.push((vars, rows));
-        }
-        // Cartesian product of the component results.
-        let all_vars: Vec<String> = partials.iter().flat_map(|(v, _)| v.clone()).collect();
-        let mut combined: Vec<ResultRow> = vec![Vec::new()];
-        for (_, rows) in &partials {
-            let mut next = Vec::with_capacity(combined.len() * rows.len());
-            for prefix in &combined {
-                for row in rows {
-                    let mut r = prefix.clone();
-                    r.extend(row.iter().cloned());
-                    next.push(r);
-                }
-            }
-            combined = next;
-            if combined.is_empty() {
-                break;
-            }
-        }
-        // Apply the branch filters over the combined rows.
-        let filters = collect_filters(branch);
-        let filtered: Vec<ResultRow> = combined
-            .into_iter()
-            .filter(|row| {
-                let mut ctx = turbohom_sparql::EvalContext::new();
-                for (var, term) in all_vars.iter().zip(row.iter()) {
-                    if let Some(term) = term {
-                        ctx.insert(var.clone(), term.clone());
-                    }
-                }
-                filters.iter().all(|f| f.evaluate_bool(&ctx))
-            })
-            .collect();
-        // Project onto the requested variables.
-        let indices: Vec<Option<usize>> = projected
-            .iter()
-            .map(|v| all_vars.iter().position(|x| x == v))
-            .collect();
-        let rows: Vec<ResultRow> = filtered
-            .iter()
-            .map(|row| {
-                indices
-                    .iter()
-                    .map(|i| i.and_then(|i| row[i].clone()))
-                    .collect()
-            })
-            .collect();
-        let count = rows.len();
-        Ok((rows, count))
-    }
-
-    /// Runs one connected, union-free group with the matching engine and
-    /// renders the result rows over `out_vars`.
-    fn run_connected(
-        &self,
-        group: &GroupPattern,
-        config: TurboHomConfig,
-        force_direct: bool,
-        out_vars: &[String],
-    ) -> Result<(Vec<ResultRow>, usize), StoreError> {
-        let use_direct = force_direct || branch_needs_direct(group);
-        let (graph, transformed) = self.transform_branch(group, use_direct)?;
-        let engine = TurboHomEngine::new(graph, &self.dataset.dictionary, config);
-        let result = engine.execute(&transformed)?;
-        let mut rows = Vec::new();
-        self.append_rows(&mut rows, graph, &transformed, &result, out_vars);
-        Ok((rows, result.solution_count))
-    }
-
     /// Transforms one union-free branch, falling back to the direct graph
     /// when the type-aware transformation cannot express the query.
-    fn transform_branch(
+    pub(crate) fn transform_branch(
         &self,
         branch: &GroupPattern,
         use_direct: bool,
@@ -311,7 +289,7 @@ impl Store {
     }
 
     /// Converts matcher solutions into term rows over the projected variables.
-    fn append_rows(
+    pub(crate) fn append_rows(
         &self,
         rows: &mut Vec<ResultRow>,
         graph: &TransformedGraph,
@@ -359,7 +337,7 @@ impl Store {
         }
     }
 
-    fn run_baseline(&self, query: &Query, strategy: JoinStrategy) -> QueryResults {
+    pub(crate) fn run_baseline(&self, query: &Query, strategy: JoinStrategy) -> QueryResults {
         let projected = query.projected_variables();
         let start = Instant::now();
         let engine = match strategy {
@@ -407,21 +385,24 @@ impl<'s> PreparedQuery<'s> {
         &self.query
     }
 
-    /// Executes the query with the chosen engine.
+    /// Builds the full execution plan for the chosen engine.
+    pub fn plan(&self, kind: EngineKind) -> Result<QueryPlan, StoreError> {
+        self.store.plan_query(&self.query, kind)
+    }
+
+    /// Executes the query with the chosen engine. The join baselines
+    /// evaluate the parsed algebra in place; the graph engines build (and
+    /// discard) a plan — callers executing repeatedly should hold a
+    /// [`plan`](Self::plan) instead.
     pub fn execute(&self, kind: EngineKind) -> Result<QueryResults, StoreError> {
         match kind {
-            EngineKind::TurboHomPlusPlus => {
-                self.store
-                    .run_turbohom(&self.query, self.store.default_config(), false)
-            }
-            EngineKind::TurboHom => {
-                self.store
-                    .run_turbohom(&self.query, TurboHomConfig::turbohom(), true)
-            }
             EngineKind::MergeJoin => Ok(self
                 .store
                 .run_baseline(&self.query, JoinStrategy::SortMerge)),
             EngineKind::HashJoin => Ok(self.store.run_baseline(&self.query, JoinStrategy::Hash)),
+            EngineKind::TurboHomPlusPlus | EngineKind::TurboHom => {
+                self.store.run_plan(&self.plan(kind)?)
+            }
         }
     }
 }
@@ -430,7 +411,7 @@ impl<'s> PreparedQuery<'s> {
 /// (anywhere, including OPTIONAL clauses). Such queries must run over the
 /// direct transformation: in the type-aware graph the `rdf:type` edges no
 /// longer exist, so a variable predicate would silently miss them.
-fn branch_needs_direct(branch: &GroupPattern) -> bool {
+pub(crate) fn branch_needs_direct(branch: &GroupPattern) -> bool {
     branch
         .triples
         .iter()
@@ -441,7 +422,7 @@ fn branch_needs_direct(branch: &GroupPattern) -> bool {
 
 /// All FILTER expressions of a branch, including those inside OPTIONALs
 /// (used when the branch is evaluated component-wise at the store level).
-fn collect_filters(branch: &GroupPattern) -> Vec<turbohom_sparql::Expression> {
+pub(crate) fn collect_filters(branch: &GroupPattern) -> Vec<turbohom_sparql::Expression> {
     let mut out = branch.filters.clone();
     for opt in &branch.optionals {
         out.extend(collect_filters(opt));
@@ -454,7 +435,7 @@ fn collect_filters(branch: &GroupPattern) -> Vec<turbohom_sparql::Expression> {
 /// to shared query vertices). OPTIONAL clauses are attached to the first
 /// component they share a variable with; FILTERs are deliberately dropped —
 /// the caller re-applies them after combining the component results.
-fn split_components(branch: &GroupPattern) -> Vec<GroupPattern> {
+pub(crate) fn split_components(branch: &GroupPattern) -> Vec<GroupPattern> {
     if branch.triples.len() <= 1 {
         return vec![branch.clone()];
     }
@@ -693,6 +674,48 @@ mod tests {
         // dept0 has a parent organization, univ0 does not.
         assert_eq!(a.column("u").len(), 1);
         assert_eq!(b.column("u").len(), 1);
+    }
+
+    #[test]
+    fn engine_kind_parses_case_insensitively_and_round_trips() {
+        for kind in EngineKind::all() {
+            // Display → FromStr round trip.
+            assert_eq!(kind.to_string().parse::<EngineKind>().unwrap(), kind);
+            // The experiment-table labels parse too.
+            assert_eq!(kind.label().parse::<EngineKind>().unwrap(), kind);
+            // Case and separators do not matter.
+            assert_eq!(
+                kind.name().to_uppercase().parse::<EngineKind>().unwrap(),
+                kind
+            );
+            assert_eq!(EngineKind::all()[kind.index()], kind);
+        }
+        assert_eq!(
+            "Merge-Join".parse::<EngineKind>().unwrap(),
+            EngineKind::MergeJoin
+        );
+        assert_eq!(
+            "TURBOHOM_PLUS_PLUS".parse::<EngineKind>().unwrap(),
+            EngineKind::TurboHomPlusPlus
+        );
+        let err = "sparqlotron".parse::<EngineKind>().unwrap_err();
+        assert!(err.to_string().contains("sparqlotron"));
+    }
+
+    #[test]
+    fn per_request_thread_override_does_not_rebuild_the_store() {
+        let store = sample_store();
+        let q = r#"PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+                   PREFIX ub: <http://ub.org/>
+                   SELECT ?x WHERE { ?x rdf:type ub:Student . }"#;
+        // The store was built with threads = 1; the override applies per call.
+        assert_eq!(store.options().threads, 1);
+        let seq = store.execute(q, EngineKind::TurboHomPlusPlus).unwrap();
+        let par = store
+            .execute_with_threads(q, EngineKind::TurboHomPlusPlus, Some(4))
+            .unwrap();
+        assert_eq!(seq.len(), par.len());
+        assert_eq!(store.options().threads, 1);
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! `turbohom-server` — serve SPARQL queries over HTTP.
+//!
+//! ```bash
+//! # Serve a generated LUBM(1) store on the default address:
+//! turbohom-server --lubm 1
+//!
+//! # Serve an N-Triples file with RDFS inference and a bigger plan cache:
+//! turbohom-server --ntriples data.nt --inference --cache 1024 --bind 0.0.0.0:7878
+//!
+//! # Then:
+//! curl 'http://127.0.0.1:7878/healthz'
+//! curl 'http://127.0.0.1:7878/query' --data-urlencode 'query=SELECT ?x WHERE { ?x ?p ?o . }'
+//! curl 'http://127.0.0.1:7878/stats'
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use turbohom_datasets::lubm::{LubmConfig, LubmGenerator};
+use turbohom_engine::{EngineKind, Store, StoreOptions};
+use turbohom_service::{HttpServer, QueryService, ServiceConfig};
+
+struct Args {
+    bind: String,
+    lubm_scale: usize,
+    ntriples: Option<String>,
+    inference: bool,
+    threads: usize,
+    cache: usize,
+    engine: EngineKind,
+}
+
+fn usage() -> &'static str {
+    "usage: turbohom-server [OPTIONS]\n\
+     \n\
+     options:\n\
+     \x20 --bind ADDR       listen address (default 127.0.0.1:7878)\n\
+     \x20 --lubm N          serve a generated LUBM store at scale N (default 1)\n\
+     \x20 --ntriples FILE   serve an N-Triples file instead of LUBM\n\
+     \x20 --inference       materialize the RDFS closure at load time\n\
+     \x20 --threads N       default worker threads per query (default 1)\n\
+     \x20 --cache N         plan-cache capacity (default 256)\n\
+     \x20 --engine NAME     default engine: turbohom++ | turbohom | mergejoin | hashjoin\n\
+     \x20 --help            print this help"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        bind: "127.0.0.1:7878".into(),
+        lubm_scale: 1,
+        ntriples: None,
+        inference: false,
+        threads: 1,
+        cache: 256,
+        engine: EngineKind::TurboHomPlusPlus,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--bind" => args.bind = value("--bind")?,
+            "--lubm" => {
+                args.lubm_scale = value("--lubm")?
+                    .parse()
+                    .map_err(|_| "--lubm expects an integer scale")?
+            }
+            "--ntriples" => args.ntriples = Some(value("--ntriples")?),
+            "--inference" => args.inference = true,
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads expects an integer")?
+            }
+            "--cache" => {
+                args.cache = value("--cache")?
+                    .parse()
+                    .map_err(|_| "--cache expects an integer")?
+            }
+            "--engine" => {
+                args.engine = value("--engine")?
+                    .parse::<EngineKind>()
+                    .map_err(|e| e.to_string())?
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option `{other}`\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("turbohom-server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let options = StoreOptions {
+        inference: args.inference,
+        threads: args.threads.max(1),
+    };
+    let store = match &args.ntriples {
+        Some(path) => {
+            eprintln!("loading N-Triples from {path} ...");
+            let input = match std::fs::read_to_string(path) {
+                Ok(input) => input,
+                Err(e) => {
+                    eprintln!("turbohom-server: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match Store::from_ntriples_with(&input, options) {
+                Ok(store) => store,
+                Err(e) => {
+                    eprintln!("turbohom-server: cannot parse {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => {
+            eprintln!("generating LUBM({}) ...", args.lubm_scale);
+            let dataset = LubmGenerator::new(LubmConfig::scale(args.lubm_scale)).generate();
+            Store::from_dataset_with(dataset, options)
+        }
+    };
+    eprintln!("store ready: {} triples", store.triple_count());
+
+    let service = Arc::new(QueryService::with_config(
+        Arc::new(store),
+        ServiceConfig {
+            plan_cache_capacity: args.cache,
+            default_engine: args.engine,
+            ..ServiceConfig::default()
+        },
+    ));
+    let server = match HttpServer::bind(args.bind.as_str(), service) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("turbohom-server: cannot bind {}: {e}", args.bind);
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => eprintln!("listening on http://{addr} (endpoints: /query /healthz /stats)"),
+        Err(_) => eprintln!("listening on {}", args.bind),
+    }
+    if let Err(e) = server.run() {
+        eprintln!("turbohom-server: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,229 @@
+//! The LRU plan cache.
+//!
+//! Keys are the *canonical* normalized query text (see
+//! [`turbohom_sparql::fingerprint`]) plus the engine kind — so every
+//! spelling of a query shares one entry per engine, and a fingerprint hash
+//! collision can never hand back the wrong plan (the full canonical text is
+//! compared on lookup). Values are `Arc<QueryPlan>`, shared with in-flight
+//! requests so eviction never invalidates a running query.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use turbohom_engine::{EngineKind, QueryPlan};
+
+/// The cache key: canonical query text + engine.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Canonical (normalized) query text.
+    pub canonical: String,
+    /// The engine the plan was prepared for.
+    pub kind: EngineKind,
+}
+
+struct Entry {
+    plan: Arc<QueryPlan>,
+    /// Logical timestamp of the last hit (monotone per-cache counter).
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<PlanKey, Entry>,
+    tick: u64,
+}
+
+/// A thread-safe least-recently-used cache of prepared query plans.
+pub struct PlanCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PlanCache {
+    /// Creates a cache holding at most `capacity` plans (`0` disables
+    /// caching: every lookup misses and nothing is stored).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity,
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a plan, refreshing its recency on a hit.
+    pub fn get(&self, key: &PlanKey) -> Option<Arc<QueryPlan>> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.plan))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a plan, evicting the least-recently-used entry when full.
+    /// Returns the plan that is now cached under `key` (an insert racing
+    /// with another thread keeps the first plan, so callers agree).
+    pub fn insert(&self, key: PlanKey, plan: Arc<QueryPlan>) -> Arc<QueryPlan> {
+        if self.capacity == 0 {
+            return plan;
+        }
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(existing) = inner.map.get(&key) {
+            return Arc::clone(&existing.plan);
+        }
+        if inner.map.len() >= self.capacity {
+            // O(n) victim scan — plan caches are small (tens to hundreds of
+            // entries), so a scan beats maintaining an intrusive list.
+            if let Some(victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                plan: Arc::clone(&plan),
+                last_used: tick,
+            },
+        );
+        plan
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Returns `true` if the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of cached plans.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of lookups that found a plan.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of plans evicted to make room.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbohom_engine::Store;
+
+    fn plan_for(store: &Store, q: &str) -> Arc<QueryPlan> {
+        Arc::new(store.prepare_plan(q, EngineKind::TurboHomPlusPlus).unwrap())
+    }
+
+    fn key(s: &str) -> PlanKey {
+        PlanKey {
+            canonical: s.into(),
+            kind: EngineKind::TurboHomPlusPlus,
+        }
+    }
+
+    fn store() -> Store {
+        Store::from_ntriples("<http://a> <http://p> <http://b> .").unwrap()
+    }
+
+    #[test]
+    fn hit_miss_and_counters() {
+        let store = store();
+        let cache = PlanCache::new(4);
+        let q = "SELECT ?x WHERE { ?x <http://p> ?y . }";
+        assert!(cache.get(&key(q)).is_none());
+        cache.insert(key(q), plan_for(&store, q));
+        assert!(cache.get(&key(q)).is_some());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn engine_kind_is_part_of_the_key() {
+        let store = store();
+        let cache = PlanCache::new(4);
+        let q = "SELECT ?x WHERE { ?x <http://p> ?y . }";
+        cache.insert(key(q), plan_for(&store, q));
+        let other = PlanKey {
+            canonical: q.into(),
+            kind: EngineKind::MergeJoin,
+        };
+        assert!(cache.get(&other).is_none());
+    }
+
+    #[test]
+    fn least_recently_used_entry_is_evicted() {
+        let store = store();
+        let cache = PlanCache::new(2);
+        let (a, b, c) = ("q-a", "q-b", "q-c");
+        let q = "SELECT ?x WHERE { ?x <http://p> ?y . }";
+        cache.insert(key(a), plan_for(&store, q));
+        cache.insert(key(b), plan_for(&store, q));
+        assert!(cache.get(&key(a)).is_some()); // refresh a → b is now LRU
+        cache.insert(key(c), plan_for(&store, q));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key(a)).is_some());
+        assert!(cache.get(&key(b)).is_none());
+        assert!(cache.get(&key(c)).is_some());
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn racing_insert_keeps_the_first_plan() {
+        let store = store();
+        let cache = PlanCache::new(2);
+        let q = "SELECT ?x WHERE { ?x <http://p> ?y . }";
+        let first = cache.insert(key(q), plan_for(&store, q));
+        let second = cache.insert(key(q), plan_for(&store, q));
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let store = store();
+        let cache = PlanCache::new(0);
+        let q = "SELECT ?x WHERE { ?x <http://p> ?y . }";
+        cache.insert(key(q), plan_for(&store, q));
+        assert!(cache.get(&key(q)).is_none());
+        assert!(cache.is_empty());
+    }
+}

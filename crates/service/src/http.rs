@@ -1,0 +1,432 @@
+//! A minimal HTTP/1.1 front-end for the [`QueryService`] — `std::net` only,
+//! no external dependencies (the build environment is offline).
+//!
+//! Endpoints (mirroring the SPARQL-protocol shape oxigraph's server exposes):
+//!
+//! * `GET /query?query=…&engine=…&threads=…` — execute a query; returns
+//!   `application/sparql-results+json` plus `X-Cache: HIT|MISS`,
+//!   `X-Engine` and `X-Fingerprint` headers.
+//! * `POST /query` — same; the query comes either as an
+//!   `application/x-www-form-urlencoded` body (`query=…`) or raw as
+//!   `application/sparql-query`.
+//! * `GET /healthz` — liveness probe (`200` once the store is loaded).
+//! * `GET /stats` — the [`StatsSnapshot`](crate::StatsSnapshot) as JSON.
+//!
+//! Concurrency model: blocking accept loop, one thread per connection,
+//! connections closed after each response. That is deliberately boring —
+//! the interesting shared state (store, plan cache, metrics) is all inside
+//! `QueryService`, which is what the concurrency tests hammer.
+
+use crate::service::{QueryOptions, QueryService};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use turbohom_engine::{json_escape, EngineKind};
+
+/// Maximum accepted size of a request head or body (1 MiB, like oxigraph's
+/// `MAX_SPARQL_BODY_SIZE`).
+const MAX_REQUEST_SIZE: usize = 1 << 20;
+
+/// The HTTP server: a bound listener plus the shared service.
+pub struct HttpServer {
+    listener: TcpListener,
+    service: Arc<QueryService>,
+}
+
+/// Handle to a server running in background threads (used by tests and by
+/// graceful shutdown).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds to `addr` (e.g. `"127.0.0.1:7878"`; port `0` picks a free one).
+    pub fn bind(addr: impl ToSocketAddrs, service: Arc<QueryService>) -> io::Result<HttpServer> {
+        Ok(HttpServer {
+            listener: TcpListener::bind(addr)?,
+            service,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves forever on the current thread (the `turbohom-server` binary).
+    pub fn run(self) -> io::Result<()> {
+        for stream in self.listener.incoming() {
+            // A failed accept (EMFILE under load, ECONNABORTED on a reset
+            // connection) sheds that one connection, not the server.
+            let Ok(stream) = stream else { continue };
+            let service = Arc::clone(&self.service);
+            std::thread::spawn(move || handle_connection(stream, &service));
+        }
+        Ok(())
+    }
+
+    /// Serves on a background accept thread and returns a stoppable handle.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in self.listener.incoming() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let service = Arc::clone(&self.service);
+                std::thread::spawn(move || handle_connection(stream, &service));
+            }
+        });
+        Ok(ServerHandle {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The address the server listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the accept thread. In-flight
+    /// request threads finish on their own.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// One parsed request.
+struct Request {
+    method: String,
+    path: String,
+    query_string: String,
+    content_type: String,
+    body: Vec<u8>,
+}
+
+fn handle_connection(stream: TcpStream, service: &QueryService) {
+    // A stalled or malicious client must not pin this thread (slowloris) …
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(30)));
+    let reading = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    // … and an endless request line must not buffer unboundedly: `take`
+    // bounds the total bytes one request may occupy before parsing rejects
+    // it via the head/body size checks.
+    let mut reader = BufReader::new(reading.take(2 * MAX_REQUEST_SIZE as u64));
+    let mut stream = stream;
+    let response = match read_request(&mut reader) {
+        Ok(request) => {
+            let mut response = respond(&request, service);
+            if request.method == "HEAD" {
+                // RFC 9110: a HEAD response carries the headers (including
+                // Content-Length) but no content.
+                truncate_to_head(&mut response);
+            }
+            response
+        }
+        Err(e) => error_response(400, &format!("bad request: {e}")),
+    };
+    let _ = stream.write_all(&response);
+    let _ = stream.flush();
+}
+
+/// Cuts a serialized response after the blank line separating head and body.
+fn truncate_to_head(response: &mut Vec<u8>) {
+    if let Some(end) = response
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| i + 4)
+    {
+        response.truncate(end);
+    }
+}
+
+/// Reads and parses one HTTP/1.1 request (head + Content-Length body).
+fn read_request(reader: &mut BufReader<io::Take<TcpStream>>) -> Result<Request, String> {
+    let mut request_line = String::new();
+    reader
+        .read_line(&mut request_line)
+        .map_err(|e| e.to_string())?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or("empty request line")?.to_string();
+    let target = parts.next().ok_or("missing request target")?.to_string();
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported protocol {version}"));
+    }
+    let (path, query_string) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target, String::new()),
+    };
+
+    let mut content_length = 0usize;
+    let mut content_type = String::new();
+    let mut head_size = request_line.len();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).map_err(|e| e.to_string())?;
+        head_size += line.len();
+        if head_size > MAX_REQUEST_SIZE {
+            return Err("request head too large".into());
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            let value = value.trim();
+            match name.to_ascii_lowercase().as_str() {
+                "content-length" => {
+                    content_length = value.parse().map_err(|_| "bad Content-Length")?;
+                }
+                "content-type" => {
+                    content_type = value.to_ascii_lowercase();
+                }
+                _ => {}
+            }
+        }
+    }
+    if content_length > MAX_REQUEST_SIZE {
+        return Err("request body too large".into());
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| e.to_string())?;
+    Ok(Request {
+        method,
+        path,
+        query_string,
+        content_type,
+        body,
+    })
+}
+
+/// Routes one request to its endpoint.
+fn respond(request: &Request, service: &QueryService) -> Vec<u8> {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET" | "HEAD", "/healthz") => {
+            let body = format!(
+                "{{\"status\":\"ok\",\"triples\":{}}}",
+                service.store().triple_count()
+            );
+            json_response(200, &body, &[])
+        }
+        ("GET" | "HEAD", "/stats") => json_response(200, &service.stats().to_json(), &[]),
+        ("GET" | "POST", "/query") => respond_query(request, service),
+        ("GET" | "HEAD", "/") => json_response(
+            200,
+            "{\"service\":\"turbohom\",\"endpoints\":[\"/query\",\"/healthz\",\"/stats\"]}",
+            &[],
+        ),
+        (_, "/healthz" | "/stats" | "/query" | "/") => {
+            error_response(405, &format!("method {} not allowed", request.method))
+        }
+        _ => error_response(404, &format!("no such endpoint: {}", request.path)),
+    }
+}
+
+/// The `/query` endpoint: parameter extraction + execution + serialization.
+fn respond_query(request: &Request, service: &QueryService) -> Vec<u8> {
+    let mut params = parse_query_string(&request.query_string);
+    if request.method == "POST" {
+        if request
+            .content_type
+            .starts_with("application/x-www-form-urlencoded")
+        {
+            let body = String::from_utf8_lossy(&request.body).into_owned();
+            params.extend(parse_query_string(&body));
+        } else {
+            // Raw query body (application/sparql-query or unspecified).
+            match String::from_utf8(request.body.clone()) {
+                Ok(q) => params.push(("query".into(), q)),
+                Err(_) => return error_response(400, "query body is not valid UTF-8"),
+            }
+        }
+    }
+    let param = |name: &str| {
+        params
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+    let Some(sparql) = param("query") else {
+        return error_response(400, "missing `query` parameter");
+    };
+    let engine = match param("engine") {
+        None => None,
+        Some(name) => match name.parse::<EngineKind>() {
+            Ok(kind) => Some(kind),
+            Err(e) => return error_response(400, &e.to_string()),
+        },
+    };
+    let threads = match param("threads") {
+        None => None,
+        Some(t) => match t.parse::<usize>() {
+            Ok(t) if t >= 1 => Some(t),
+            _ => return error_response(400, "`threads` must be a positive integer"),
+        },
+    };
+    match service.query(sparql, QueryOptions { engine, threads }) {
+        Ok(response) => {
+            let cache = if response.cache_hit { "HIT" } else { "MISS" };
+            let headers = [
+                ("X-Cache", cache.to_string()),
+                ("X-Engine", response.engine.to_string()),
+                ("X-Fingerprint", format!("{:016x}", response.fingerprint)),
+            ];
+            sparql_json_response(&response.results.to_sparql_json(), &headers)
+        }
+        Err(e) => error_response(400, &e.to_string()),
+    }
+}
+
+/// Splits and percent-decodes an `application/x-www-form-urlencoded` string.
+pub fn parse_query_string(qs: &str) -> Vec<(String, String)> {
+    qs.split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (percent_decode(k), percent_decode(v))
+        })
+        .collect()
+}
+
+/// Decodes `%XX` escapes and `+`-as-space.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                match (
+                    bytes.get(i + 1).and_then(|b| (*b as char).to_digit(16)),
+                    bytes.get(i + 2).and_then(|b| (*b as char).to_digit(16)),
+                ) {
+                    (Some(hi), Some(lo)) => {
+                        out.push((hi * 16 + lo) as u8);
+                        i += 3;
+                    }
+                    _ => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Builds a full HTTP response with a JSON body.
+fn json_response(status: u16, body: &str, extra_headers: &[(&str, String)]) -> Vec<u8> {
+    build_response(status, "application/json", body, extra_headers)
+}
+
+/// Builds a `200` response carrying SPARQL-JSON results.
+fn sparql_json_response(body: &str, extra_headers: &[(&str, String)]) -> Vec<u8> {
+    build_response(200, "application/sparql-results+json", body, extra_headers)
+}
+
+/// Builds an error response with a JSON `{"error": …}` body.
+fn error_response(status: u16, message: &str) -> Vec<u8> {
+    let body = format!("{{\"error\":\"{}\"}}", json_escape(message));
+    build_response(status, "application/json", &body, &[])
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    }
+}
+
+fn build_response(
+    status: u16,
+    content_type: &str,
+    body: &str,
+    extra_headers: &[(&str, String)],
+) -> Vec<u8> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\nServer: turbohom\r\n",
+        status_text(status),
+        body.len(),
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    let mut out = head.into_bytes();
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_string_parsing_decodes_escapes() {
+        let params = parse_query_string("query=SELECT%20%3Fx&engine=turbohom%2B%2B&a=b+c");
+        assert_eq!(
+            params,
+            vec![
+                ("query".into(), "SELECT ?x".into()),
+                ("engine".into(), "turbohom++".into()),
+                ("a".into(), "b c".into()),
+            ]
+        );
+        assert!(parse_query_string("").is_empty());
+    }
+
+    #[test]
+    fn percent_decode_edge_cases() {
+        assert_eq!(percent_decode("a%2Bb"), "a+b");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+        assert_eq!(percent_decode("%3f"), "?");
+    }
+
+    #[test]
+    fn responses_have_correct_framing() {
+        let r = String::from_utf8(json_response(200, "{}", &[])).unwrap();
+        assert!(r.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(r.contains("Content-Length: 2\r\n"));
+        assert!(r.ends_with("\r\n\r\n{}"));
+        let e = String::from_utf8(error_response(404, "nope \"x\"")).unwrap();
+        assert!(e.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(e.contains(r#"{"error":"nope \"x\""}"#));
+    }
+}

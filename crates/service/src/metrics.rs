@@ -1,0 +1,214 @@
+//! Service metrics: per-engine throughput counters and latency histograms.
+//!
+//! Everything is lock-free (`AtomicU64`) so the request path never contends:
+//! recording a latency is one `fetch_add` into a log₂-bucketed histogram.
+//! Quantiles (p50/p95/p99) are estimated from the bucket counts — each
+//! bucket `i` covers latencies in `[2^(i-1), 2^i)` microseconds, so the
+//! estimate is exact to within a factor of two, which is what a `/stats`
+//! dashboard needs (the paper reports milliseconds; sub-bucket precision
+//! would be noise).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use turbohom_engine::EngineKind;
+
+/// Number of log₂ buckets: covers 1 µs … ~2³⁸ µs (≈ 76 hours) per query.
+const BUCKETS: usize = 40;
+
+/// A log₂-bucketed latency histogram.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    total_micros: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            total_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn record(&self, latency: Duration) {
+        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        // Bucket i holds values < 2^i µs: 0µs → bucket 0, 1µs → 1, 2-3µs → 2…
+        let idx = (u64::BITS - micros.leading_zeros()).min(BUCKETS as u32 - 1) as usize;
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency, or zero when nothing was recorded.
+    pub fn mean(&self) -> Duration {
+        let count = self.count();
+        if count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros(self.total_micros.load(Ordering::Relaxed) / count)
+    }
+
+    /// Estimates the latency at quantile `q` (in `[0, 1]`): the upper bound
+    /// of the first bucket covering the q-th observation.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let count = self.count();
+        if count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Duration::from_micros(1u64 << i);
+            }
+        }
+        Duration::from_micros(1u64 << (BUCKETS - 1))
+    }
+}
+
+/// Counters and latency for one engine kind.
+#[derive(Default)]
+pub struct EngineMetrics {
+    /// Successfully answered queries.
+    pub queries: AtomicU64,
+    /// Queries that returned an error.
+    pub errors: AtomicU64,
+    /// Latency of successful queries (wall clock across the whole request:
+    /// fingerprint + plan lookup/preparation + enumeration + rendering).
+    pub latency: LatencyHistogram,
+}
+
+/// All service metrics: one [`EngineMetrics`] per engine plus uptime.
+pub struct ServiceMetrics {
+    per_engine: [EngineMetrics; EngineKind::COUNT],
+    started: Instant,
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServiceMetrics {
+    /// Creates empty metrics; uptime starts now.
+    pub fn new() -> Self {
+        ServiceMetrics {
+            per_engine: Default::default(),
+            started: Instant::now(),
+        }
+    }
+
+    /// The metrics of one engine.
+    pub fn engine(&self, kind: EngineKind) -> &EngineMetrics {
+        &self.per_engine[kind.index()]
+    }
+
+    /// Records a successful query.
+    pub fn record_success(&self, kind: EngineKind, latency: Duration) {
+        let m = self.engine(kind);
+        m.queries.fetch_add(1, Ordering::Relaxed);
+        m.latency.record(latency);
+    }
+
+    /// Records a failed query.
+    pub fn record_error(&self, kind: EngineKind) {
+        self.engine(kind).errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Seconds since the service started.
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Total successful queries across all engines.
+    pub fn total_queries(&self) -> u64 {
+        self.per_engine
+            .iter()
+            .map(|m| m.queries.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Queries per second over the whole uptime, per engine.
+    pub fn qps(&self, kind: EngineKind) -> f64 {
+        let secs = self.uptime().as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.engine(kind).queries.load(Ordering::Relaxed) as f64 / secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2_and_estimates_quantiles() {
+        let h = LatencyHistogram::default();
+        // 90 fast observations (~8 µs), 10 slow (~1000 µs).
+        for _ in 0..90 {
+            h.record(Duration::from_micros(8));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_micros(1000));
+        }
+        assert_eq!(h.count(), 100);
+        // p50 and p90 land in the 8µs bucket (upper bound 16µs);
+        // p95/p99 land in the 1000µs bucket (upper bound 1024µs).
+        assert_eq!(h.quantile(0.50), Duration::from_micros(16));
+        assert_eq!(h.quantile(0.90), Duration::from_micros(16));
+        assert_eq!(h.quantile(0.95), Duration::from_micros(1024));
+        assert_eq!(h.quantile(0.99), Duration::from_micros(1024));
+        let mean = h.mean();
+        assert!(mean > Duration::from_micros(90) && mean < Duration::from_micros(120));
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile(0.99), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn extreme_latencies_clamp_into_the_last_bucket() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_secs(1_000_000));
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile(1.0) > Duration::from_secs(1));
+    }
+
+    #[test]
+    fn per_engine_counters_are_independent() {
+        let m = ServiceMetrics::new();
+        m.record_success(EngineKind::TurboHomPlusPlus, Duration::from_micros(5));
+        m.record_success(EngineKind::TurboHomPlusPlus, Duration::from_micros(5));
+        m.record_error(EngineKind::MergeJoin);
+        assert_eq!(
+            m.engine(EngineKind::TurboHomPlusPlus)
+                .queries
+                .load(Ordering::Relaxed),
+            2
+        );
+        assert_eq!(
+            m.engine(EngineKind::MergeJoin)
+                .errors
+                .load(Ordering::Relaxed),
+            1
+        );
+        assert_eq!(m.engine(EngineKind::HashJoin).latency.count(), 0);
+        assert_eq!(m.total_queries(), 2);
+        assert!(m.qps(EngineKind::TurboHomPlusPlus) > 0.0);
+    }
+}

@@ -1,0 +1,386 @@
+//! The [`QueryService`]: a shared, thread-safe query front-end over one
+//! [`Store`].
+//!
+//! Request path:
+//!
+//! 1. normalize + fingerprint the query text (cheap: one lexer pass),
+//! 2. look the `(canonical, engine)` key up in the LRU plan cache,
+//! 3. **hit** → jump straight to enumeration via [`Store::run_plan_with`]
+//!    (no parsing, no transformation, and — via the plan's memoized
+//!    matching order — no order determination either),
+//! 4. **miss** → [`Store::prepare_plan`] (parse + transform), run it, and
+//!    cache the plan for the next request.
+//!
+//! The service counts how many times the expensive prepare half actually
+//! ran ([`StatsSnapshot::plans_prepared`]), which is what the warm-path
+//! tests assert on: repeated queries must not re-parse or re-transform.
+
+use crate::cache::{PlanCache, PlanKey};
+use crate::metrics::ServiceMetrics;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use turbohom_engine::{json_escape, EngineKind, QueryResults, Store, StoreError};
+use turbohom_sparql::fingerprint;
+
+/// Configuration of a [`QueryService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Maximum number of cached plans (per-engine entries count separately).
+    pub plan_cache_capacity: usize,
+    /// Engine used when a request does not name one.
+    pub default_engine: EngineKind,
+    /// Upper bound for the per-request `threads` override (defends the
+    /// thread pool against `threads=10000` requests).
+    pub max_threads: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            plan_cache_capacity: 256,
+            default_engine: EngineKind::TurboHomPlusPlus,
+            max_threads: 64,
+        }
+    }
+}
+
+/// Per-request execution options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryOptions {
+    /// Engine to execute with (`None` = the service default).
+    pub engine: Option<EngineKind>,
+    /// Worker-thread override for this request only.
+    pub threads: Option<usize>,
+}
+
+/// The outcome of one service query.
+pub struct QueryResponse {
+    /// The query results.
+    pub results: QueryResults,
+    /// The engine that answered.
+    pub engine: EngineKind,
+    /// Whether the plan came from the cache.
+    pub cache_hit: bool,
+    /// The 64-bit fingerprint of the normalized query.
+    pub fingerprint: u64,
+    /// Wall clock for the whole request (fingerprint + plan + run + render).
+    pub elapsed: Duration,
+}
+
+/// A point-in-time view of the service counters (served as `/stats`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Seconds since the service started.
+    pub uptime_seconds: f64,
+    /// Triples in the underlying store.
+    pub triples: usize,
+    /// Plan-cache hits.
+    pub cache_hits: u64,
+    /// Plan-cache misses.
+    pub cache_misses: u64,
+    /// Plans evicted from the cache.
+    pub cache_evictions: u64,
+    /// Plans currently cached.
+    pub cache_size: usize,
+    /// How many times the prepare half (parse + transform) actually ran.
+    pub plans_prepared: u64,
+    /// Per-engine counters, in [`EngineKind::all`] order.
+    pub engines: Vec<EngineStats>,
+}
+
+/// Per-engine counters inside a [`StatsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineStats {
+    /// The engine.
+    pub kind: EngineKind,
+    /// Successfully answered queries.
+    pub queries: u64,
+    /// Failed queries.
+    pub errors: u64,
+    /// Queries per second over the uptime.
+    pub qps: f64,
+    /// Mean request latency in milliseconds.
+    pub mean_ms: f64,
+    /// Estimated 50th/95th/99th latency percentiles in milliseconds.
+    pub p50_ms: f64,
+    /// 95th percentile (ms).
+    pub p95_ms: f64,
+    /// 99th percentile (ms).
+    pub p99_ms: f64,
+}
+
+impl StatsSnapshot {
+    /// Renders the snapshot as a JSON object (the `/stats` payload).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str(&format!(
+            "{{\"uptime_seconds\":{:.3},\"triples\":{},\"plan_cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"size\":{}}},\"plans_prepared\":{},\"engines\":{{",
+            self.uptime_seconds,
+            self.triples,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+            self.cache_size,
+            self.plans_prepared,
+        ));
+        for (i, e) in self.engines.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"queries\":{},\"errors\":{},\"qps\":{:.3},\"latency_ms\":{{\"mean\":{:.3},\"p50\":{:.3},\"p95\":{:.3},\"p99\":{:.3}}}}}",
+                json_escape(e.kind.name()),
+                e.queries,
+                e.errors,
+                e.qps,
+                e.mean_ms,
+                e.p50_ms,
+                e.p95_ms,
+                e.p99_ms,
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// A concurrent SPARQL query service over one shared [`Store`].
+pub struct QueryService {
+    store: Arc<Store>,
+    config: ServiceConfig,
+    cache: PlanCache,
+    metrics: ServiceMetrics,
+    plans_prepared: AtomicU64,
+}
+
+impl QueryService {
+    /// Creates a service with default configuration.
+    pub fn new(store: Arc<Store>) -> Self {
+        Self::with_config(store, ServiceConfig::default())
+    }
+
+    /// Creates a service with the given configuration.
+    pub fn with_config(store: Arc<Store>, config: ServiceConfig) -> Self {
+        QueryService {
+            store,
+            cache: PlanCache::new(config.plan_cache_capacity),
+            config,
+            metrics: ServiceMetrics::new(),
+            plans_prepared: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared store.
+    pub fn store(&self) -> &Arc<Store> {
+        &self.store
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Answers one query.
+    pub fn query(&self, sparql: &str, options: QueryOptions) -> Result<QueryResponse, StoreError> {
+        let engine = options.engine.unwrap_or(self.config.default_engine);
+        let threads = options.threads.map(|t| t.clamp(1, self.config.max_threads));
+        let start = Instant::now();
+        let outcome = self.run(sparql, engine, threads);
+        match outcome {
+            Ok((results, cache_hit, fp)) => {
+                let elapsed = start.elapsed();
+                self.metrics.record_success(engine, elapsed);
+                Ok(QueryResponse {
+                    results,
+                    engine,
+                    cache_hit,
+                    fingerprint: fp,
+                    elapsed,
+                })
+            }
+            Err(e) => {
+                self.metrics.record_error(engine);
+                Err(e)
+            }
+        }
+    }
+
+    fn run(
+        &self,
+        sparql: &str,
+        engine: EngineKind,
+        threads: Option<usize>,
+    ) -> Result<(QueryResults, bool, u64), StoreError> {
+        let fp = fingerprint(sparql)?;
+        let key = PlanKey {
+            canonical: fp.canonical,
+            kind: engine,
+        };
+        if let Some(plan) = self.cache.get(&key) {
+            // Warm path: straight to enumeration.
+            let results = self.store.run_plan_with(&plan, threads)?;
+            return Ok((results, true, fp.hash));
+        }
+        // Cold path: parse + transform, run, then publish the plan.
+        let plan = Arc::new(self.store.prepare_plan(sparql, engine)?);
+        self.plans_prepared.fetch_add(1, Ordering::Relaxed);
+        let results = self.store.run_plan_with(&plan, threads)?;
+        self.cache.insert(key, plan);
+        Ok((results, false, fp.hash))
+    }
+
+    /// Takes a snapshot of every counter (the `/stats` payload).
+    pub fn stats(&self) -> StatsSnapshot {
+        let engines = EngineKind::all()
+            .into_iter()
+            .map(|kind| {
+                let m = self.metrics.engine(kind);
+                let ms = |d: Duration| d.as_secs_f64() * 1000.0;
+                EngineStats {
+                    kind,
+                    queries: m.queries.load(Ordering::Relaxed),
+                    errors: m.errors.load(Ordering::Relaxed),
+                    qps: self.metrics.qps(kind),
+                    mean_ms: ms(m.latency.mean()),
+                    p50_ms: ms(m.latency.quantile(0.50)),
+                    p95_ms: ms(m.latency.quantile(0.95)),
+                    p99_ms: ms(m.latency.quantile(0.99)),
+                }
+            })
+            .collect();
+        StatsSnapshot {
+            uptime_seconds: self.metrics.uptime().as_secs_f64(),
+            triples: self.store.triple_count(),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            cache_evictions: self.cache.evictions(),
+            cache_size: self.cache.len(),
+            plans_prepared: self.plans_prepared.load(Ordering::Relaxed),
+            engines,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbohom_rdf::{vocab, Dataset};
+
+    fn ub(l: &str) -> String {
+        format!("http://ub.org/{l}")
+    }
+
+    fn service() -> QueryService {
+        let mut ds = Dataset::new();
+        for i in 0..3 {
+            let s = ub(&format!("student{i}"));
+            ds.insert_iris(&s, vocab::RDF_TYPE, &ub("Student"));
+            ds.insert_iris(&s, &ub("memberOf"), &ub("dept0"));
+        }
+        QueryService::new(Arc::new(Store::from_dataset(ds)))
+    }
+
+    const Q: &str = r#"PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+                       PREFIX ub: <http://ub.org/>
+                       SELECT ?x WHERE { ?x rdf:type ub:Student . }"#;
+
+    #[test]
+    fn warm_path_skips_parse_and_transform_entirely() {
+        let svc = service();
+        let cold = svc.query(Q, QueryOptions::default()).unwrap();
+        assert!(!cold.cache_hit);
+        let warm = svc.query(Q, QueryOptions::default()).unwrap();
+        assert!(warm.cache_hit);
+        assert_eq!(warm.results.rows, cold.results.rows);
+        assert_eq!(warm.fingerprint, cold.fingerprint);
+        let stats = svc.stats();
+        // The prepare half (parse + transform) ran exactly once.
+        assert_eq!(stats.plans_prepared, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_size, 1);
+    }
+
+    #[test]
+    fn spelling_variants_share_one_plan() {
+        let svc = service();
+        svc.query(Q, QueryOptions::default()).unwrap();
+        // Different whitespace, prefix names and keyword case — same plan.
+        let variant = "PREFIX t: <http://ub.org/>\nselect ?x\nwhere { ?x a t:Student . }";
+        let r = svc.query(variant, QueryOptions::default()).unwrap();
+        assert!(r.cache_hit);
+        assert_eq!(svc.stats().plans_prepared, 1);
+    }
+
+    #[test]
+    fn engines_get_separate_plans_and_metrics() {
+        let svc = service();
+        let a = svc.query(Q, QueryOptions::default()).unwrap();
+        let b = svc
+            .query(
+                Q,
+                QueryOptions {
+                    engine: Some(EngineKind::MergeJoin),
+                    ..QueryOptions::default()
+                },
+            )
+            .unwrap();
+        assert!(!b.cache_hit);
+        assert_eq!(a.results.len(), b.results.len());
+        let stats = svc.stats();
+        assert_eq!(
+            stats.engines[EngineKind::TurboHomPlusPlus.index()].queries,
+            1
+        );
+        assert_eq!(stats.engines[EngineKind::MergeJoin.index()].queries, 1);
+        assert_eq!(stats.plans_prepared, 2);
+    }
+
+    #[test]
+    fn errors_are_counted_and_surfaced() {
+        let svc = service();
+        assert!(svc
+            .query("SELECT WHERE {", QueryOptions::default())
+            .is_err());
+        let stats = svc.stats();
+        assert_eq!(
+            stats.engines[EngineKind::TurboHomPlusPlus.index()].errors,
+            1
+        );
+        assert_eq!(
+            stats.engines[EngineKind::TurboHomPlusPlus.index()].queries,
+            0
+        );
+    }
+
+    #[test]
+    fn per_request_threads_are_clamped() {
+        let svc = service();
+        let r = svc
+            .query(
+                Q,
+                QueryOptions {
+                    engine: None,
+                    threads: Some(1_000_000),
+                },
+            )
+            .unwrap();
+        assert_eq!(r.results.len(), 3);
+    }
+
+    #[test]
+    fn stats_json_is_well_formed() {
+        let svc = service();
+        svc.query(Q, QueryOptions::default()).unwrap();
+        let json = svc.stats().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"plan_cache\""));
+        assert!(json.contains("\"turbohom++\""));
+        assert!(json.contains("\"p99\""));
+        // Balanced braces (cheap sanity check without a JSON parser).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+}

@@ -1,0 +1,238 @@
+//! End-to-end service tests: a real `HttpServer` on a LUBM(1) store, hit by
+//! concurrent clients over TCP, checked byte-for-byte against the embedded
+//! `Store::execute` API (the ISSUE 2 acceptance criterion).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use turbohom_datasets::lubm::{self, LubmConfig, LubmGenerator};
+use turbohom_engine::{EngineKind, Store};
+use turbohom_service::{HttpServer, QueryOptions, QueryService, ServerHandle};
+
+fn lubm_service() -> (Arc<QueryService>, ServerHandle) {
+    let dataset = LubmGenerator::new(LubmConfig::scale(1)).generate();
+    let store = Arc::new(Store::from_dataset(dataset));
+    let service = Arc::new(QueryService::new(store));
+    let server = HttpServer::bind("127.0.0.1:0", Arc::clone(&service)).unwrap();
+    let handle = server.spawn().unwrap();
+    (service, handle)
+}
+
+/// Sends one raw HTTP request and returns (status line, headers, body).
+fn http_request(addr: std::net::SocketAddr, request: &str) -> (String, String, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a blank line");
+    let (status, headers) = head.split_once("\r\n").unwrap_or((head, ""));
+    (status.to_string(), headers.to_string(), body.to_string())
+}
+
+/// Percent-encodes a query so it survives a GET query string.
+fn urlencode(s: &str) -> String {
+    let mut out = String::new();
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+fn get_query(addr: std::net::SocketAddr, sparql: &str, engine: &str) -> (String, String, String) {
+    let request = format!(
+        "GET /query?query={}&engine={} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n",
+        urlencode(sparql),
+        urlencode(engine),
+    );
+    http_request(addr, &request)
+}
+
+#[test]
+fn concurrent_clients_get_results_identical_to_the_embedded_api() {
+    let (service, handle) = lubm_service();
+    let addr = handle.addr();
+
+    // Expected bytes come from the embedded API on the same store.
+    let queries: Vec<_> = lubm::queries().into_iter().take(7).collect();
+    let expected: Vec<String> = queries
+        .iter()
+        .map(|q| {
+            let results = service
+                .store()
+                .execute(&q.sparql, EngineKind::TurboHomPlusPlus)
+                .unwrap();
+            assert!(!results.is_empty(), "{} should have solutions", q.id);
+            results.to_sparql_json()
+        })
+        .collect();
+
+    // Four clients, each issuing Q1–Q7 twice (the second sweep hits the
+    // plan cache), all against the shared service.
+    std::thread::scope(|scope| {
+        for _client in 0..4 {
+            let queries = &queries;
+            let expected = &expected;
+            scope.spawn(move || {
+                for _round in 0..2 {
+                    for (q, want) in queries.iter().zip(expected) {
+                        let (status, headers, body) = get_query(addr, &q.sparql, "turbohom++");
+                        assert_eq!(status, "HTTP/1.1 200 OK", "{}: {body}", q.id);
+                        assert!(
+                            headers.contains("application/sparql-results+json"),
+                            "{}: {headers}",
+                            q.id
+                        );
+                        assert_eq!(&body, want, "{} differs over HTTP", q.id);
+                    }
+                }
+            });
+        }
+    });
+
+    // 4 clients × 2 rounds × 7 queries = 56 requests over 7 distinct plans:
+    // at least the whole second sweep hit the cache.
+    let stats = service.stats();
+    assert_eq!(
+        stats.engines[EngineKind::TurboHomPlusPlus.index()].queries,
+        56
+    );
+    assert!(stats.cache_hits >= 28, "hits = {}", stats.cache_hits);
+    assert_eq!(stats.cache_size, 7);
+    // Concurrent misses on the same fresh key may each prepare once, but
+    // never more than once per request of the first sweep.
+    assert!(stats.plans_prepared >= 7 && stats.plans_prepared <= 28);
+
+    handle.shutdown();
+}
+
+#[test]
+fn warm_requests_skip_parse_and_transform() {
+    let (service, handle) = lubm_service();
+    let q = &lubm::queries()[0].sparql;
+
+    let cold = service.query(q, QueryOptions::default()).unwrap();
+    assert!(!cold.cache_hit);
+    assert_eq!(service.stats().plans_prepared, 1);
+
+    // Ten warm runs: the prepare counter must not move.
+    for _ in 0..10 {
+        let warm = service.query(q, QueryOptions::default()).unwrap();
+        assert!(warm.cache_hit);
+        assert_eq!(warm.results.rows, cold.results.rows);
+    }
+    let stats = service.stats();
+    assert_eq!(stats.plans_prepared, 1);
+    assert_eq!(stats.cache_hits, 10);
+
+    handle.shutdown();
+}
+
+#[test]
+fn http_engine_parameter_and_stats_endpoint() {
+    let (_service, handle) = lubm_service();
+    let addr = handle.addr();
+    let q = &lubm::queries()[0].sparql;
+
+    // The same query through two engines gives the same bindings.
+    let (s1, h1, b1) = get_query(addr, q, "turbohom++");
+    let (s2, h2, b2) = get_query(addr, q, "MERGE-JOIN");
+    assert_eq!(s1, "HTTP/1.1 200 OK");
+    assert_eq!(s2, "HTTP/1.1 200 OK");
+    assert!(h1.contains("X-Engine: turbohom++"), "{h1}");
+    assert!(h2.contains("X-Engine: mergejoin"), "{h2}");
+    assert!(h1.contains("X-Cache: MISS"));
+    assert_eq!(b1, b2);
+
+    // Repeat → cache hit surfaces in the header and in /stats.
+    let (_, h3, _) = get_query(addr, q, "turbohom++");
+    assert!(h3.contains("X-Cache: HIT"), "{h3}");
+
+    let (status, _, stats_body) = http_request(
+        addr,
+        "GET /stats HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(stats_body.contains("\"hits\":1"), "{stats_body}");
+    assert!(stats_body.contains("\"mergejoin\""));
+
+    let (status, _, health) = http_request(
+        addr,
+        "GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(health.contains("\"status\":\"ok\""));
+
+    // HEAD gets the same headers (including Content-Length) but no body.
+    let (status, headers, body) = http_request(
+        addr,
+        "HEAD /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(headers.contains("Content-Length"), "{headers}");
+    assert!(body.is_empty(), "HEAD must not carry content: {body:?}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn post_bodies_and_error_statuses() {
+    let (_service, handle) = lubm_service();
+    let addr = handle.addr();
+
+    // POST with a urlencoded form body.
+    let form = format!("query={}", urlencode("SELECT ?s WHERE { ?s ?p ?o . }"));
+    let request = format!(
+        "POST /query HTTP/1.1\r\nHost: x\r\nContent-Type: application/x-www-form-urlencoded\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{form}",
+        form.len(),
+    );
+    let (status, _, body) = http_request(addr, &request);
+    assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
+
+    // POST with a raw SPARQL body.
+    let sparql = "SELECT ?s WHERE { ?s ?p ?o . }";
+    let request = format!(
+        "POST /query HTTP/1.1\r\nHost: x\r\nContent-Type: application/sparql-query\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{sparql}",
+        sparql.len(),
+    );
+    let (status, _, _) = http_request(addr, &request);
+    assert_eq!(status, "HTTP/1.1 200 OK");
+
+    // Malformed SPARQL → 400 with a JSON error.
+    let (status, _, body) = get_query(addr, "SELECT WHERE {", "turbohom++");
+    assert_eq!(status, "HTTP/1.1 400 Bad Request");
+    assert!(body.contains("\"error\""));
+
+    // Unknown engine → 400.
+    let (status, _, body) = get_query(addr, "SELECT ?s WHERE { ?s ?p ?o . }", "sparqlotron");
+    assert_eq!(status, "HTTP/1.1 400 Bad Request");
+    assert!(body.contains("sparqlotron"));
+
+    // Unknown path → 404; bad method → 405.
+    let (status, _, _) = http_request(
+        addr,
+        "GET /nope HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+    let (status, _, _) = http_request(
+        addr,
+        "DELETE /query HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, "HTTP/1.1 405 Method Not Allowed");
+
+    // Missing query parameter → 400.
+    let (status, _, body) = http_request(
+        addr,
+        "GET /query HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, "HTTP/1.1 400 Bad Request");
+    assert!(body.contains("missing `query`"));
+
+    handle.shutdown();
+}

@@ -19,10 +19,12 @@
 
 pub mod algebra;
 pub mod expression;
+pub mod fingerprint;
 pub mod lexer;
 pub mod parser;
 
 pub use algebra::{GroupPattern, Query, Selection, SparqlTerm, TriplePattern};
 pub use expression::{EvalContext, Expression, Value};
+pub use fingerprint::{fingerprint, QueryFingerprint};
 pub use lexer::{Lexer, Token};
 pub use parser::{parse_query, ParseError};

@@ -1,0 +1,171 @@
+//! Property-based tests for the query fingerprint: every *spelling* of a
+//! query — whitespace, comments, PREFIX declaration order, prefix names,
+//! prefixed-vs-full IRIs, `?`-vs-`$` sigils, keyword case — must normalize
+//! to the same fingerprint, and changing the query itself must change it.
+
+use proptest::prelude::*;
+use turbohom_sparql::fingerprint;
+
+const RDF_NS: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+const UB_NS: &str = "http://ub.org/";
+
+/// The abstract query all spellings render: LUBM-Q2-shaped, with a FILTER.
+///
+/// `P:local` marks a ub-prefixed name, `R:local` an rdf-prefixed name,
+/// `?name` a variable; everything else is verbatim.
+const TEMPLATE: &[&str] = &[
+    "SELECT",
+    "?X",
+    "?Y",
+    "WHERE",
+    "{",
+    "?X",
+    "R:type",
+    "P:Student",
+    ".",
+    "?X",
+    "P:memberOf",
+    "?Y",
+    ".",
+    "FILTER",
+    "(",
+    "?X",
+    "!=",
+    "?Y",
+    ")",
+    "}",
+];
+
+/// One way of spelling the template.
+#[derive(Debug, Clone)]
+struct Spelling {
+    /// Declare ub before rdf (or the other way around).
+    ub_first: bool,
+    /// The prefix labels to use for (rdf, ub).
+    labels: (String, String),
+    /// Per-token: write prefixed names as full IRIs instead.
+    expand: Vec<bool>,
+    /// Per-gap whitespace choice.
+    gaps: Vec<u8>,
+    /// Write variables with `$` instead of `?`.
+    dollar: bool,
+    /// Lowercase the keywords.
+    lowercase: bool,
+}
+
+fn spelling_strategy() -> impl Strategy<Value = Spelling> {
+    (
+        proptest::bool::ANY,
+        "[a-z]{1,4}",
+        "[a-z]{1,4}",
+        proptest::collection::vec(proptest::bool::ANY, TEMPLATE.len()),
+        proptest::collection::vec(0u8..6, TEMPLATE.len() + 1),
+        0u8..4,
+    )
+        .prop_map(|(ub_first, rdf_label, ub_label, expand, gaps, flags)| {
+            let ub_label = if ub_label == rdf_label {
+                format!("{ub_label}x")
+            } else {
+                ub_label
+            };
+            Spelling {
+                ub_first,
+                labels: (rdf_label, ub_label),
+                expand,
+                gaps,
+                dollar: flags & 1 != 0,
+                lowercase: flags & 2 != 0,
+            }
+        })
+}
+
+fn render(spelling: &Spelling) -> String {
+    let gap = |i: usize| match spelling.gaps[i] {
+        0 => " ",
+        1 => "\n",
+        2 => "\t",
+        3 => "   ",
+        4 => " # a comment\n",
+        _ => "\n\n",
+    };
+    let (rdf_label, ub_label) = &spelling.labels;
+    let mut out = String::new();
+    let rdf_decl = format!("PREFIX {rdf_label}: <{RDF_NS}>\n");
+    let ub_decl = format!("PREFIX {ub_label}: <{UB_NS}>\n");
+    if spelling.ub_first {
+        out.push_str(&ub_decl);
+        out.push_str(&rdf_decl);
+    } else {
+        out.push_str(&rdf_decl);
+        out.push_str(&ub_decl);
+    }
+    for (i, token) in TEMPLATE.iter().enumerate() {
+        out.push_str(gap(i));
+        if let Some(local) = token.strip_prefix("P:") {
+            if spelling.expand[i] {
+                out.push_str(&format!("<{UB_NS}{local}>"));
+            } else {
+                out.push_str(&format!("{ub_label}:{local}"));
+            }
+        } else if let Some(local) = token.strip_prefix("R:") {
+            if spelling.expand[i] {
+                out.push_str(&format!("<{RDF_NS}{local}>"));
+            } else {
+                out.push_str(&format!("{rdf_label}:{local}"));
+            }
+        } else if let Some(var) = token.strip_prefix('?') {
+            out.push(if spelling.dollar { '$' } else { '?' });
+            out.push_str(var);
+        } else if token.chars().all(|c| c.is_ascii_alphabetic()) && spelling.lowercase {
+            out.push_str(&token.to_ascii_lowercase());
+        } else {
+            out.push_str(token);
+        }
+    }
+    out.push_str(gap(TEMPLATE.len()));
+    out
+}
+
+/// The reference spelling every variant must agree with.
+fn reference() -> String {
+    render(&Spelling {
+        ub_first: false,
+        labels: ("rdf".into(), "ub".into()),
+        expand: vec![false; TEMPLATE.len()],
+        gaps: vec![0; TEMPLATE.len() + 1],
+        dollar: false,
+        lowercase: false,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every spelling of the same query has the same fingerprint.
+    #[test]
+    fn spellings_share_one_fingerprint(spelling in spelling_strategy()) {
+        let base = fingerprint(&reference()).unwrap();
+        let text = render(&spelling);
+        let fp = fingerprint(&text).unwrap();
+        prop_assert_eq!(
+            &fp.canonical, &base.canonical,
+            "spelling {:?} rendered as {:?}", &spelling, &text
+        );
+        prop_assert_eq!(fp.hash, base.hash);
+    }
+
+    /// Changing the query (a predicate IRI) changes the fingerprint, no
+    /// matter how either version is spelled.
+    #[test]
+    fn different_queries_never_collide(
+        spelling in spelling_strategy(),
+        suffix in "[a-z]{1,8}",
+    ) {
+        let text = render(&spelling);
+        let mutated = text.replace("memberOf", &format!("memberOf{suffix}"));
+        let a = fingerprint(&text).unwrap();
+        let b = fingerprint(&mutated).unwrap();
+        prop_assert!(a.canonical != b.canonical, "mutation vanished: {mutated:?}");
+        prop_assert!(a.hash != b.hash);
+    }
+}

@@ -38,7 +38,8 @@
 //! | [`core`] | The TurboHOM / TurboHOM++ matching engine |
 //! | [`baseline`] | RDF-3X-style merge-join and hash-join baseline engines |
 //! | [`datasets`] | LUBM / BSBM / YAGO-like / BTC-like generators and query sets |
-//! | [`engine`] | High-level [`Store`](engine::Store) API |
+//! | [`engine`] | High-level [`Store`](engine::Store) API and prepared [`QueryPlan`](engine::QueryPlan)s |
+//! | [`service`] | Concurrent query service: plan cache, HTTP endpoint, metrics, `turbohom-server` |
 
 pub use turbohom_baseline as baseline;
 pub use turbohom_core as core;
@@ -46,6 +47,7 @@ pub use turbohom_datasets as datasets;
 pub use turbohom_engine as engine;
 pub use turbohom_graph as graph;
 pub use turbohom_rdf as rdf;
+pub use turbohom_service as service;
 pub use turbohom_sparql as sparql;
 pub use turbohom_transform as transform;
 
@@ -53,8 +55,9 @@ pub use turbohom_transform as transform;
 pub mod prelude {
     pub use crate::core::{MatchSemantics, Optimizations, TurboHomConfig};
     pub use crate::datasets::lubm::{LubmConfig, LubmGenerator};
-    pub use crate::engine::{EngineKind, PreparedQuery, QueryResults, Store};
+    pub use crate::engine::{EngineKind, PreparedQuery, QueryPlan, QueryResults, Store};
     pub use crate::graph::{LabeledGraph, QueryGraph};
     pub use crate::rdf::{Dictionary, Term, Triple, TripleStore};
-    pub use crate::sparql::parse_query;
+    pub use crate::service::{HttpServer, QueryOptions, QueryService, ServiceConfig};
+    pub use crate::sparql::{fingerprint, parse_query};
 }

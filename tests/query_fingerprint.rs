@@ -1,0 +1,57 @@
+//! Fingerprint non-collision over the real benchmark query sets: every
+//! distinct query of LUBM / YAGO-like / BTC-like / BSBM-like must get a
+//! distinct fingerprint, while trivial respellings of each must not.
+
+use std::collections::HashMap;
+use turbohom::datasets::{bsbm, btc, lubm, yago, BenchmarkQuery};
+use turbohom::sparql::fingerprint;
+
+fn all_sample_queries() -> Vec<(String, BenchmarkQuery)> {
+    let mut out = Vec::new();
+    for (set, queries) in [
+        ("lubm", lubm::queries()),
+        ("yago", yago::queries()),
+        ("btc", btc::queries()),
+        ("bsbm", bsbm::queries()),
+    ] {
+        for q in queries {
+            out.push((format!("{set}/{}", q.id), q));
+        }
+    }
+    out
+}
+
+#[test]
+fn distinct_sample_queries_never_collide() {
+    let queries = all_sample_queries();
+    assert!(queries.len() >= 30, "expected the full benchmark sets");
+    let mut by_canonical: HashMap<String, String> = HashMap::new();
+    let mut by_hash: HashMap<u64, String> = HashMap::new();
+    for (name, q) in &queries {
+        let fp = fingerprint(&q.sparql).unwrap_or_else(|e| panic!("{name}: {e}"));
+        if let Some(other) = by_canonical.insert(fp.canonical.clone(), name.clone()) {
+            panic!(
+                "{name} and {other} share a canonical form:\n{}",
+                fp.canonical
+            );
+        }
+        if let Some(other) = by_hash.insert(fp.hash, name.clone()) {
+            panic!("{name} and {other} collide on hash {:016x}", fp.hash);
+        }
+    }
+}
+
+#[test]
+fn respelled_sample_queries_keep_their_fingerprint() {
+    for (name, q) in all_sample_queries() {
+        let base = fingerprint(&q.sparql).unwrap();
+        // Collapse/extend whitespace and sprinkle comments.
+        let respelled = q
+            .sparql
+            .replace(" . ", " .\n\t # pattern boundary\n ")
+            .replace("SELECT", "select")
+            .replace("WHERE", "\nwhere\n");
+        let fp = fingerprint(&respelled).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(fp, base, "{name} changed its fingerprint after respelling");
+    }
+}
