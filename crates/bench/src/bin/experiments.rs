@@ -13,15 +13,32 @@
 //! `--engines=turbohom++,mergejoin` restricts the per-engine tables to the
 //! listed engines (names are parsed case-insensitively via
 //! `EngineKind::from_str`).
+//!
+//! The `record` mode is the perf flight recorder (docs/BENCHMARKING.md):
+//!
+//! ```bash
+//! cargo run --release -p turbohom-bench --bin experiments -- record \
+//!     --scale=1 --out=BENCH_LUBM1.json --baseline=BENCH_LUBM1.json
+//! ```
+//!
+//! It measures every LUBM query on every engine (5 warm runs each), writes
+//! the medians and per-stage matcher counters to `--out`, and — when
+//! `--baseline` points at a committed record — fails (exit 1) if any query's
+//! median regressed more than 25% beyond the hardware-normalized median
+//! ratio (see `turbohom_bench::recorder`).
 
 use std::collections::BTreeMap;
+use turbohom_bench::recorder::{regression_gate, BenchRecord, QueryRun, SchedulerRun};
 use turbohom_bench::*;
-use turbohom_core::{OptimizationName, Optimizations, TurboHomConfig};
+use turbohom_core::{OptimizationName, Optimizations, Scheduler, TurboHomConfig};
 use turbohom_datasets::{bsbm, btc, lubm, yago};
 use turbohom_engine::EngineKind;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "record") {
+        std::process::exit(record_mode(&args));
+    }
     let engines: Vec<EngineKind> = args
         .iter()
         .filter_map(|a| a.strip_prefix("--engines="))
@@ -79,6 +96,148 @@ fn main() {
             other => eprintln!("unknown experiment `{other}` (expected table1..table7, figure6, figure15, figure16, all)"),
         }
     }
+}
+
+/// Returns the value of a `--flag=value` argument, if present.
+fn flag<'a>(args: &'a [String], prefix: &str) -> Option<&'a str> {
+    args.iter().find_map(|a| a.strip_prefix(prefix))
+}
+
+/// The flight recorder: measures the LUBM workload, writes
+/// `BENCH_<dataset>.json`, and optionally gates against a baseline record.
+/// Returns the process exit code.
+fn record_mode(args: &[String]) -> i32 {
+    let scale: usize = flag(args, "--scale=")
+        .map(|v| v.parse().expect("--scale takes an integer"))
+        .unwrap_or(1);
+    let threads: usize = flag(args, "--threads=")
+        .map(|v| v.parse().expect("--threads takes an integer"))
+        .unwrap_or(1);
+    let tolerance: f64 = flag(args, "--tolerance=")
+        .map(|v| v.parse().expect("--tolerance takes a float"))
+        .unwrap_or(recorder::GATE_DEFAULT_TOLERANCE);
+    let dataset = format!("LUBM{scale}");
+    let out_path = flag(args, "--out=")
+        .map(String::from)
+        .unwrap_or_else(|| format!("BENCH_{dataset}.json"));
+
+    println!("flight recorder: building {dataset} ...");
+    let store = lubm_store(scale);
+    println!("  {} triples", store.triple_count());
+    let queries = lubm::queries();
+    let mut record = BenchRecord {
+        dataset,
+        triples: store.triple_count(),
+        threads,
+        ..BenchRecord::default()
+    };
+
+    for q in &queries {
+        let mut expected: Option<usize> = None;
+        for kind in EngineKind::all() {
+            let plan = store
+                .prepare_plan(&q.sparql, kind)
+                .unwrap_or_else(|e| panic!("planning {} for {} failed: {e}", q.id, kind));
+            let (runs, last) = measure_runs(|| {
+                store
+                    .run_plan_with(&plan, Some(threads))
+                    .unwrap_or_else(|e| panic!("{} failed on {}: {e}", kind.label(), q.id))
+            });
+            // Cross-engine agreement doubles as a correctness witness in
+            // every recorded file.
+            match expected {
+                None => expected = Some(last.len()),
+                Some(n) => assert_eq!(
+                    last.len(),
+                    n,
+                    "{} disagrees with {} on {}",
+                    kind.label(),
+                    EngineKind::all()[0].label(),
+                    q.id
+                ),
+            }
+            record.queries.push(QueryRun {
+                id: q.id.clone(),
+                engine: kind.name().to_string(),
+                runs_ms: runs.iter().map(|d| d.as_secs_f64() * 1000.0).collect(),
+                median_ms: protocol_median(&runs).as_secs_f64() * 1000.0,
+                avg_ms: protocol_average(&runs).as_secs_f64() * 1000.0,
+                solutions: last.len(),
+                stats: last.stats,
+            });
+        }
+        println!(
+            "  {:<4} {:>8} solutions, turbohom++ median {} ms",
+            q.id,
+            expected.unwrap_or(0),
+            record
+                .queries
+                .iter()
+                .rev()
+                .find(|r| r.id == q.id && r.engine == "turbohom++")
+                .map(|r| format!("{:.3}", r.median_ms))
+                .unwrap_or_default()
+        );
+    }
+
+    // Morsel-vs-chunked scheduler A/B on the heavy queries at 4 threads.
+    let ab_threads = 4usize;
+    for q in queries.iter().filter(|q| q.id == "Q2" || q.id == "Q9") {
+        let run_with = |scheduler: Scheduler| {
+            let config = TurboHomConfig::turbohom_plus_plus()
+                .with_threads(ab_threads)
+                .with_scheduler(scheduler);
+            measure_runs(|| {
+                store
+                    .execute_turbohom(&q.sparql, config, false)
+                    .unwrap_or_else(|e| panic!("{} A/B failed on {}: {e}", scheduler.label(), q.id))
+            })
+        };
+        let (morsel_runs, morsel_last) = run_with(Scheduler::Morsel);
+        let (chunked_runs, _) = run_with(Scheduler::Chunked);
+        record.scheduler_comparison.push(SchedulerRun {
+            id: q.id.clone(),
+            threads: ab_threads,
+            morsel_ms: protocol_median(&morsel_runs).as_secs_f64() * 1000.0,
+            chunked_ms: protocol_median(&chunked_runs).as_secs_f64() * 1000.0,
+            morsels: morsel_last.stats.morsels,
+            morsels_stolen: morsel_last.stats.morsels_stolen,
+        });
+    }
+
+    let json = record.to_json();
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("wrote {out_path} ({} bytes)", json.len());
+
+    if let Some(baseline_path) = flag(args, "--baseline=") {
+        let baseline_text = match std::fs::read_to_string(baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read baseline {baseline_path}: {e}");
+                return 2;
+            }
+        };
+        let baseline = match BenchRecord::from_json(&baseline_text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot parse baseline {baseline_path}: {e}");
+                return 2;
+            }
+        };
+        let outcome = regression_gate(&baseline, &record, tolerance);
+        println!(
+            "gate vs {baseline_path}: {} compared, {} skipped, median ratio {:.2}x, tolerance {:.2}x",
+            outcome.compared, outcome.skipped, outcome.median_ratio, tolerance
+        );
+        if !outcome.passed() {
+            for f in &outcome.failures {
+                eprintln!("REGRESSION: {f}");
+            }
+            return 1;
+        }
+        println!("gate passed");
+    }
+    0
 }
 
 /// Keeps `defaults` in order, dropping the engines not selected on the

@@ -12,27 +12,55 @@ use turbohom_core::TurboHomConfig;
 use turbohom_datasets::{bsbm, btc, lubm, yago, BenchmarkQuery};
 use turbohom_engine::{EngineKind, QueryResults, Store, StoreOptions};
 
+pub mod recorder;
+
 /// The LUBM scale factors standing in for LUBM80 / LUBM800 / LUBM8000.
 pub const LUBM_SCALES: [(&str, usize); 3] = [("LUBM-S", 2), ("LUBM-M", 8), ("LUBM-L", 32)];
 
 /// Executes a closure following the paper's 5-run / drop-best-and-worst /
 /// average-the-rest protocol and returns the averaged duration together with
 /// the result of the last run.
-pub fn measure<F>(mut run: F) -> (Duration, QueryResults)
+pub fn measure<F>(run: F) -> (Duration, QueryResults)
 where
     F: FnMut() -> QueryResults,
 {
-    let mut durations = Vec::with_capacity(5);
+    let (runs, last) = measure_runs(run);
+    (protocol_average(&runs), last)
+}
+
+/// Executes a closure five times and returns the raw per-run durations (in
+/// execution order) together with the result of the last run. The flight
+/// recorder persists the raw runs; [`measure`] reduces them with the paper's
+/// protocol.
+pub fn measure_runs<F>(mut run: F) -> ([Duration; 5], QueryResults)
+where
+    F: FnMut() -> QueryResults,
+{
+    let mut durations = [Duration::ZERO; 5];
     let mut last = QueryResults::default();
-    for _ in 0..5 {
+    for slot in &mut durations {
         let result = run();
-        durations.push(result.elapsed);
+        *slot = result.elapsed;
         last = result;
     }
-    durations.sort();
-    let kept = &durations[1..4];
-    let avg = kept.iter().sum::<Duration>() / kept.len() as u32;
-    (avg, last)
+    (durations, last)
+}
+
+/// The paper's reduction: drop the best and the worst of five runs, average
+/// the remaining three.
+pub fn protocol_average(runs: &[Duration; 5]) -> Duration {
+    let mut sorted = *runs;
+    sorted.sort();
+    let kept = &sorted[1..4];
+    kept.iter().sum::<Duration>() / kept.len() as u32
+}
+
+/// The median of five runs (the flight recorder's headline number — a single
+/// order statistic is more robust to scheduler noise than a mean).
+pub fn protocol_median(runs: &[Duration; 5]) -> Duration {
+    let mut sorted = *runs;
+    sorted.sort();
+    sorted[2]
 }
 
 /// Runs `query` on `store` with `kind`, measured per the paper's protocol.

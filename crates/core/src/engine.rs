@@ -4,8 +4,9 @@
 //! vertices (paper Algorithm 1 + Sections 4.3, 5.1, 5.2).
 
 use crate::candidate_region::explore_candidate_region;
-use crate::config::TurboHomConfig;
+use crate::config::{Scheduler, TurboHomConfig};
 use crate::matching_order::MatchingOrder;
+use crate::morsel::MorselQueue;
 use crate::query_tree::QueryTree;
 use crate::result::{MatchResult, Solution};
 use crate::start_vertex::choose_start_vertex;
@@ -13,7 +14,7 @@ use crate::stats::MatchStats;
 use crate::subgraph_search::SubgraphSearcher;
 use parking_lot::Mutex;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use turbohom_graph::VertexId;
 use turbohom_rdf::Dictionary;
 use turbohom_sparql::{EvalContext, Expression};
@@ -157,15 +158,26 @@ impl<'a> TurboHomEngine<'a> {
                 stats,
             )
         } else {
-            self.run_parallel(
-                query,
-                &tree,
-                &selection.start_vertices,
-                &search_config,
-                &inline_filters,
-                preset_order,
-                stats,
-            )
+            match self.config.scheduler {
+                Scheduler::Morsel => self.run_parallel_morsel(
+                    query,
+                    &tree,
+                    &selection.start_vertices,
+                    &search_config,
+                    &inline_filters,
+                    preset_order,
+                    stats,
+                ),
+                Scheduler::Chunked => self.run_parallel_chunked(
+                    query,
+                    &tree,
+                    &selection.start_vertices,
+                    &search_config,
+                    &inline_filters,
+                    preset_order,
+                    stats,
+                ),
+            }
         };
         let mut result = result;
 
@@ -252,11 +264,46 @@ impl<'a> TurboHomEngine<'a> {
         )
     }
 
-    /// Parallel execution: starting vertices are handed to worker threads in
-    /// small dynamic chunks (Section 5.2). Each candidate region is explored
-    /// and searched entirely by one thread; results are merged at the end.
+    /// With +REUSE the matching order comes from the first non-empty region;
+    /// the parallel paths compute it up front so every worker can share it.
+    fn precompute_shared_order(
+        &self,
+        query: &TransformedQuery,
+        tree: &QueryTree,
+        starts: &[VertexId],
+        config: &TurboHomConfig,
+        preset_order: Option<&MatchingOrder>,
+        stats: &mut MatchStats,
+    ) -> Option<MatchingOrder> {
+        if !config.optimizations.reuse_matching_order || preset_order.is_some() {
+            return None;
+        }
+        for &vs in starts {
+            stats.candidate_regions += 1;
+            if let Some(region) =
+                explore_candidate_region(self.data, config, query, tree, vs, stats)
+            {
+                stats.nonempty_regions += 1;
+                let order = MatchingOrder::determine(query, tree, &region);
+                stats.matching_orders_computed += 1;
+                // This region is searched again by a worker below; the
+                // duplicate exploration is negligible (one region).
+                stats.candidate_regions -= 1;
+                stats.nonempty_regions -= 1;
+                return Some(order);
+            }
+        }
+        None
+    }
+
+    /// Morsel-driven parallel execution (the default scheduler). Start
+    /// vertices are ranked heaviest-first by total degree, split into
+    /// per-worker ranges, and claimed in small morsels; an idle worker steals
+    /// the back half of a victim's remaining range (see [`MorselQueue`]).
+    /// A shared solution counter lets every worker stop as soon as the
+    /// configured `max_solutions` limit is reached globally.
     #[allow(clippy::too_many_arguments)]
-    fn run_parallel(
+    fn run_parallel_morsel(
         &self,
         query: &TransformedQuery,
         tree: &QueryTree,
@@ -266,26 +313,134 @@ impl<'a> TurboHomEngine<'a> {
         preset_order: Option<&MatchingOrder>,
         mut stats: MatchStats,
     ) -> (MatchResult, Option<MatchingOrder>) {
-        // With +REUSE the matching order comes from the first non-empty
-        // region; compute it up front so every worker can share it.
-        let mut shared_order: Option<MatchingOrder> = None;
-        if config.optimizations.reuse_matching_order && preset_order.is_none() {
-            for &vs in starts {
-                stats.candidate_regions += 1;
-                if let Some(region) =
-                    explore_candidate_region(self.data, config, query, tree, vs, &mut stats)
-                {
-                    stats.nonempty_regions += 1;
-                    shared_order = Some(MatchingOrder::determine(query, tree, &region));
-                    stats.matching_orders_computed += 1;
-                    // This region is searched again by a worker below; the
-                    // duplicate exploration is negligible (one region).
-                    stats.candidate_regions -= 1;
-                    stats.nonempty_regions -= 1;
-                    break;
-                }
+        let shared_order =
+            self.precompute_shared_order(query, tree, starts, config, preset_order, &mut stats);
+        let shared_order_ref = if config.optimizations.reuse_matching_order {
+            preset_order.or(shared_order.as_ref())
+        } else {
+            None
+        };
+
+        // Heavy regions first: a candidate region can only be as large as the
+        // adjacency of its start vertex, so total degree is a cheap, effective
+        // size rank. Claimed early, the giant regions overlap with the long
+        // tail of small ones instead of serializing at the end.
+        let mut ordered: Vec<VertexId> = starts.to_vec();
+        ordered.sort_by_key(|&v| std::cmp::Reverse(self.data.graph.total_degree(v)));
+
+        let workers = config.threads;
+        let queue = MorselQueue::new(
+            ordered.len(),
+            workers,
+            MorselQueue::default_morsel_size(ordered.len(), workers),
+        );
+        let found = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let merged: Mutex<(Vec<Solution>, usize, MatchStats)> = Mutex::new((Vec::new(), 0, stats));
+
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let queue = &queue;
+                let ordered = &ordered;
+                let found = &found;
+                let stop = &stop;
+                let merged = &merged;
+                scope.spawn(move || {
+                    let mut local_solutions: Vec<Solution> = Vec::new();
+                    let mut local_count = 0usize;
+                    let mut local_stats = MatchStats::default();
+                    'work: while let Some(morsel) = queue.pop(w) {
+                        local_stats.morsels += 1;
+                        if morsel.stolen {
+                            local_stats.morsels_stolen += 1;
+                        }
+                        for &vs in &ordered[morsel.start..morsel.end] {
+                            if stop.load(Ordering::Relaxed) {
+                                break 'work;
+                            }
+                            local_stats.candidate_regions += 1;
+                            let Some(region) = explore_candidate_region(
+                                self.data,
+                                config,
+                                query,
+                                tree,
+                                vs,
+                                &mut local_stats,
+                            ) else {
+                                continue;
+                            };
+                            local_stats.nonempty_regions += 1;
+                            let order_storage;
+                            let order = match shared_order_ref {
+                                Some(o) => o,
+                                None => {
+                                    order_storage = MatchingOrder::determine(query, tree, &region);
+                                    local_stats.matching_orders_computed += 1;
+                                    &order_storage
+                                }
+                            };
+                            let mut searcher = SubgraphSearcher::new(
+                                self.data,
+                                config,
+                                query,
+                                tree,
+                                order,
+                                self.dictionary,
+                                inline_filters.to_vec(),
+                            );
+                            searcher.search_region(&region, vs);
+                            local_count += searcher.solution_count;
+                            local_solutions.append(&mut searcher.solutions);
+                            local_stats.merge(&searcher.stats);
+                            if let Some(limit) = config.max_solutions {
+                                let total = found
+                                    .fetch_add(searcher.solution_count, Ordering::Relaxed)
+                                    + searcher.solution_count;
+                                if total >= limit {
+                                    stop.store(true, Ordering::Relaxed);
+                                    break 'work;
+                                }
+                            }
+                        }
+                    }
+                    let mut guard = merged.lock();
+                    guard.0.append(&mut local_solutions);
+                    guard.1 += local_count;
+                    guard.2.merge(&local_stats);
+                });
             }
-        }
+        });
+
+        let (solutions, count, mut stats) = merged.into_inner();
+        stats.morsels_stolen = stats.morsels_stolen.max(queue.stolen_count());
+        (
+            MatchResult {
+                solutions,
+                solution_count: count,
+                stats,
+            },
+            shared_order,
+        )
+    }
+
+    /// Legacy parallel execution: starting vertices are handed to worker
+    /// threads in small dynamic chunks off one shared cursor (the pre-morsel
+    /// scheduler, kept behind [`Scheduler::Chunked`] for A/B benchmarking).
+    /// Each candidate region is explored and searched entirely by one thread;
+    /// results are merged at the end.
+    #[allow(clippy::too_many_arguments)]
+    fn run_parallel_chunked(
+        &self,
+        query: &TransformedQuery,
+        tree: &QueryTree,
+        starts: &[VertexId],
+        config: &TurboHomConfig,
+        inline_filters: &[Vec<&Expression>],
+        preset_order: Option<&MatchingOrder>,
+        mut stats: MatchStats,
+    ) -> (MatchResult, Option<MatchingOrder>) {
+        let shared_order =
+            self.precompute_shared_order(query, tree, starts, config, preset_order, &mut stats);
 
         let next = AtomicUsize::new(0);
         let merged: Mutex<(Vec<Solution>, usize, MatchStats)> = Mutex::new((Vec::new(), 0, stats));
@@ -547,6 +702,70 @@ mod tests {
             a.sort();
             b.sort();
             assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn both_schedulers_match_sequential() {
+        let ds = university_dataset();
+        let data = type_aware_transform(&ds);
+        let seq = execute(&ds, &data, TRIANGLE, TurboHomConfig::default());
+        let mut expected: Vec<_> = seq.solutions.iter().map(|s| s.vertices.clone()).collect();
+        expected.sort();
+        for scheduler in [Scheduler::Morsel, Scheduler::Chunked] {
+            let par = execute(
+                &ds,
+                &data,
+                TRIANGLE,
+                TurboHomConfig::default()
+                    .with_threads(4)
+                    .with_scheduler(scheduler),
+            );
+            assert_eq!(par.len(), seq.len(), "{scheduler:?}");
+            let mut got: Vec<_> = par.solutions.iter().map(|s| s.vertices.clone()).collect();
+            got.sort();
+            assert_eq!(got, expected, "{scheduler:?}");
+        }
+    }
+
+    #[test]
+    fn morsel_scheduler_counts_morsels() {
+        let ds = university_dataset();
+        let data = type_aware_transform(&ds);
+        let par = execute(
+            &ds,
+            &data,
+            TRIANGLE,
+            TurboHomConfig::default().with_threads(4),
+        );
+        assert!(
+            par.stats.morsels > 0,
+            "morsel scheduler must record morsels"
+        );
+        // The chunked legacy path records none.
+        let chunked = execute(
+            &ds,
+            &data,
+            TRIANGLE,
+            TurboHomConfig::default()
+                .with_threads(4)
+                .with_scheduler(Scheduler::Chunked),
+        );
+        assert_eq!(chunked.stats.morsels, 0);
+    }
+
+    #[test]
+    fn parallel_limit_stops_early_and_is_exact() {
+        let ds = university_dataset();
+        let data = type_aware_transform(&ds);
+        for threads in [2, 4] {
+            let config = TurboHomConfig {
+                max_solutions: Some(5),
+                ..TurboHomConfig::default().with_threads(threads)
+            };
+            let result = execute(&ds, &data, TRIANGLE, config);
+            assert_eq!(result.len(), 5, "threads = {threads}");
+            assert_eq!(result.solutions.len(), 5);
         }
     }
 

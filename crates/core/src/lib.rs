@@ -15,7 +15,7 @@
 //! | `SubgraphSearch` / `IsJoinable` (+INT) | [`subgraph_search`] |
 //! | degree / NLF filters (−DEG / −NLF toggles) | [`filters`] |
 //! | OPTIONAL / FILTER handling (Section 5.1) | folded into [`subgraph_search`] and [`engine`] |
-//! | parallel execution over starting vertices (Section 5.2) | [`engine`] |
+//! | parallel execution over starting vertices (Section 5.2) | [`engine`] + [`morsel`] |
 //!
 //! The public entry point is [`TurboHomEngine`].
 
@@ -24,14 +24,16 @@ pub mod config;
 pub mod engine;
 pub mod filters;
 pub mod matching_order;
+pub mod morsel;
 pub mod query_tree;
 pub mod result;
 pub mod start_vertex;
 pub mod stats;
 pub mod subgraph_search;
 
-pub use config::{MatchSemantics, OptimizationName, Optimizations, TurboHomConfig};
+pub use config::{MatchSemantics, OptimizationName, Optimizations, Scheduler, TurboHomConfig};
 pub use engine::{EngineError, TurboHomEngine};
 pub use matching_order::MatchingOrder;
+pub use morsel::{Morsel, MorselQueue};
 pub use result::{MatchResult, Solution};
 pub use stats::MatchStats;

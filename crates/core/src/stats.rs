@@ -36,6 +36,11 @@ pub struct MatchStats {
     pub filtered_post: usize,
     /// Number of solutions reported.
     pub solutions: usize,
+    /// Morsels (contiguous runs of candidate-region start vertices) executed
+    /// by the work-stealing scheduler.
+    pub morsels: usize,
+    /// Morsels obtained by stealing from another worker's range.
+    pub morsels_stolen: usize,
 }
 
 impl MatchStats {
@@ -55,6 +60,8 @@ impl MatchStats {
         self.filtered_inline += other.filtered_inline;
         self.filtered_post += other.filtered_post;
         self.solutions += other.solutions;
+        self.morsels += other.morsels;
+        self.morsels_stolen += other.morsels_stolen;
     }
 }
 

@@ -57,6 +57,12 @@ pub struct SubgraphSearcher<'a> {
     /// Execution counters.
     pub stats: MatchStats,
     limit_reached: bool,
+    /// Per-depth candidate buffers, reused across recursions so the +INT hot
+    /// path does not allocate a fresh result vector per extension step.
+    depth_buffers: Vec<Vec<VertexId>>,
+    /// Ping-pong scratch for [`ops::intersect_k_into`]; only used between
+    /// recursions, so one buffer serves every depth.
+    scratch: Vec<VertexId>,
 }
 
 impl<'a> SubgraphSearcher<'a> {
@@ -88,6 +94,8 @@ impl<'a> SubgraphSearcher<'a> {
             solution_count: 0,
             stats: MatchStats::default(),
             limit_reached: false,
+            depth_buffers: vec![Vec::new(); n],
+            scratch: Vec::new(),
         }
     }
 
@@ -188,42 +196,47 @@ impl<'a> SubgraphSearcher<'a> {
 
         // Candidate narrowing: with +INT intersect the candidate list with
         // every constraint adjacency list at once; without it, probe each
-        // candidate against each constraint individually.
-        let candidates: Vec<VertexId> =
-            if self.config.optimizations.intersection_joinable && !constraints.is_empty() {
-                self.stats.intersection_ops += 1;
-                let u_labels = &self.query.graph.vertex(u).labels;
-                let mut owned: Vec<Vec<VertexId>> = Vec::new();
-                let mut slices: Vec<&[VertexId]> = vec![base];
-                for c in &constraints {
-                    match c.label {
-                        Some(el) => {
-                            if u_labels.len() == 1 {
-                                slices.push(self.data.graph.neighbors_typed(
-                                    c.matched,
-                                    c.direction,
-                                    el,
-                                    u_labels[0],
-                                ));
-                            } else {
-                                slices.push(self.data.graph.neighbors(c.matched, c.direction, el));
-                            }
-                        }
-                        None => {
-                            owned.push(self.data.graph.all_neighbors(c.matched, c.direction));
+        // candidate against each constraint individually. The result lands in
+        // the pooled per-depth buffer, which survives the recursion below and
+        // is returned to the pool at the end.
+        let mut candidates: Vec<VertexId> = std::mem::take(&mut self.depth_buffers[depth]);
+        if self.config.optimizations.intersection_joinable && !constraints.is_empty() {
+            self.stats.intersection_ops += 1;
+            let u_labels = &self.query.graph.vertex(u).labels;
+            let mut owned: Vec<Vec<VertexId>> = Vec::new();
+            let mut slices: Vec<&[VertexId]> = vec![base];
+            for c in &constraints {
+                match c.label {
+                    Some(el) => {
+                        if u_labels.len() == 1 {
+                            slices.push(self.data.graph.neighbors_typed(
+                                c.matched,
+                                c.direction,
+                                el,
+                                u_labels[0],
+                            ));
+                        } else {
+                            slices.push(self.data.graph.neighbors(c.matched, c.direction, el));
                         }
                     }
+                    None => {
+                        owned.push(self.data.graph.all_neighbors(c.matched, c.direction));
+                    }
                 }
-                for o in &owned {
-                    slices.push(o.as_slice());
-                }
-                ops::intersect_k(&slices)
-            } else {
-                base.to_vec()
-            };
+            }
+            for o in &owned {
+                slices.push(o.as_slice());
+            }
+            let mut scratch = std::mem::take(&mut self.scratch);
+            ops::intersect_k_into(&slices, &mut candidates, &mut scratch);
+            self.scratch = scratch;
+        } else {
+            candidates.clear();
+            candidates.extend_from_slice(base);
+        }
 
         let mut emitted = 0usize;
-        for v in candidates {
+        for &v in &candidates {
             if self.limit_reached {
                 break;
             }
@@ -266,6 +279,7 @@ impl<'a> SubgraphSearcher<'a> {
             self.mapping[u] = None;
             self.used.remove(&v);
         }
+        self.depth_buffers[depth] = candidates;
         emitted
     }
 

@@ -17,6 +17,10 @@ pub enum StoreError {
     Transform(TransformError),
     /// The matching engine rejected the query.
     Engine(EngineError),
+    /// A per-request thread override of `0` was supplied. `0` worker threads
+    /// cannot execute anything; callers that want the store default should
+    /// pass `None`, so this is rejected instead of silently clamped.
+    InvalidThreadCount(usize),
 }
 
 impl fmt::Display for StoreError {
@@ -26,6 +30,10 @@ impl fmt::Display for StoreError {
             StoreError::Sparql(e) => write!(f, "SPARQL error: {e}"),
             StoreError::Transform(e) => write!(f, "transformation error: {e}"),
             StoreError::Engine(e) => write!(f, "engine error: {e}"),
+            StoreError::InvalidThreadCount(n) => write!(
+                f,
+                "invalid thread count {n}: the override must be at least 1 (pass None for the store default)"
+            ),
         }
     }
 }
@@ -74,5 +82,7 @@ mod tests {
         assert!(e.to_string().contains("transformation"));
         let e: StoreError = EngineError::DisconnectedQuery.into();
         assert!(e.to_string().contains("engine"));
+        let e = StoreError::InvalidThreadCount(0);
+        assert!(e.to_string().contains("invalid thread count 0"));
     }
 }

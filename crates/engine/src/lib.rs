@@ -17,6 +17,9 @@ pub use error::StoreError;
 pub use plan::QueryPlan;
 pub use results::{json_escape, QueryResults, ResultRow};
 pub use store::{EngineKind, ParseEngineKindError, PreparedQuery, Store, StoreOptions};
+// Re-exported so harnesses consuming `QueryResults::stats` (the benchmark
+// flight recorder, the service metrics) need no direct core dependency.
+pub use turbohom_core::MatchStats;
 
 /// Compile-time proof that the shared-service types can cross threads: a
 /// `QueryService` hands `Arc<Store>` and cached `Arc<QueryPlan>`s to every

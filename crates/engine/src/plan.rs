@@ -24,7 +24,7 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Instant;
 use turbohom_baseline::JoinStrategy;
-use turbohom_core::{MatchingOrder, TurboHomConfig, TurboHomEngine};
+use turbohom_core::{MatchStats, MatchingOrder, TurboHomConfig, TurboHomEngine};
 use turbohom_sparql::{EvalContext, Expression, GroupPattern, Query};
 use turbohom_transform::{TransformKind, TransformedQuery};
 
@@ -33,6 +33,10 @@ use turbohom_transform::{TransformKind, TransformedQuery};
 pub struct QueryPlan {
     kind: EngineKind,
     projected: Vec<String>,
+    /// `LIMIT` pushed down from the query (only when no `OFFSET` shifts the
+    /// window): the graph engines stop enumerating once this many solutions
+    /// exist, the join baselines truncate their result.
+    limit: Option<usize>,
     mode: PlanMode,
 }
 
@@ -87,6 +91,13 @@ impl QueryPlan {
         &self.projected
     }
 
+    /// The `LIMIT` pushed into the enumerator, if any. `None` either means
+    /// the query has no `LIMIT` or that an `OFFSET` prevents the pushdown
+    /// (skipped rows must still be enumerated).
+    pub fn limit(&self) -> Option<usize> {
+        self.limit
+    }
+
     /// Number of transformed connected components across all branches
     /// (`0` for join-baseline plans).
     pub fn component_count(&self) -> usize {
@@ -121,6 +132,14 @@ impl Store {
     /// plans borrow it just long enough to transform the branches.
     pub fn plan_query(&self, query: &Query, kind: EngineKind) -> Result<QueryPlan, StoreError> {
         let projected = query.projected_variables();
+        // LIMIT is only pushed into the enumerator when no OFFSET shifts the
+        // result window — skipped rows still have to be enumerated. (No
+        // engine applies DISTINCT or ORDER BY, so early termination cannot
+        // change which rows survive.)
+        let limit = match query.offset {
+            None | Some(0) => query.limit,
+            Some(_) => None,
+        };
         let mode = match kind {
             EngineKind::TurboHomPlusPlus => PlanMode::Graph {
                 config: self.default_config(),
@@ -142,6 +161,7 @@ impl Store {
         Ok(QueryPlan {
             kind,
             projected,
+            limit,
             mode,
         })
     }
@@ -159,15 +179,25 @@ impl Store {
         plan: &QueryPlan,
         threads: Option<usize>,
     ) -> Result<QueryResults, StoreError> {
+        if threads == Some(0) {
+            return Err(StoreError::InvalidThreadCount(0));
+        }
         match &plan.mode {
             PlanMode::Graph { config, branches } => {
                 let config = match threads {
                     Some(t) => config.with_threads(t),
                     None => *config,
                 };
-                self.run_graph_plan(branches, config, plan.projected.clone())
+                self.run_graph_plan_limited(branches, config, plan.projected.clone(), plan.limit)
             }
-            PlanMode::Join { query, strategy } => Ok(self.run_baseline(query, *strategy)),
+            PlanMode::Join { query, strategy } => {
+                let mut results = self.run_baseline(query, *strategy);
+                if let Some(limit) = plan.limit {
+                    results.rows.truncate(limit);
+                    results.solution_count = results.solution_count.min(limit);
+                }
+                Ok(results)
+            }
         }
     }
 
@@ -227,20 +257,40 @@ impl Store {
         config: TurboHomConfig,
         projected: Vec<String>,
     ) -> Result<QueryResults, StoreError> {
+        self.run_graph_plan_limited(branches, config, projected, None)
+    }
+
+    /// Like [`run_graph_plan`](Self::run_graph_plan), with a pushed-down
+    /// `LIMIT`: each branch only enumerates the solutions still missing, and
+    /// the branch loop stops as soon as the limit is reached.
+    pub(crate) fn run_graph_plan_limited(
+        &self,
+        branches: &[BranchPlan],
+        config: TurboHomConfig,
+        projected: Vec<String>,
+        limit: Option<usize>,
+    ) -> Result<QueryResults, StoreError> {
         let start = Instant::now();
         let mut rows: Vec<ResultRow> = Vec::new();
         let mut count = 0usize;
+        let mut stats = MatchStats::default();
         for branch in branches {
-            let (mut branch_rows, branch_count) =
-                self.run_branch_plan(branch, config, &projected)?;
+            let remaining = limit.map(|l| l.saturating_sub(count));
+            if remaining == Some(0) {
+                break;
+            }
+            let (mut branch_rows, branch_count, branch_stats) =
+                self.run_branch_plan(branch, config, &projected, remaining)?;
             rows.append(&mut branch_rows);
             count += branch_count;
+            stats.merge(&branch_stats);
         }
         Ok(QueryResults {
             variables: projected,
             rows,
             solution_count: count,
             elapsed: start.elapsed(),
+            stats,
         })
     }
 
@@ -255,14 +305,27 @@ impl Store {
         branch: &BranchPlan,
         config: TurboHomConfig,
         projected: &[String],
-    ) -> Result<(Vec<ResultRow>, usize), StoreError> {
+        limit: Option<usize>,
+    ) -> Result<(Vec<ResultRow>, usize, MatchStats), StoreError> {
         if let [component] = branch.components.as_slice() {
+            // Single connected component: the limit goes straight into the
+            // enumerator as a solution cap, so search stops early.
+            let config = match limit {
+                Some(l) => TurboHomConfig {
+                    max_solutions: Some(config.max_solutions.map_or(l, |m| m.min(l))),
+                    ..config
+                },
+                None => config,
+            };
             return self.run_component_plan(component, config, projected);
         }
         // Evaluate each component over its own variables.
         let mut partials: Vec<(&[String], Vec<ResultRow>)> = Vec::new();
+        let mut stats = MatchStats::default();
         for component in &branch.components {
-            let (rows, _) = self.run_component_plan(component, config, &component.vars)?;
+            let (rows, _, component_stats) =
+                self.run_component_plan(component, config, &component.vars)?;
+            stats.merge(&component_stats);
             partials.push((&component.vars, rows));
         }
         // Cartesian product of the component results.
@@ -303,7 +366,7 @@ impl Store {
             .iter()
             .map(|v| all_vars.iter().position(|x| x == v))
             .collect();
-        let rows: Vec<ResultRow> = filtered
+        let mut rows: Vec<ResultRow> = filtered
             .iter()
             .map(|row| {
                 indices
@@ -312,8 +375,13 @@ impl Store {
                     .collect()
             })
             .collect();
+        // A limit cannot be pushed below the cartesian combination (dropping
+        // partial rows early would drop combinations), so it applies here.
+        if let Some(l) = limit {
+            rows.truncate(l);
+        }
         let count = rows.len();
-        Ok((rows, count))
+        Ok((rows, count, stats))
     }
 
     /// Runs one transformed component, reusing (or memoizing) its matching
@@ -323,7 +391,7 @@ impl Store {
         component: &ComponentPlan,
         config: TurboHomConfig,
         out_vars: &[String],
-    ) -> Result<(Vec<ResultRow>, usize), StoreError> {
+    ) -> Result<(Vec<ResultRow>, usize, MatchStats), StoreError> {
         let graph = if component.use_direct {
             &self.direct
         } else {
@@ -341,7 +409,7 @@ impl Store {
         }
         let mut rows = Vec::new();
         self.append_rows(&mut rows, graph, &component.transformed, &result, out_vars);
-        Ok((rows, result.solution_count))
+        Ok((rows, result.solution_count, result.stats))
     }
 }
 
@@ -441,6 +509,76 @@ mod tests {
         );
         // Both component orders get memoized on the first run.
         assert_eq!(plan.cached_order_count(), 2);
+    }
+
+    #[test]
+    fn limit_is_pushed_into_the_plan_and_enforced() {
+        let store = sample_store();
+        let q = format!("{Q} LIMIT 2");
+        for kind in EngineKind::all() {
+            let plan = store.prepare_plan(&q, kind).unwrap();
+            assert_eq!(plan.limit(), Some(2), "{kind}");
+            let r = store.run_plan(&plan).unwrap();
+            assert_eq!(r.rows.len(), 2, "{kind}");
+            assert_eq!(r.solution_count, 2, "{kind}");
+        }
+    }
+
+    #[test]
+    fn offset_disables_the_limit_pushdown() {
+        let store = sample_store();
+        let q = format!("{Q} LIMIT 2 OFFSET 1");
+        let plan = store
+            .prepare_plan(&q, EngineKind::TurboHomPlusPlus)
+            .unwrap();
+        assert_eq!(plan.limit(), None);
+        // Without the pushdown all solutions are enumerated (the window is
+        // applied by the caller once OFFSET is involved).
+        assert_eq!(store.run_plan(&plan).unwrap().rows.len(), 4);
+        // OFFSET 0 does not shift the window, so the pushdown stays on.
+        let q0 = format!("{Q} LIMIT 3 OFFSET 0");
+        let plan0 = store
+            .prepare_plan(&q0, EngineKind::TurboHomPlusPlus)
+            .unwrap();
+        assert_eq!(plan0.limit(), Some(3));
+    }
+
+    #[test]
+    fn limit_larger_than_result_is_harmless() {
+        let store = sample_store();
+        let q = format!("{Q} LIMIT 100");
+        for kind in EngineKind::all() {
+            let r = store.execute(&q, kind).unwrap();
+            assert_eq!(r.rows.len(), 4, "{kind}");
+        }
+    }
+
+    #[test]
+    fn limit_applies_to_multi_component_branches() {
+        let store = sample_store();
+        // Two unrelated patterns: 4 students × 1 university = 4 combined rows.
+        let q = r#"PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+                   PREFIX ub: <http://ub.org/>
+                   SELECT ?a ?b WHERE {
+                     ?a rdf:type ub:Student . ?b rdf:type ub:University .
+                   } LIMIT 2"#;
+        let plan = store.prepare_plan(q, EngineKind::TurboHomPlusPlus).unwrap();
+        assert_eq!(plan.component_count(), 2);
+        let r = store.run_plan(&plan).unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.solution_count, 2);
+    }
+
+    #[test]
+    fn zero_thread_override_is_a_typed_error() {
+        let store = sample_store();
+        for kind in EngineKind::all() {
+            let plan = store.prepare_plan(Q, kind).unwrap();
+            assert!(matches!(
+                store.run_plan_with(&plan, Some(0)),
+                Err(StoreError::InvalidThreadCount(0))
+            ));
+        }
     }
 
     #[test]

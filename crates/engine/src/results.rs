@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 use std::time::Duration;
+use turbohom_core::MatchStats;
 use turbohom_rdf::Term;
 
 /// One result row: the terms bound to the projected variables (in the order
@@ -24,6 +25,11 @@ pub struct QueryResults {
     /// (mirroring the paper's protocol of timing only query processing,
     /// and making cold and warm plan-cache runs report comparable numbers).
     pub elapsed: Duration,
+    /// Per-stage execution counters of the graph engines, merged across all
+    /// branches and worker threads (all-zero for the join baselines, which
+    /// do not run the matcher). The benchmark flight recorder persists these
+    /// alongside the timings.
+    pub stats: MatchStats,
 }
 
 impl QueryResults {
@@ -163,6 +169,7 @@ mod tests {
             ],
             solution_count: 2,
             elapsed: Duration::from_millis(1),
+            stats: MatchStats::default(),
         }
     }
 
@@ -214,6 +221,7 @@ mod tests {
             ],
             solution_count: 2,
             elapsed: Duration::ZERO,
+            stats: MatchStats::default(),
         };
         let json = r.to_sparql_json();
         assert!(json.contains(r#"{"type":"bnode","value":"b0"}"#));

@@ -364,6 +364,7 @@ impl Store {
             solution_count: rows.len(),
             rows,
             elapsed: start.elapsed(),
+            stats: Default::default(),
         }
     }
 
@@ -390,20 +391,12 @@ impl<'s> PreparedQuery<'s> {
         self.store.plan_query(&self.query, kind)
     }
 
-    /// Executes the query with the chosen engine. The join baselines
-    /// evaluate the parsed algebra in place; the graph engines build (and
-    /// discard) a plan — callers executing repeatedly should hold a
+    /// Executes the query with the chosen engine. This builds (and discards)
+    /// a plan so every engine gets the plan-level treatment — in particular
+    /// the `LIMIT` pushdown; callers executing repeatedly should hold a
     /// [`plan`](Self::plan) instead.
     pub fn execute(&self, kind: EngineKind) -> Result<QueryResults, StoreError> {
-        match kind {
-            EngineKind::MergeJoin => Ok(self
-                .store
-                .run_baseline(&self.query, JoinStrategy::SortMerge)),
-            EngineKind::HashJoin => Ok(self.store.run_baseline(&self.query, JoinStrategy::Hash)),
-            EngineKind::TurboHomPlusPlus | EngineKind::TurboHom => {
-                self.store.run_plan(&self.plan(kind)?)
-            }
-        }
+        self.store.run_plan(&self.plan(kind)?)
     }
 }
 
@@ -716,6 +709,22 @@ mod tests {
             .unwrap();
         assert_eq!(seq.len(), par.len());
         assert_eq!(store.options().threads, 1);
+    }
+
+    #[test]
+    fn zero_thread_override_is_rejected_not_clamped() {
+        let store = sample_store();
+        let q = r#"PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+                   PREFIX ub: <http://ub.org/>
+                   SELECT ?x WHERE { ?x rdf:type ub:Student . }"#;
+        for kind in EngineKind::all() {
+            let err = store.execute_with_threads(q, kind, Some(0)).unwrap_err();
+            assert!(matches!(err, StoreError::InvalidThreadCount(0)), "{kind}");
+        }
+        // `None` still means "use the store default".
+        assert!(store
+            .execute_with_threads(q, EngineKind::TurboHomPlusPlus, None)
+            .is_ok());
     }
 
     #[test]

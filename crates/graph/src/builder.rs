@@ -107,12 +107,19 @@ impl LabeledGraphBuilder {
             label_offsets.push(labels.len() as u32);
         }
 
-        let outgoing = build_direction(n, &self.vertex_labels, self.edges.iter().copied());
-        let incoming = build_direction(
-            n,
-            &self.vertex_labels,
-            self.edges.iter().map(|&(f, t, l)| (t, f, l)),
-        );
+        let outgoing = build_direction(n, &self.vertex_labels, &self.edges, false);
+        let incoming = build_direction(n, &self.vertex_labels, &self.edges, true);
+
+        // Degree-descending start order (ties broken by ascending id, since
+        // the sort is stable): the parallel scheduler visits candidate-region
+        // start vertices heaviest-first so the expensive regions are claimed
+        // early and only cheap tails remain to steal.
+        let mut degree_order: Vec<VertexId> = (0..n as u32).map(VertexId).collect();
+        degree_order.sort_by_key(|v| {
+            std::cmp::Reverse(
+                outgoing.degrees[v.index()] as u64 + incoming.degrees[v.index()] as u64,
+            )
+        });
 
         LabeledGraph {
             num_vertices: n,
@@ -123,73 +130,109 @@ impl LabeledGraphBuilder {
             labels,
             outgoing,
             incoming,
+            degree_order,
         }
     }
 }
 
-/// Builds one adjacency direction. `edges` yields `(source, target, label)`
-/// pairs already oriented for this direction.
+/// Builds one adjacency direction with a counting-sort layout: one degree
+/// pass, one prefix-sum placement pass into a single flat edge buffer, then a
+/// per-row sort. Compared to per-vertex `Vec` buckets this does O(1)
+/// allocations for the edge rows and keeps each row contiguous in memory.
+/// With `swapped == true` the edges are interpreted target→source (the
+/// incoming direction).
 fn build_direction(
     n: usize,
     vertex_labels: &[Vec<VLabel>],
-    edges: impl Iterator<Item = (VertexId, VertexId, ELabel)>,
+    edges: &[(VertexId, VertexId, ELabel)],
+    swapped: bool,
 ) -> AdjacencyDirection {
-    // Bucket edges per source vertex.
-    let mut per_vertex: Vec<Vec<(ELabel, VertexId)>> = vec![Vec::new(); n];
+    // Counting pass: the per-source edge counts double as the degree array.
     let mut degrees = vec![0u32; n];
-    for (from, to, label) in edges {
-        per_vertex[from.index()].push((label, to));
-        degrees[from.index()] += 1;
+    for &(f, t, _) in edges {
+        let src = if swapped { t } else { f };
+        degrees[src.index()] += 1;
+    }
+
+    // Prefix sums give every vertex a contiguous row in one flat buffer.
+    let mut row_starts = Vec::with_capacity(n + 1);
+    let mut total = 0usize;
+    row_starts.push(0usize);
+    for &d in &degrees {
+        total += d as usize;
+        row_starts.push(total);
+    }
+
+    // Placement pass.
+    let mut rows: Vec<(ELabel, VertexId)> = vec![(ELabel(0), VertexId(0)); total];
+    let mut cursors = row_starts.clone();
+    for &(f, t, l) in edges {
+        let (src, dst) = if swapped { (t, f) } else { (f, t) };
+        let c = &mut cursors[src.index()];
+        rows[*c] = (l, dst);
+        *c += 1;
     }
 
     let mut vertex_offsets = Vec::with_capacity(n + 1);
     let mut elabel_groups: Vec<ELabelGroup> = Vec::new();
     let mut type_groups: Vec<TypeGroup> = Vec::new();
-    let mut targets: Vec<VertexId> = Vec::new();
+    let mut targets: Vec<VertexId> = Vec::with_capacity(total);
     let mut typed_targets: Vec<VertexId> = Vec::new();
+    // Scratch reused across rows. The key maps `None` to 0 and `Some(l)` to
+    // `l + 1`, preserving the `Option<VLabel>` ordering (`None < Some`) that
+    // the typed-group binary searches rely on.
+    let mut typed_scratch: Vec<(u32, VertexId)> = Vec::new();
 
     vertex_offsets.push(0u32);
-    for bucket in per_vertex.iter_mut() {
+    for v in 0..n {
+        let row = &mut rows[row_starts[v]..row_starts[v + 1]];
         // Sort by (edge label, target) so each edge-label group is contiguous
-        // and its target list is sorted.
-        bucket.sort_unstable();
+        // and its target list is sorted. Duplicates were removed at insert
+        // time, so every run of equal edge labels is a strict sorted set.
+        row.sort_unstable();
         let mut i = 0usize;
-        while i < bucket.len() {
-            let el = bucket[i].0;
+        while i < row.len() {
+            let el = row[i].0;
             let mut j = i;
-            while j < bucket.len() && bucket[j].0 == el {
+            while j < row.len() && row[j].0 == el {
                 j += 1;
             }
-            let group_targets: Vec<VertexId> = bucket[i..j].iter().map(|&(_, t)| t).collect();
-            // (duplicates were removed at insert time, and sort keeps order)
             let target_start = targets.len() as u32;
-            targets.extend_from_slice(&group_targets);
+            targets.extend(row[i..j].iter().map(|&(_, t)| t));
             let target_end = targets.len() as u32;
 
             // Type groups: neighbor label → sorted targets. A neighbor with
             // multiple labels lands in several groups; an unlabeled neighbor
             // lands in the `None` group.
-            let mut by_label: std::collections::BTreeMap<Option<VLabel>, Vec<VertexId>> =
-                std::collections::BTreeMap::new();
-            for &t in &group_targets {
+            typed_scratch.clear();
+            for &(_, t) in &row[i..j] {
                 let nls = &vertex_labels[t.index()];
                 if nls.is_empty() {
-                    by_label.entry(None).or_default().push(t);
+                    typed_scratch.push((0, t));
                 } else {
                     for &nl in nls {
-                        by_label.entry(Some(nl)).or_default().push(t);
+                        typed_scratch.push((nl.0 + 1, t));
                     }
                 }
             }
+            typed_scratch.sort_unstable();
             let type_start = type_groups.len() as u32;
-            for (vl, ts) in by_label {
+            let mut k = 0usize;
+            while k < typed_scratch.len() {
+                let key = typed_scratch[k].0;
                 let start = typed_targets.len() as u32;
-                typed_targets.extend_from_slice(&ts);
-                let end = typed_targets.len() as u32;
+                while k < typed_scratch.len() && typed_scratch[k].0 == key {
+                    typed_targets.push(typed_scratch[k].1);
+                    k += 1;
+                }
                 type_groups.push(TypeGroup {
-                    vlabel: vl,
+                    vlabel: if key == 0 {
+                        None
+                    } else {
+                        Some(VLabel(key - 1))
+                    },
                     start,
-                    end,
+                    end: typed_targets.len() as u32,
                 });
             }
             let type_end = type_groups.len() as u32;

@@ -110,6 +110,8 @@ pub struct LabeledGraph {
     pub(crate) labels: Vec<VLabel>,
     pub(crate) outgoing: AdjacencyDirection,
     pub(crate) incoming: AdjacencyDirection,
+    /// All vertices sorted by descending total degree (ties by ascending id).
+    pub(crate) degree_order: Vec<VertexId>,
 }
 
 impl LabeledGraph {
@@ -182,6 +184,14 @@ impl LabeledGraph {
     /// Total degree (in + out) of `v`.
     pub fn total_degree(&self, v: VertexId) -> usize {
         self.degree(v, Direction::Outgoing) + self.degree(v, Direction::Incoming)
+    }
+
+    /// All vertices ordered by descending total degree (ties broken by
+    /// ascending id). Precomputed at build time; the morsel scheduler uses it
+    /// to rank candidate-region start vertices so heavy regions are claimed
+    /// first.
+    pub fn vertices_by_degree_desc(&self) -> &[VertexId] {
+        &self.degree_order
     }
 
     /// Number of distinct neighbor types (edge label, neighbor label) of `v`
@@ -557,6 +567,28 @@ mod tests {
         labels.sort();
         assert_eq!(labels, vec![ELabel(0), ELabel(1)]);
         assert_eq!(g.degree(u, Direction::Outgoing), 2);
+    }
+
+    #[test]
+    fn degree_order_is_descending_and_complete() {
+        let g = figure7_graph();
+        let order = g.vertices_by_degree_desc();
+        assert_eq!(order.len(), g.vertex_count());
+        // v0 has total degree 4, strictly the largest.
+        assert_eq!(order[0], VertexId(0));
+        // Degrees are non-increasing along the order.
+        for w in order.windows(2) {
+            assert!(g.total_degree(w[0]) >= g.total_degree(w[1]));
+        }
+        // Every vertex appears exactly once.
+        let mut seen: Vec<VertexId> = order.to_vec();
+        seen.sort();
+        let all: Vec<VertexId> = g.vertices().collect();
+        assert_eq!(seen, all);
+        // Ties are broken by ascending id (stable sort): v1 (deg 2) and
+        // v2 (deg 2) stay in id order.
+        let pos = |v: VertexId| order.iter().position(|&x| x == v).unwrap();
+        assert!(pos(VertexId(1)) < pos(VertexId(2)));
     }
 
     #[test]

@@ -108,6 +108,94 @@ pub fn intersect_k(lists: &[&[VertexId]]) -> Vec<VertexId> {
     }
 }
 
+/// Linear merge intersection into a caller-owned buffer (cleared first).
+pub fn intersect_merge_into(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
+    out.clear();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+/// Galloping intersection into a caller-owned buffer (cleared first).
+pub fn intersect_galloping_into(small: &[VertexId], large: &[VertexId], out: &mut Vec<VertexId>) {
+    debug_assert!(small.len() <= large.len());
+    out.clear();
+    let mut lo = 0usize;
+    for &x in small {
+        let mut step = 1usize;
+        let mut hi = lo;
+        while hi < large.len() && large[hi] < x {
+            lo = hi + 1;
+            hi = lo + step;
+            step *= 2;
+        }
+        let hi = (hi + 1).min(large.len());
+        match large[lo..hi].binary_search(&x) {
+            Ok(pos) => {
+                out.push(x);
+                lo += pos + 1;
+            }
+            Err(pos) => {
+                lo += pos;
+            }
+        }
+        if lo >= large.len() {
+            break;
+        }
+    }
+}
+
+/// Adaptive intersection into a caller-owned buffer (cleared first).
+pub fn intersect_adaptive_into(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
+    out.clear();
+    if a.is_empty() || b.is_empty() {
+        return;
+    }
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if large.len() / small.len().max(1) >= 16 {
+        intersect_galloping_into(small, large, out);
+    } else {
+        intersect_merge_into(small, large, out);
+    }
+}
+
+/// k-way intersection into caller-owned buffers, ping-ponging between `out`
+/// and `scratch` so the enumeration hot path allocates nothing per call. The
+/// result always ends up in `out`; `scratch` holds garbage afterwards.
+pub fn intersect_k_into(
+    lists: &[&[VertexId]],
+    out: &mut Vec<VertexId>,
+    scratch: &mut Vec<VertexId>,
+) {
+    out.clear();
+    match lists.len() {
+        0 => {}
+        1 => out.extend_from_slice(lists[0]),
+        2 => intersect_adaptive_into(lists[0], lists[1], out),
+        _ => {
+            let mut order: Vec<usize> = (0..lists.len()).collect();
+            order.sort_by_key(|&i| lists[i].len());
+            intersect_adaptive_into(lists[order[0]], lists[order[1]], out);
+            for &i in &order[2..] {
+                if out.is_empty() {
+                    break;
+                }
+                intersect_adaptive_into(out, lists[i], scratch);
+                std::mem::swap(out, scratch);
+            }
+        }
+    }
+}
+
 /// Union of two sorted sets.
 pub fn union_sorted(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
     let mut out = Vec::with_capacity(a.len() + b.len());
@@ -247,6 +335,29 @@ mod tests {
         let b = vs(&[4, 5]);
         let c = vs(&[1, 2]);
         assert_eq!(intersect_k(&[&a, &b, &c]), vs(&[]));
+    }
+
+    #[test]
+    fn into_variants_match_allocating_versions() {
+        let a = vs(&[1, 2, 3, 4, 5, 6]);
+        let b = vs(&[2, 4, 6, 8]);
+        let c = vs(&[4, 5, 6, 7]);
+        let mut out = vs(&[99, 99]); // stale content must be cleared
+        let mut scratch = Vec::new();
+        intersect_merge_into(&a, &b, &mut out);
+        assert_eq!(out, intersect_merge(&a, &b));
+        intersect_galloping_into(&b, &a, &mut out);
+        assert_eq!(out, intersect_galloping(&b, &a));
+        intersect_adaptive_into(&a, &b, &mut out);
+        assert_eq!(out, intersect_adaptive(&a, &b));
+        intersect_k_into(&[&a, &b, &c], &mut out, &mut scratch);
+        assert_eq!(out, intersect_k(&[&a, &b, &c]));
+        intersect_k_into(&[], &mut out, &mut scratch);
+        assert!(out.is_empty());
+        intersect_k_into(&[&a], &mut out, &mut scratch);
+        assert_eq!(out, a);
+        intersect_k_into(&[&a, &b], &mut out, &mut scratch);
+        assert_eq!(out, intersect_k(&[&a, &b]));
     }
 
     #[test]

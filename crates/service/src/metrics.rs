@@ -10,7 +10,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
-use turbohom_engine::EngineKind;
+use turbohom_engine::{EngineKind, MatchStats};
 
 /// Number of log₂ buckets: covers 1 µs … ~2³⁸ µs (≈ 76 hours) per query.
 const BUCKETS: usize = 40;
@@ -86,6 +86,17 @@ pub struct EngineMetrics {
     /// Latency of successful queries (wall clock across the whole request:
     /// fingerprint + plan lookup/preparation + enumeration + rendering).
     pub latency: LatencyHistogram,
+    /// Solutions returned across all successful queries.
+    pub solutions: AtomicU64,
+    /// Cumulative k-way intersections run by the `+INT` joinability test
+    /// (all-zero for the join baselines, which never run the matcher).
+    pub intersection_ops: AtomicU64,
+    /// Cumulative morsels executed by the work-stealing scheduler (stays
+    /// zero while requests run single-threaded).
+    pub morsels: AtomicU64,
+    /// Cumulative morsels obtained by stealing — a high ratio of stolen to
+    /// total morsels means the per-region work is heavily skewed.
+    pub morsels_stolen: AtomicU64,
 }
 
 /// All service metrics: one [`EngineMetrics`] per engine plus uptime.
@@ -114,11 +125,18 @@ impl ServiceMetrics {
         &self.per_engine[kind.index()]
     }
 
-    /// Records a successful query.
-    pub fn record_success(&self, kind: EngineKind, latency: Duration) {
+    /// Records a successful query with the matcher's per-stage counters.
+    pub fn record_success(&self, kind: EngineKind, latency: Duration, stats: &MatchStats) {
         let m = self.engine(kind);
         m.queries.fetch_add(1, Ordering::Relaxed);
         m.latency.record(latency);
+        m.solutions
+            .fetch_add(stats.solutions as u64, Ordering::Relaxed);
+        m.intersection_ops
+            .fetch_add(stats.intersection_ops as u64, Ordering::Relaxed);
+        m.morsels.fetch_add(stats.morsels as u64, Ordering::Relaxed);
+        m.morsels_stolen
+            .fetch_add(stats.morsels_stolen as u64, Ordering::Relaxed);
     }
 
     /// Records a failed query.
@@ -192,8 +210,23 @@ mod tests {
     #[test]
     fn per_engine_counters_are_independent() {
         let m = ServiceMetrics::new();
-        m.record_success(EngineKind::TurboHomPlusPlus, Duration::from_micros(5));
-        m.record_success(EngineKind::TurboHomPlusPlus, Duration::from_micros(5));
+        let stats = MatchStats {
+            solutions: 3,
+            intersection_ops: 7,
+            morsels: 4,
+            morsels_stolen: 1,
+            ..MatchStats::default()
+        };
+        m.record_success(
+            EngineKind::TurboHomPlusPlus,
+            Duration::from_micros(5),
+            &stats,
+        );
+        m.record_success(
+            EngineKind::TurboHomPlusPlus,
+            Duration::from_micros(5),
+            &stats,
+        );
         m.record_error(EngineKind::MergeJoin);
         assert_eq!(
             m.engine(EngineKind::TurboHomPlusPlus)
@@ -210,5 +243,17 @@ mod tests {
         assert_eq!(m.engine(EngineKind::HashJoin).latency.count(), 0);
         assert_eq!(m.total_queries(), 2);
         assert!(m.qps(EngineKind::TurboHomPlusPlus) > 0.0);
+        // The matcher counters accumulate across requests.
+        let t = m.engine(EngineKind::TurboHomPlusPlus);
+        assert_eq!(t.solutions.load(Ordering::Relaxed), 6);
+        assert_eq!(t.intersection_ops.load(Ordering::Relaxed), 14);
+        assert_eq!(t.morsels.load(Ordering::Relaxed), 8);
+        assert_eq!(t.morsels_stolen.load(Ordering::Relaxed), 2);
+        assert_eq!(
+            m.engine(EngineKind::MergeJoin)
+                .solutions
+                .load(Ordering::Relaxed),
+            0
+        );
     }
 }

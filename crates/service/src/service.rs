@@ -108,6 +108,14 @@ pub struct EngineStats {
     pub p95_ms: f64,
     /// 99th percentile (ms).
     pub p99_ms: f64,
+    /// Solutions returned across all successful queries.
+    pub solutions: u64,
+    /// Cumulative `+INT` k-way intersections run by the matcher.
+    pub intersection_ops: u64,
+    /// Cumulative morsels executed by the work-stealing scheduler.
+    pub morsels: u64,
+    /// Cumulative morsels obtained by stealing.
+    pub morsels_stolen: u64,
 }
 
 impl StatsSnapshot {
@@ -129,7 +137,7 @@ impl StatsSnapshot {
                 out.push(',');
             }
             out.push_str(&format!(
-                "\"{}\":{{\"queries\":{},\"errors\":{},\"qps\":{:.3},\"latency_ms\":{{\"mean\":{:.3},\"p50\":{:.3},\"p95\":{:.3},\"p99\":{:.3}}}}}",
+                "\"{}\":{{\"queries\":{},\"errors\":{},\"qps\":{:.3},\"latency_ms\":{{\"mean\":{:.3},\"p50\":{:.3},\"p95\":{:.3},\"p99\":{:.3}}},\"matcher\":{{\"solutions\":{},\"intersection_ops\":{},\"morsels\":{},\"morsels_stolen\":{}}}}}",
                 json_escape(e.kind.name()),
                 e.queries,
                 e.errors,
@@ -138,6 +146,10 @@ impl StatsSnapshot {
                 e.p50_ms,
                 e.p95_ms,
                 e.p99_ms,
+                e.solutions,
+                e.intersection_ops,
+                e.morsels,
+                e.morsels_stolen,
             ));
         }
         out.push_str("}}");
@@ -190,7 +202,7 @@ impl QueryService {
         match outcome {
             Ok((results, cache_hit, fp)) => {
                 let elapsed = start.elapsed();
-                self.metrics.record_success(engine, elapsed);
+                self.metrics.record_success(engine, elapsed, &results.stats);
                 Ok(QueryResponse {
                     results,
                     engine,
@@ -246,6 +258,10 @@ impl QueryService {
                     p50_ms: ms(m.latency.quantile(0.50)),
                     p95_ms: ms(m.latency.quantile(0.95)),
                     p99_ms: ms(m.latency.quantile(0.99)),
+                    solutions: m.solutions.load(Ordering::Relaxed),
+                    intersection_ops: m.intersection_ops.load(Ordering::Relaxed),
+                    morsels: m.morsels.load(Ordering::Relaxed),
+                    morsels_stolen: m.morsels_stolen.load(Ordering::Relaxed),
                 }
             })
             .collect();

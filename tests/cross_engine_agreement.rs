@@ -159,6 +159,46 @@ fn optimizations_do_not_change_lubm_results() {
 }
 
 #[test]
+fn limit_pushdown_agrees_across_engines() {
+    // LIMIT is pushed into the graph enumerators (early termination) but
+    // applied as a post-truncation by the join baselines — two different
+    // code paths that must report the same row count for every benchmark
+    // query and every limit, including limits larger than the result.
+    let dataset = lubm::LubmGenerator::new(lubm::LubmConfig::scale(1)).generate();
+    let store = Store::from_dataset(dataset);
+    for q in lubm::queries() {
+        let full = store
+            .execute(&q.sparql, EngineKind::TurboHomPlusPlus)
+            .unwrap()
+            .len();
+        for limit in [0usize, 1, 3, full + 10] {
+            let sparql = format!("{} LIMIT {limit}", q.sparql.trim_end());
+            let expected = full.min(limit);
+            for kind in EngineKind::all() {
+                let result = store.execute(&sparql, kind).unwrap_or_else(|e| {
+                    panic!("{} failed on {} LIMIT {limit}: {e}", kind.label(), q.id)
+                });
+                assert_eq!(
+                    result.len(),
+                    expected,
+                    "{} returned {} rows on {} LIMIT {limit}, expected {expected}",
+                    kind.label(),
+                    result.len(),
+                    q.id
+                );
+                assert_eq!(
+                    result.solution_count,
+                    expected,
+                    "{} solution_count mismatch on {} LIMIT {limit}",
+                    kind.label(),
+                    q.id
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn simple_entailment_returns_a_subset() {
     use turbohom::core::TurboHomConfig;
     // Load the *raw* triples (no materialized closure) so the difference

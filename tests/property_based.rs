@@ -177,6 +177,43 @@ proptest! {
         prop_assert_eq!(ops::intersect_k(&[&av, &bv]), naive_inter);
     }
 
+    /// Galloping intersection is equivalent to the naive merge on every
+    /// input shape — overlapping, subset and disjoint — and the
+    /// buffer-reusing `_into` variants agree with their allocating twins
+    /// even when the output buffer starts with stale content.
+    #[test]
+    fn galloping_matches_naive_merge(
+        a in proptest::collection::btree_set(0u32..500, 0..40),
+        b in proptest::collection::btree_set(0u32..500, 0..160),
+        mode in 0usize..3,
+    ) {
+        // mode 0: as generated; mode 1: force a ⊆ b; mode 2: force disjoint.
+        let mut b = b;
+        match mode {
+            1 => b.extend(a.iter().copied()),
+            2 => {
+                b = b.iter().map(|x| x + 1000).collect();
+            }
+            _ => {}
+        }
+        let av: Vec<VertexId> = a.iter().map(|&x| VertexId(x)).collect();
+        let bv: Vec<VertexId> = b.iter().map(|&x| VertexId(x)).collect();
+        let naive: Vec<VertexId> = a.intersection(&b).map(|&x| VertexId(x)).collect();
+        // `intersect_galloping` requires the smaller list first.
+        let (small, large) = if av.len() <= bv.len() { (&av, &bv) } else { (&bv, &av) };
+        prop_assert_eq!(ops::intersect_galloping(small, large), naive.clone());
+        let mut out = vec![VertexId(u32::MAX); 3]; // stale content must be cleared
+        ops::intersect_galloping_into(small, large, &mut out);
+        prop_assert_eq!(&out, &naive);
+        ops::intersect_merge_into(&av, &bv, &mut out);
+        prop_assert_eq!(&out, &naive);
+        ops::intersect_adaptive_into(&av, &bv, &mut out);
+        prop_assert_eq!(&out, &naive);
+        let mut scratch = Vec::new();
+        ops::intersect_k_into(&[&av, &bv], &mut out, &mut scratch);
+        prop_assert_eq!(&out, &naive);
+    }
+
     /// The inference engine is idempotent (a fixpoint) and monotone.
     #[test]
     fn inference_is_idempotent_and_monotone(ds in dataset_strategy(), classes in proptest::collection::vec((0usize..4, 0usize..4), 0..4)) {
