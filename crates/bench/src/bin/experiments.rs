@@ -32,7 +32,7 @@ use turbohom_bench::recorder::{regression_gate, BenchRecord, QueryRun, Scheduler
 use turbohom_bench::*;
 use turbohom_core::{OptimizationName, Optimizations, Scheduler, TurboHomConfig};
 use turbohom_datasets::{bsbm, btc, lubm, yago};
-use turbohom_engine::EngineKind;
+use turbohom_engine::{EngineKind, Trace};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -156,6 +156,16 @@ fn record_mode(args: &[String]) -> i32 {
                     q.id
                 ),
             }
+            // One extra traced run (outside the five measured) attributes the
+            // median to pipeline stages for the `stages_ms` column.
+            let trace = Trace::detailed(0);
+            let traced_plan = store
+                .prepare_plan_traced(&q.sparql, kind, &trace)
+                .unwrap_or_else(|e| panic!("traced planning {} for {} failed: {e}", q.id, kind));
+            store
+                .run_plan_traced(&traced_plan, Some(threads), &trace)
+                .unwrap_or_else(|e| panic!("traced {} failed on {}: {e}", kind.label(), q.id));
+            let report = trace.finish();
             record.queries.push(QueryRun {
                 id: q.id.clone(),
                 engine: kind.name().to_string(),
@@ -164,6 +174,22 @@ fn record_mode(args: &[String]) -> i32 {
                 avg_ms: protocol_average(&runs).as_secs_f64() * 1000.0,
                 solutions: last.len(),
                 stats: last.stats,
+                stages_ms: {
+                    let mut stages: Vec<(String, f64)> = report
+                        .stages()
+                        .into_iter()
+                        .map(|(name, ns)| (name.to_string(), ns as f64 / 1e6))
+                        .collect();
+                    // The detailed children of `execute` (zero for the join
+                    // baselines, which have no region/order phases).
+                    for detail in ["candidate_regions", "matching_order", "enumeration"] {
+                        let ns = report.span_total_ns(detail);
+                        if ns > 0 {
+                            stages.push((detail.to_string(), ns as f64 / 1e6));
+                        }
+                    }
+                    stages
+                },
             });
         }
         println!(

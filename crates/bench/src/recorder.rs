@@ -53,6 +53,11 @@ pub struct QueryRun {
     pub solutions: usize,
     /// Matcher counters of the last run (all-zero for join baselines).
     pub stats: MatchStats,
+    /// Per-stage wall-clock breakdown (stage name, milliseconds) from one
+    /// traced run outside the five measured ones, in pipeline order. Empty
+    /// when not recorded (records written before the column existed parse
+    /// fine — the reader treats the key as optional).
+    pub stages_ms: Vec<(String, f64)>,
 }
 
 /// A scheduler A/B data point: the same query and thread count under the
@@ -152,6 +157,17 @@ impl BenchRecord {
             push_f64(&mut out, q.avg_ms);
             out.push_str(&format!(", \"solutions\": {}, \"stats\": ", q.solutions));
             push_stats(&mut out, &q.stats);
+            if !q.stages_ms.is_empty() {
+                out.push_str(", \"stages_ms\": {");
+                for (j, (name, ms)) in q.stages_ms.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("\"{}\": ", json_escape(name)));
+                    push_f64(&mut out, *ms);
+                }
+                out.push('}');
+            }
             out.push('}');
             if i + 1 < self.queries.len() {
                 out.push(',');
@@ -206,6 +222,19 @@ impl BenchRecord {
                 avg_ms: get_f64(q, "avg_ms")?,
                 solutions: get_usize(q, "solutions")?,
                 stats: parse_stats(stats_obj)?,
+                // Optional column: absent in records written before the
+                // stage breakdown existed.
+                stages_ms: match find(q, "stages_ms").and_then(|v| v.as_object()) {
+                    Some(entries) => entries
+                        .iter()
+                        .map(|(name, v)| {
+                            v.as_f64()
+                                .map(|ms| (name.clone(), ms))
+                                .ok_or("stages_ms values must be numbers".to_string())
+                        })
+                        .collect::<Result<_, _>>()?,
+                    None => Vec::new(),
+                },
             });
         }
         for s in get_array(obj, "scheduler_comparison")? {
@@ -579,6 +608,11 @@ mod tests {
                         morsels_stolen: 1,
                         ..MatchStats::default()
                     },
+                    stages_ms: vec![
+                        ("parse".into(), 0.01),
+                        ("transform".into(), 0.02),
+                        ("execute".into(), 0.45),
+                    ],
                 },
                 QueryRun {
                     id: "Q2".into(),
@@ -588,6 +622,7 @@ mod tests {
                     avg_ms: 1.0,
                     solutions: 0,
                     stats: MatchStats::default(),
+                    stages_ms: Vec::new(),
                 },
             ],
             scheduler_comparison: vec![SchedulerRun {
@@ -616,6 +651,27 @@ mod tests {
         assert_eq!(parsed.median_ms("Q9", "turbohom++"), None);
         // The floats survive the 6-decimal formatting.
         assert!((parsed.queries[0].runs_ms[1] - 0.4).abs() < 1e-9);
+        // The stage breakdown round-trips; an empty one is simply omitted.
+        assert_eq!(parsed.queries[0].stages_ms.len(), 3);
+        assert_eq!(parsed.queries[0].stages_ms[0].0, "parse");
+        assert!((parsed.queries[0].stages_ms[2].1 - 0.45).abs() < 1e-9);
+        assert!(parsed.queries[1].stages_ms.is_empty());
+        assert!(!json.contains("\"engine\": \"mergejoin\", \"stages_ms\""));
+    }
+
+    #[test]
+    fn records_without_the_stages_column_still_parse() {
+        // A record serialized before stages_ms existed: strip the column
+        // from the writer output and re-parse.
+        let mut record = sample_record();
+        for q in &mut record.queries {
+            q.stages_ms.clear();
+        }
+        let json = record.to_json();
+        assert!(!json.contains("stages_ms"));
+        let parsed = BenchRecord::from_json(&json).unwrap();
+        assert!(parsed.queries.iter().all(|q| q.stages_ms.is_empty()));
+        assert_eq!(parsed.queries.len(), 2);
     }
 
     #[test]
@@ -647,6 +703,7 @@ mod tests {
                     avg_ms: *m,
                     solutions: 1,
                     stats: MatchStats::default(),
+                    stages_ms: Vec::new(),
                 })
                 .collect(),
             ..BenchRecord::default()

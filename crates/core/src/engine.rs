@@ -15,9 +15,11 @@ use crate::subgraph_search::SubgraphSearcher;
 use parking_lot::Mutex;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 use turbohom_graph::VertexId;
 use turbohom_rdf::Dictionary;
 use turbohom_sparql::{EvalContext, Expression};
+use turbohom_trace::{SpanId, Trace};
 use turbohom_transform::{TransformedGraph, TransformedQuery};
 
 /// Upper bound on how many starting vertices one thread claims at a time.
@@ -31,6 +33,97 @@ const PARALLEL_CHUNK: usize = 16;
 /// workers: roughly eight chunks per worker, capped at [`PARALLEL_CHUNK`].
 fn chunk_size(starts: usize, threads: usize) -> usize {
     (starts / (threads * 8)).clamp(1, PARALLEL_CHUNK)
+}
+
+/// Per-stage wall-clock accumulators for a detailed trace. Exploration,
+/// matching-order determination and enumeration interleave per candidate
+/// region, so their times are accumulated here and emitted as rolled-up
+/// spans at the end of the run.
+#[derive(Debug, Default, Clone, Copy)]
+struct StageClock {
+    explore: Duration,
+    order: Duration,
+    search: Duration,
+}
+
+impl StageClock {
+    fn add(&mut self, other: &StageClock) {
+        self.explore += other.explore;
+        self.order += other.order;
+        self.search += other.search;
+    }
+}
+
+/// Runs `f`, adding its wall time to `slot` when `detailed` tracing is on.
+fn timed<T>(detailed: bool, slot: &mut Duration, f: impl FnOnce() -> T) -> T {
+    if detailed {
+        let t0 = Instant::now();
+        let out = f();
+        *slot += t0.elapsed();
+        out
+    } else {
+        f()
+    }
+}
+
+/// What one parallel worker did, for its per-worker span.
+struct WorkerTiming {
+    worker: usize,
+    busy: Duration,
+    clock: StageClock,
+    stats: MatchStats,
+    solutions: usize,
+}
+
+/// Emits the detailed stage spans: `candidate_regions`, `matching_order`
+/// and `enumeration` rollups under `parent`, plus one `worker` span per
+/// parallel worker (child of `enumeration`) carrying its `MatchStats`.
+fn record_stage_spans(
+    trace: &Trace,
+    parent: Option<SpanId>,
+    clock: &StageClock,
+    stats: &MatchStats,
+    workers: &[WorkerTiming],
+) {
+    trace.record_rollup(
+        "candidate_regions",
+        parent,
+        clock.explore,
+        &[
+            ("regions", stats.candidate_regions as u64),
+            ("nonempty", stats.nonempty_regions as u64),
+        ],
+    );
+    trace.record_rollup(
+        "matching_order",
+        parent,
+        clock.order,
+        &[("orders_computed", stats.matching_orders_computed as u64)],
+    );
+    let enumeration = trace.record_rollup(
+        "enumeration",
+        parent,
+        clock.search,
+        &[
+            ("recursions", stats.search_recursions as u64),
+            ("intersections", stats.intersection_ops as u64),
+            ("solutions", stats.solutions as u64),
+        ],
+    );
+    for w in workers {
+        trace.record_rollup(
+            "worker",
+            enumeration,
+            w.busy,
+            &[
+                ("worker", w.worker as u64),
+                ("morsels", w.stats.morsels as u64),
+                ("morsels_stolen", w.stats.morsels_stolen as u64),
+                ("regions", w.stats.candidate_regions as u64),
+                ("solutions", w.solutions as u64),
+            ],
+        );
+    }
 }
 
 /// Errors reported by the engine.
@@ -109,6 +202,23 @@ impl<'a> TurboHomEngine<'a> {
         query: &TransformedQuery,
         preset_order: Option<&MatchingOrder>,
     ) -> Result<(MatchResult, Option<MatchingOrder>), EngineError> {
+        self.execute_with_order_traced(query, preset_order, &Trace::disabled(), None)
+    }
+
+    /// Executes like [`execute_with_order`](Self::execute_with_order) while
+    /// recording spans into `trace` (under `parent`). With a
+    /// [detailed](Trace::is_detailed) trace this times candidate-region
+    /// exploration, matching-order determination and enumeration separately
+    /// (they interleave per region, so each is emitted as one rolled-up
+    /// span), plus one span per parallel worker; a coarse or disabled trace
+    /// makes this identical to the untraced path.
+    pub fn execute_with_order_traced(
+        &self,
+        query: &TransformedQuery,
+        preset_order: Option<&MatchingOrder>,
+        trace: &Trace,
+        parent: Option<SpanId>,
+    ) -> Result<(MatchResult, Option<MatchingOrder>), EngineError> {
         if query.unsatisfiable || query.graph.vertex_count() == 0 {
             return Ok((MatchResult::default(), None));
         }
@@ -156,6 +266,8 @@ impl<'a> TurboHomEngine<'a> {
                 &inline_filters,
                 preset_order,
                 stats,
+                trace,
+                parent,
             )
         } else {
             match self.config.scheduler {
@@ -167,6 +279,8 @@ impl<'a> TurboHomEngine<'a> {
                     &inline_filters,
                     preset_order,
                     stats,
+                    trace,
+                    parent,
                 ),
                 Scheduler::Chunked => self.run_parallel_chunked(
                     query,
@@ -176,6 +290,8 @@ impl<'a> TurboHomEngine<'a> {
                     &inline_filters,
                     preset_order,
                     stats,
+                    trace,
+                    parent,
                 ),
             }
         };
@@ -207,15 +323,20 @@ impl<'a> TurboHomEngine<'a> {
         inline_filters: &[Vec<&Expression>],
         preset_order: Option<&MatchingOrder>,
         mut stats: MatchStats,
+        trace: &Trace,
+        parent: Option<SpanId>,
     ) -> (MatchResult, Option<MatchingOrder>) {
+        let detailed = trace.is_detailed();
+        let mut clock = StageClock::default();
         let mut solutions = Vec::new();
         let mut count = 0usize;
         let mut shared_order: Option<MatchingOrder> = None;
         for &vs in starts {
             stats.candidate_regions += 1;
-            let Some(region) =
+            let region = timed(detailed, &mut clock.explore, || {
                 explore_candidate_region(self.data, config, query, tree, vs, &mut stats)
-            else {
+            });
+            let Some(region) = region else {
                 continue;
             };
             stats.nonempty_regions += 1;
@@ -225,13 +346,17 @@ impl<'a> TurboHomEngine<'a> {
                     preset
                 } else {
                     if shared_order.is_none() {
-                        shared_order = Some(MatchingOrder::determine(query, tree, &region));
+                        shared_order = Some(timed(detailed, &mut clock.order, || {
+                            MatchingOrder::determine(query, tree, &region)
+                        }));
                         stats.matching_orders_computed += 1;
                     }
                     shared_order.as_ref().unwrap()
                 }
             } else {
-                order_storage = MatchingOrder::determine(query, tree, &region);
+                order_storage = timed(detailed, &mut clock.order, || {
+                    MatchingOrder::determine(query, tree, &region)
+                });
                 stats.matching_orders_computed += 1;
                 &order_storage
             };
@@ -244,7 +369,9 @@ impl<'a> TurboHomEngine<'a> {
                 self.dictionary,
                 inline_filters.to_vec(),
             );
-            searcher.search_region(&region, vs);
+            timed(detailed, &mut clock.search, || {
+                searcher.search_region(&region, vs)
+            });
             count += searcher.solution_count;
             solutions.append(&mut searcher.solutions);
             stats.merge(&searcher.stats);
@@ -253,6 +380,9 @@ impl<'a> TurboHomEngine<'a> {
                     break;
                 }
             }
+        }
+        if detailed {
+            record_stage_spans(trace, parent, &clock, &stats, &[]);
         }
         (
             MatchResult {
@@ -312,9 +442,14 @@ impl<'a> TurboHomEngine<'a> {
         inline_filters: &[Vec<&Expression>],
         preset_order: Option<&MatchingOrder>,
         mut stats: MatchStats,
+        trace: &Trace,
+        parent: Option<SpanId>,
     ) -> (MatchResult, Option<MatchingOrder>) {
-        let shared_order =
-            self.precompute_shared_order(query, tree, starts, config, preset_order, &mut stats);
+        let detailed = trace.is_detailed();
+        let mut clock = StageClock::default();
+        let shared_order = timed(detailed, &mut clock.order, || {
+            self.precompute_shared_order(query, tree, starts, config, preset_order, &mut stats)
+        });
         let shared_order_ref = if config.optimizations.reuse_matching_order {
             preset_order.or(shared_order.as_ref())
         } else {
@@ -337,6 +472,7 @@ impl<'a> TurboHomEngine<'a> {
         let found = AtomicUsize::new(0);
         let stop = AtomicBool::new(false);
         let merged: Mutex<(Vec<Solution>, usize, MatchStats)> = Mutex::new((Vec::new(), 0, stats));
+        let timings: Mutex<Vec<WorkerTiming>> = Mutex::new(Vec::new());
 
         std::thread::scope(|scope| {
             for w in 0..workers {
@@ -345,7 +481,10 @@ impl<'a> TurboHomEngine<'a> {
                 let found = &found;
                 let stop = &stop;
                 let merged = &merged;
+                let timings = &timings;
                 scope.spawn(move || {
+                    let worker_start = Instant::now();
+                    let mut local_clock = StageClock::default();
                     let mut local_solutions: Vec<Solution> = Vec::new();
                     let mut local_count = 0usize;
                     let mut local_stats = MatchStats::default();
@@ -359,14 +498,17 @@ impl<'a> TurboHomEngine<'a> {
                                 break 'work;
                             }
                             local_stats.candidate_regions += 1;
-                            let Some(region) = explore_candidate_region(
-                                self.data,
-                                config,
-                                query,
-                                tree,
-                                vs,
-                                &mut local_stats,
-                            ) else {
+                            let region = timed(detailed, &mut local_clock.explore, || {
+                                explore_candidate_region(
+                                    self.data,
+                                    config,
+                                    query,
+                                    tree,
+                                    vs,
+                                    &mut local_stats,
+                                )
+                            });
+                            let Some(region) = region else {
                                 continue;
                             };
                             local_stats.nonempty_regions += 1;
@@ -374,7 +516,9 @@ impl<'a> TurboHomEngine<'a> {
                             let order = match shared_order_ref {
                                 Some(o) => o,
                                 None => {
-                                    order_storage = MatchingOrder::determine(query, tree, &region);
+                                    order_storage = timed(detailed, &mut local_clock.order, || {
+                                        MatchingOrder::determine(query, tree, &region)
+                                    });
                                     local_stats.matching_orders_computed += 1;
                                     &order_storage
                                 }
@@ -388,7 +532,9 @@ impl<'a> TurboHomEngine<'a> {
                                 self.dictionary,
                                 inline_filters.to_vec(),
                             );
-                            searcher.search_region(&region, vs);
+                            timed(detailed, &mut local_clock.search, || {
+                                searcher.search_region(&region, vs)
+                            });
                             local_count += searcher.solution_count;
                             local_solutions.append(&mut searcher.solutions);
                             local_stats.merge(&searcher.stats);
@@ -403,6 +549,15 @@ impl<'a> TurboHomEngine<'a> {
                             }
                         }
                     }
+                    if detailed {
+                        timings.lock().push(WorkerTiming {
+                            worker: w,
+                            busy: worker_start.elapsed(),
+                            clock: local_clock,
+                            stats: local_stats,
+                            solutions: local_count,
+                        });
+                    }
                     let mut guard = merged.lock();
                     guard.0.append(&mut local_solutions);
                     guard.1 += local_count;
@@ -413,6 +568,14 @@ impl<'a> TurboHomEngine<'a> {
 
         let (solutions, count, mut stats) = merged.into_inner();
         stats.morsels_stolen = stats.morsels_stolen.max(queue.stolen_count());
+        if detailed {
+            let mut workers = timings.into_inner();
+            workers.sort_by_key(|t| t.worker);
+            for t in &workers {
+                clock.add(&t.clock);
+            }
+            record_stage_spans(trace, parent, &clock, &stats, &workers);
+        }
         (
             MatchResult {
                 solutions,
@@ -438,12 +601,18 @@ impl<'a> TurboHomEngine<'a> {
         inline_filters: &[Vec<&Expression>],
         preset_order: Option<&MatchingOrder>,
         mut stats: MatchStats,
+        trace: &Trace,
+        parent: Option<SpanId>,
     ) -> (MatchResult, Option<MatchingOrder>) {
-        let shared_order =
-            self.precompute_shared_order(query, tree, starts, config, preset_order, &mut stats);
+        let detailed = trace.is_detailed();
+        let mut clock = StageClock::default();
+        let shared_order = timed(detailed, &mut clock.order, || {
+            self.precompute_shared_order(query, tree, starts, config, preset_order, &mut stats)
+        });
 
         let next = AtomicUsize::new(0);
         let merged: Mutex<(Vec<Solution>, usize, MatchStats)> = Mutex::new((Vec::new(), 0, stats));
+        let timings: Mutex<Vec<WorkerTiming>> = Mutex::new(Vec::new());
         // Like the sequential path, the preset only applies under +REUSE;
         // without it every region determines its own order.
         let shared_order_ref = if config.optimizations.reuse_matching_order {
@@ -454,8 +623,14 @@ impl<'a> TurboHomEngine<'a> {
         let chunk = chunk_size(starts.len(), config.threads);
 
         std::thread::scope(|scope| {
-            for _ in 0..config.threads {
-                scope.spawn(|| {
+            for w in 0..config.threads {
+                let timings = &timings;
+                let next = &next;
+                let merged = &merged;
+                let shared_order_ref = &shared_order_ref;
+                scope.spawn(move || {
+                    let worker_start = Instant::now();
+                    let mut local_clock = StageClock::default();
                     let mut local_solutions: Vec<Solution> = Vec::new();
                     let mut local_count = 0usize;
                     let mut local_stats = MatchStats::default();
@@ -467,22 +642,27 @@ impl<'a> TurboHomEngine<'a> {
                         let end = (begin + chunk).min(starts.len());
                         for &vs in &starts[begin..end] {
                             local_stats.candidate_regions += 1;
-                            let Some(region) = explore_candidate_region(
-                                self.data,
-                                config,
-                                query,
-                                tree,
-                                vs,
-                                &mut local_stats,
-                            ) else {
+                            let region = timed(detailed, &mut local_clock.explore, || {
+                                explore_candidate_region(
+                                    self.data,
+                                    config,
+                                    query,
+                                    tree,
+                                    vs,
+                                    &mut local_stats,
+                                )
+                            });
+                            let Some(region) = region else {
                                 continue;
                             };
                             local_stats.nonempty_regions += 1;
                             let order_storage;
                             let order = match shared_order_ref {
-                                Some(o) => o,
+                                Some(o) => *o,
                                 None => {
-                                    order_storage = MatchingOrder::determine(query, tree, &region);
+                                    order_storage = timed(detailed, &mut local_clock.order, || {
+                                        MatchingOrder::determine(query, tree, &region)
+                                    });
                                     local_stats.matching_orders_computed += 1;
                                     &order_storage
                                 }
@@ -496,11 +676,22 @@ impl<'a> TurboHomEngine<'a> {
                                 self.dictionary,
                                 inline_filters.to_vec(),
                             );
-                            searcher.search_region(&region, vs);
+                            timed(detailed, &mut local_clock.search, || {
+                                searcher.search_region(&region, vs)
+                            });
                             local_count += searcher.solution_count;
                             local_solutions.append(&mut searcher.solutions);
                             local_stats.merge(&searcher.stats);
                         }
+                    }
+                    if detailed {
+                        timings.lock().push(WorkerTiming {
+                            worker: w,
+                            busy: worker_start.elapsed(),
+                            clock: local_clock,
+                            stats: local_stats,
+                            solutions: local_count,
+                        });
                     }
                     let mut guard = merged.lock();
                     guard.0.append(&mut local_solutions);
@@ -511,6 +702,14 @@ impl<'a> TurboHomEngine<'a> {
         });
 
         let (solutions, count, stats) = merged.into_inner();
+        if detailed {
+            let mut workers = timings.into_inner();
+            workers.sort_by_key(|t| t.worker);
+            for t in &workers {
+                clock.add(&t.clock);
+            }
+            record_stage_spans(trace, parent, &clock, &stats, &workers);
+        }
         (
             MatchResult {
                 solutions,
@@ -912,6 +1111,95 @@ mod tests {
         assert_eq!(par.stats.matching_orders_computed, 0);
         assert!(recomputed.is_none());
         assert_eq!(par.len(), cold.len());
+    }
+
+    #[test]
+    fn detailed_trace_records_stage_and_worker_spans() {
+        let ds = university_dataset();
+        let data = type_aware_transform(&ds);
+        let q = parse_query(TRIANGLE).unwrap();
+        let tq = transform_query(&q.pattern, &data, &ds.dictionary).unwrap();
+
+        // Sequential: the three stage rollups appear under the given parent.
+        let engine = TurboHomEngine::new(&data, &ds.dictionary, TurboHomConfig::default());
+        let trace = Trace::detailed(11);
+        let root = trace.span("execute");
+        let root_id = root.id();
+        let (result, _) = engine
+            .execute_with_order_traced(&tq, None, &trace, root_id)
+            .unwrap();
+        root.finish();
+        let report = trace.finish();
+        assert_eq!(result.len(), 24);
+        for stage in ["candidate_regions", "matching_order", "enumeration"] {
+            let span = report
+                .spans
+                .iter()
+                .find(|s| s.name == stage)
+                .unwrap_or_else(|| panic!("missing {stage} span"));
+            assert_eq!(span.parent, root_id);
+        }
+        let regions = report
+            .spans
+            .iter()
+            .find(|s| s.name == "candidate_regions")
+            .unwrap();
+        assert!(regions
+            .counters
+            .contains(&("regions", result.stats.candidate_regions as u64)));
+        let enumeration = report
+            .spans
+            .iter()
+            .find(|s| s.name == "enumeration")
+            .unwrap();
+        assert!(enumeration
+            .counters
+            .contains(&("solutions", result.stats.solutions as u64)));
+        // Sequential runs emit no worker spans.
+        assert!(report.spans.iter().all(|s| s.name != "worker"));
+
+        // Parallel: one worker span per thread, parented under enumeration.
+        for scheduler in [Scheduler::Morsel, Scheduler::Chunked] {
+            let engine = TurboHomEngine::new(
+                &data,
+                &ds.dictionary,
+                TurboHomConfig::default()
+                    .with_threads(3)
+                    .with_scheduler(scheduler),
+            );
+            let trace = Trace::detailed(12);
+            let (result, _) = engine
+                .execute_with_order_traced(&tq, None, &trace, None)
+                .unwrap();
+            assert_eq!(result.len(), 24, "{scheduler:?}");
+            let report = trace.finish();
+            let enum_id = report
+                .spans
+                .iter()
+                .find(|s| s.name == "enumeration")
+                .map(|s| s.id);
+            let workers: Vec<_> = report.spans.iter().filter(|s| s.name == "worker").collect();
+            assert_eq!(workers.len(), 3, "{scheduler:?}");
+            assert!(workers.iter().all(|s| s.parent == enum_id));
+            let worker_solutions: u64 = workers
+                .iter()
+                .map(|s| {
+                    s.counters
+                        .iter()
+                        .find(|(n, _)| *n == "solutions")
+                        .map_or(0, |(_, v)| *v)
+                })
+                .sum();
+            assert_eq!(worker_solutions, 24, "{scheduler:?}");
+        }
+
+        // An untraced (or coarse) run records nothing from the core.
+        let trace = Trace::new(13);
+        let engine = TurboHomEngine::new(&data, &ds.dictionary, TurboHomConfig::default());
+        let (_, _) = engine
+            .execute_with_order_traced(&tq, None, &trace, None)
+            .unwrap();
+        assert!(trace.finish().spans.is_empty());
     }
 
     #[test]

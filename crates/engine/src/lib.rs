@@ -20,6 +20,9 @@ pub use store::{EngineKind, ParseEngineKindError, PreparedQuery, Store, StoreOpt
 // Re-exported so harnesses consuming `QueryResults::stats` (the benchmark
 // flight recorder, the service metrics) need no direct core dependency.
 pub use turbohom_core::MatchStats;
+// Re-exported so callers of `execute_traced` / the `*_traced` plan methods
+// (the service, the benchmark recorder) need no direct trace dependency.
+pub use turbohom_trace::{format_trace_id, SpanId, SpanRecord, Trace, TraceReport};
 
 /// Compile-time proof that the shared-service types can cross threads: a
 /// `QueryService` hands `Arc<Store>` and cached `Arc<QueryPlan>`s to every

@@ -26,6 +26,7 @@ use std::time::Instant;
 use turbohom_baseline::JoinStrategy;
 use turbohom_core::{MatchStats, MatchingOrder, TurboHomConfig, TurboHomEngine};
 use turbohom_sparql::{EvalContext, Expression, GroupPattern, Query};
+use turbohom_trace::{SpanId, Trace};
 use turbohom_transform::{TransformKind, TransformedQuery};
 
 /// A fully prepared query: parsed, union-expanded, component-split and
@@ -124,7 +125,26 @@ impl QueryPlan {
 impl Store {
     /// Parses a SPARQL query and builds the full execution plan for `kind`.
     pub fn prepare_plan(&self, sparql: &str, kind: EngineKind) -> Result<QueryPlan, StoreError> {
-        self.plan_query(&turbohom_sparql::parse_query(sparql)?, kind)
+        self.prepare_plan_traced(sparql, kind, &Trace::disabled())
+    }
+
+    /// Like [`prepare_plan`](Self::prepare_plan), recording a `parse` and a
+    /// `transform` stage span into `trace`.
+    pub fn prepare_plan_traced(
+        &self,
+        sparql: &str,
+        kind: EngineKind,
+        trace: &Trace,
+    ) -> Result<QueryPlan, StoreError> {
+        let query = {
+            let _span = trace.span("parse");
+            turbohom_sparql::parse_query(sparql)?
+        };
+        let mut span = trace.span("transform");
+        let plan = self.plan_query(&query, kind)?;
+        span.counter("components", plan.component_count() as u64);
+        span.finish();
+        Ok(plan)
     }
 
     /// Builds the execution plan for an already parsed query. Only the
@@ -179,16 +199,39 @@ impl Store {
         plan: &QueryPlan,
         threads: Option<usize>,
     ) -> Result<QueryResults, StoreError> {
+        self.run_plan_traced(plan, threads, &Trace::disabled())
+    }
+
+    /// Like [`run_plan_with`](Self::run_plan_with), recording an `execute`
+    /// stage span into `trace`. With a [detailed](Trace::is_detailed) trace
+    /// the matching engine additionally records `candidate_regions`,
+    /// `matching_order`, `enumeration` and per-worker spans as children of
+    /// the `execute` span (the join baselines only get the `execute` span).
+    pub fn run_plan_traced(
+        &self,
+        plan: &QueryPlan,
+        threads: Option<usize>,
+        trace: &Trace,
+    ) -> Result<QueryResults, StoreError> {
         if threads == Some(0) {
             return Err(StoreError::InvalidThreadCount(0));
         }
-        match &plan.mode {
+        let mut span = trace.span("execute");
+        let parent = span.id();
+        let result = match &plan.mode {
             PlanMode::Graph { config, branches } => {
                 let config = match threads {
                     Some(t) => config.with_threads(t),
                     None => *config,
                 };
-                self.run_graph_plan_limited(branches, config, plan.projected.clone(), plan.limit)
+                self.run_graph_plan_limited(
+                    branches,
+                    config,
+                    plan.projected.clone(),
+                    plan.limit,
+                    trace,
+                    parent,
+                )
             }
             PlanMode::Join { query, strategy } => {
                 let mut results = self.run_baseline(query, *strategy);
@@ -198,7 +241,13 @@ impl Store {
                 }
                 Ok(results)
             }
+        };
+        if let Ok(results) = &result {
+            span.counter("solutions", results.solution_count as u64);
+            span.counter("rows", results.rows.len() as u64);
         }
+        span.finish();
+        result
     }
 
     /// Expands the query's unions and transforms every branch (the prepare
@@ -257,7 +306,7 @@ impl Store {
         config: TurboHomConfig,
         projected: Vec<String>,
     ) -> Result<QueryResults, StoreError> {
-        self.run_graph_plan_limited(branches, config, projected, None)
+        self.run_graph_plan_limited(branches, config, projected, None, &Trace::disabled(), None)
     }
 
     /// Like [`run_graph_plan`](Self::run_graph_plan), with a pushed-down
@@ -269,6 +318,8 @@ impl Store {
         config: TurboHomConfig,
         projected: Vec<String>,
         limit: Option<usize>,
+        trace: &Trace,
+        parent: Option<SpanId>,
     ) -> Result<QueryResults, StoreError> {
         let start = Instant::now();
         let mut rows: Vec<ResultRow> = Vec::new();
@@ -280,7 +331,7 @@ impl Store {
                 break;
             }
             let (mut branch_rows, branch_count, branch_stats) =
-                self.run_branch_plan(branch, config, &projected, remaining)?;
+                self.run_branch_plan(branch, config, &projected, remaining, trace, parent)?;
             rows.append(&mut branch_rows);
             count += branch_count;
             stats.merge(&branch_stats);
@@ -306,6 +357,8 @@ impl Store {
         config: TurboHomConfig,
         projected: &[String],
         limit: Option<usize>,
+        trace: &Trace,
+        parent: Option<SpanId>,
     ) -> Result<(Vec<ResultRow>, usize, MatchStats), StoreError> {
         if let [component] = branch.components.as_slice() {
             // Single connected component: the limit goes straight into the
@@ -317,14 +370,14 @@ impl Store {
                 },
                 None => config,
             };
-            return self.run_component_plan(component, config, projected);
+            return self.run_component_plan(component, config, projected, trace, parent);
         }
         // Evaluate each component over its own variables.
         let mut partials: Vec<(&[String], Vec<ResultRow>)> = Vec::new();
         let mut stats = MatchStats::default();
         for component in &branch.components {
             let (rows, _, component_stats) =
-                self.run_component_plan(component, config, &component.vars)?;
+                self.run_component_plan(component, config, &component.vars, trace, parent)?;
             stats.merge(&component_stats);
             partials.push((&component.vars, rows));
         }
@@ -391,6 +444,8 @@ impl Store {
         component: &ComponentPlan,
         config: TurboHomConfig,
         out_vars: &[String],
+        trace: &Trace,
+        parent: Option<SpanId>,
     ) -> Result<(Vec<ResultRow>, usize, MatchStats), StoreError> {
         let graph = if component.use_direct {
             &self.direct
@@ -399,8 +454,12 @@ impl Store {
         };
         let engine = TurboHomEngine::new(graph, &self.dataset.dictionary, config);
         let preset = component.cached_order.lock().clone();
-        let (result, computed) =
-            engine.execute_with_order(&component.transformed, preset.as_deref())?;
+        let (result, computed) = engine.execute_with_order_traced(
+            &component.transformed,
+            preset.as_deref(),
+            trace,
+            parent,
+        )?;
         if let Some(order) = computed {
             let mut slot = component.cached_order.lock();
             if slot.is_none() {

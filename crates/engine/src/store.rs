@@ -5,11 +5,13 @@ use crate::error::StoreError;
 use crate::plan::QueryPlan;
 use crate::results::{QueryResults, ResultRow};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 use turbohom_baseline::{HashJoinEngine, JoinStrategy, MergeJoinEngine, PermutationIndexes};
 use turbohom_core::{MatchResult, TurboHomConfig};
 use turbohom_rdf::{parse_ntriples, Dataset, InferenceConfig, InferenceEngine, Term};
 use turbohom_sparql::{parse_query, GroupPattern, Query, SparqlTerm};
+use turbohom_trace::{Trace, TraceReport};
 use turbohom_transform::{
     direct_transform, transform_query, type_aware_transform, TransformError, TransformedGraph,
     TransformedQuery,
@@ -245,6 +247,27 @@ impl Store {
         threads: Option<usize>,
     ) -> Result<QueryResults, StoreError> {
         self.run_plan_with(&self.prepare_plan(sparql, kind)?, threads)
+    }
+
+    /// Executes a query with full profiling: every pipeline stage (`parse`,
+    /// `transform`, `execute`) is timed, and the matching engine records
+    /// fine-grained child spans (`candidate_regions`, `matching_order`,
+    /// `enumeration`, one `worker` span per thread) with their
+    /// [`MatchStats`] counters attached. The embedded-API counterpart of the
+    /// HTTP server's `profile=1` mode.
+    ///
+    /// Trace ids are assigned from a process-wide counter so concurrent
+    /// callers get distinct ids.
+    pub fn execute_traced(
+        &self,
+        sparql: &str,
+        kind: EngineKind,
+    ) -> Result<(QueryResults, TraceReport), StoreError> {
+        static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+        let trace = Trace::detailed(NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed));
+        let plan = self.prepare_plan_traced(sparql, kind, &trace)?;
+        let results = self.run_plan_traced(&plan, None, &trace)?;
+        Ok((results, trace.finish()))
     }
 
     /// Executes with an explicit TurboHOM configuration (used by the
@@ -725,6 +748,46 @@ mod tests {
         assert!(store
             .execute_with_threads(q, EngineKind::TurboHomPlusPlus, None)
             .is_ok());
+    }
+
+    #[test]
+    fn execute_traced_profiles_every_stage() {
+        let store = sample_store();
+        let q = r#"PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+                   PREFIX ub: <http://ub.org/>
+                   SELECT ?x ?d WHERE { ?x rdf:type ub:Student . ?x ub:memberOf ?d . }"#;
+        let (results, report) = store
+            .execute_traced(q, EngineKind::TurboHomPlusPlus)
+            .unwrap();
+        assert_eq!(results.len(), 3);
+        assert!(report.trace_id > 0);
+        // The pipeline stages appear as roots, in order, and sum to no more
+        // than the total traced time.
+        let stages = report.stages();
+        let names: Vec<_> = stages.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, ["parse", "transform", "execute"]);
+        assert!(report.stage_total_ns() <= report.total_ns);
+        // The matcher's fine-grained spans hang off the execute span.
+        let execute = report.spans.iter().find(|s| s.name == "execute").unwrap();
+        for stage in ["candidate_regions", "matching_order", "enumeration"] {
+            let span = report
+                .spans
+                .iter()
+                .find(|s| s.name == stage)
+                .unwrap_or_else(|| panic!("missing {stage} span"));
+            assert_eq!(span.parent, Some(execute.id));
+        }
+        assert!(execute.counters.contains(&("solutions", 3)));
+        // Join baselines only get the coarse pipeline spans.
+        let (_, join_report) = store.execute_traced(q, EngineKind::MergeJoin).unwrap();
+        assert!(join_report.spans.iter().any(|s| s.name == "execute"));
+        assert!(join_report.spans.iter().all(|s| s.name != "enumeration"));
+        // Trace ids are distinct across calls.
+        assert_ne!(report.trace_id, join_report.trace_id);
+        // The profile JSON carries the stage breakdown.
+        let json = report.to_json();
+        assert!(json.contains("\"stages\":{\"parse\":"));
+        assert!(json.contains("\"name\":\"enumeration\""));
     }
 
     #[test]

@@ -10,11 +10,15 @@
 //! # Then:
 //! curl 'http://127.0.0.1:7878/healthz'
 //! curl 'http://127.0.0.1:7878/query' --data-urlencode 'query=SELECT ?x WHERE { ?x ?p ?o . }'
+//! curl 'http://127.0.0.1:7878/query?profile=1' --data-urlencode 'query=…'   # span tree + stage timings
 //! curl 'http://127.0.0.1:7878/stats'
+//! curl 'http://127.0.0.1:7878/metrics'      # Prometheus text exposition
+//! curl 'http://127.0.0.1:7878/debug/slow'   # slow-query recorder ring
 //! ```
 
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 use turbohom_datasets::lubm::{LubmConfig, LubmGenerator};
 use turbohom_engine::{EngineKind, Store, StoreOptions};
 use turbohom_service::{HttpServer, QueryService, ServiceConfig};
@@ -27,6 +31,9 @@ struct Args {
     threads: usize,
     cache: usize,
     engine: EngineKind,
+    slow_ms: Option<f64>,
+    slow_capacity: usize,
+    access_log: bool,
 }
 
 fn usage() -> &'static str {
@@ -40,6 +47,11 @@ fn usage() -> &'static str {
      \x20 --threads N       default worker threads per query (default 1)\n\
      \x20 --cache N         plan-cache capacity (default 256)\n\
      \x20 --engine NAME     default engine: turbohom++ | turbohom | mergejoin | hashjoin\n\
+     \x20 --slow-ms MS      record queries at or above MS milliseconds in\n\
+     \x20                   /debug/slow and stderr; 0 records everything,\n\
+     \x20                   `off` disables the recorder (default 500)\n\
+     \x20 --slow-capacity N slow-query ring size (default 32)\n\
+     \x20 --access-log      log one stderr line per request\n\
      \x20 --help            print this help"
 }
 
@@ -52,6 +64,9 @@ fn parse_args() -> Result<Args, String> {
         threads: 1,
         cache: 256,
         engine: EngineKind::TurboHomPlusPlus,
+        slow_ms: Some(500.0),
+        slow_capacity: 32,
+        access_log: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -80,6 +95,25 @@ fn parse_args() -> Result<Args, String> {
                     .parse::<EngineKind>()
                     .map_err(|e| e.to_string())?
             }
+            "--slow-ms" => {
+                let v = value("--slow-ms")?;
+                args.slow_ms = if v.eq_ignore_ascii_case("off") {
+                    None
+                } else {
+                    Some(
+                        v.parse::<f64>()
+                            .ok()
+                            .filter(|ms| ms.is_finite() && *ms >= 0.0)
+                            .ok_or("--slow-ms expects a non-negative number or `off`")?,
+                    )
+                };
+            }
+            "--slow-capacity" => {
+                args.slow_capacity = value("--slow-capacity")?
+                    .parse()
+                    .map_err(|_| "--slow-capacity expects an integer")?
+            }
+            "--access-log" => args.access_log = true,
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -129,23 +163,34 @@ fn main() -> ExitCode {
     };
     eprintln!("store ready: {} triples", store.triple_count());
 
-    let service = Arc::new(QueryService::with_config(
-        Arc::new(store),
-        ServiceConfig {
-            plan_cache_capacity: args.cache,
-            default_engine: args.engine,
-            ..ServiceConfig::default()
-        },
-    ));
+    let dataset_label = match &args.ntriples {
+        Some(path) => path.clone(),
+        None => format!("lubm-{}", args.lubm_scale),
+    };
+    let service = Arc::new(
+        QueryService::with_config(
+            Arc::new(store),
+            ServiceConfig {
+                plan_cache_capacity: args.cache,
+                default_engine: args.engine,
+                slow_query: args.slow_ms.map(|ms| Duration::from_secs_f64(ms / 1000.0)),
+                slow_log_capacity: args.slow_capacity,
+                ..ServiceConfig::default()
+            },
+        )
+        .with_dataset_label(dataset_label),
+    );
     let server = match HttpServer::bind(args.bind.as_str(), service) {
-        Ok(server) => server,
+        Ok(server) => server.with_access_log(args.access_log),
         Err(e) => {
             eprintln!("turbohom-server: cannot bind {}: {e}", args.bind);
             return ExitCode::FAILURE;
         }
     };
     match server.local_addr() {
-        Ok(addr) => eprintln!("listening on http://{addr} (endpoints: /query /healthz /stats)"),
+        Ok(addr) => eprintln!(
+            "listening on http://{addr} (endpoints: /query /healthz /stats /metrics /debug/slow)"
+        ),
         Err(_) => eprintln!("listening on {}", args.bind),
     }
     if let Err(e) = server.run() {

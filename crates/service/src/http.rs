@@ -3,14 +3,23 @@
 //!
 //! Endpoints (mirroring the SPARQL-protocol shape oxigraph's server exposes):
 //!
-//! * `GET /query?query=…&engine=…&threads=…` — execute a query; returns
-//!   `application/sparql-results+json` plus `X-Cache: HIT|MISS`,
-//!   `X-Engine` and `X-Fingerprint` headers.
+//! * `GET /query?query=…&engine=…&threads=…&profile=…` — execute a query;
+//!   returns `application/sparql-results+json` plus `X-Cache: HIT|MISS`,
+//!   `X-Engine`, `X-Fingerprint` and `X-Trace-Id` headers. With `profile=1`
+//!   the JSON gains a top-level `"profile"` object: the request's span tree
+//!   and per-stage timings.
 //! * `POST /query` — same; the query comes either as an
 //!   `application/x-www-form-urlencoded` body (`query=…`) or raw as
 //!   `application/sparql-query`.
-//! * `GET /healthz` — liveness probe (`200` once the store is loaded).
+//! * `GET /healthz` — liveness probe (`200` once the store is loaded) with
+//!   uptime and engine/dataset identity.
 //! * `GET /stats` — the [`StatsSnapshot`](crate::StatsSnapshot) as JSON.
+//! * `GET /metrics` — Prometheus text exposition (version 0.0.4).
+//! * `GET /debug/slow` — the slow-query recorder ring as JSON.
+//!
+//! Every endpoint also answers `HEAD` with the same headers (including
+//! `Content-Length`) and no body. The optional access log writes one stderr
+//! line per request: method, path, status, duration and trace id.
 //!
 //! Concurrency model: blocking accept loop, one thread per connection,
 //! connections closed after each response. That is deliberately boring —
@@ -23,7 +32,8 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use turbohom_engine::{json_escape, EngineKind};
+use std::time::Instant;
+use turbohom_engine::{format_trace_id, json_escape, EngineKind};
 
 /// Maximum accepted size of a request head or body (1 MiB, like oxigraph's
 /// `MAX_SPARQL_BODY_SIZE`).
@@ -33,6 +43,7 @@ const MAX_REQUEST_SIZE: usize = 1 << 20;
 pub struct HttpServer {
     listener: TcpListener,
     service: Arc<QueryService>,
+    access_log: bool,
 }
 
 /// Handle to a server running in background threads (used by tests and by
@@ -49,7 +60,15 @@ impl HttpServer {
         Ok(HttpServer {
             listener: TcpListener::bind(addr)?,
             service,
+            access_log: false,
         })
+    }
+
+    /// Enables the per-request access log (one stderr line per request:
+    /// method, path, status, duration, trace id).
+    pub fn with_access_log(mut self, enabled: bool) -> Self {
+        self.access_log = enabled;
+        self
     }
 
     /// The bound address.
@@ -59,12 +78,13 @@ impl HttpServer {
 
     /// Serves forever on the current thread (the `turbohom-server` binary).
     pub fn run(self) -> io::Result<()> {
+        let access_log = self.access_log;
         for stream in self.listener.incoming() {
             // A failed accept (EMFILE under load, ECONNABORTED on a reset
             // connection) sheds that one connection, not the server.
             let Ok(stream) = stream else { continue };
             let service = Arc::clone(&self.service);
-            std::thread::spawn(move || handle_connection(stream, &service));
+            std::thread::spawn(move || handle_connection(stream, &service, access_log));
         }
         Ok(())
     }
@@ -74,6 +94,7 @@ impl HttpServer {
         let addr = self.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
+        let access_log = self.access_log;
         let accept_thread = std::thread::spawn(move || {
             for stream in self.listener.incoming() {
                 if stop_flag.load(Ordering::SeqCst) {
@@ -81,7 +102,7 @@ impl HttpServer {
                 }
                 let Ok(stream) = stream else { continue };
                 let service = Arc::clone(&self.service);
-                std::thread::spawn(move || handle_connection(stream, &service));
+                std::thread::spawn(move || handle_connection(stream, &service, access_log));
             }
         });
         Ok(ServerHandle {
@@ -119,7 +140,26 @@ struct Request {
     body: Vec<u8>,
 }
 
-fn handle_connection(stream: TcpStream, service: &QueryService) {
+/// One routed response plus the metadata the access log needs.
+struct Routed {
+    bytes: Vec<u8>,
+    status: u16,
+    /// Set only by `/query` (the one endpoint that runs under a trace).
+    trace_id: Option<u64>,
+}
+
+impl Routed {
+    fn new(status: u16, bytes: Vec<u8>) -> Routed {
+        Routed {
+            bytes,
+            status,
+            trace_id: None,
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, service: &QueryService, access_log: bool) {
+    let started = Instant::now();
     // A stalled or malicious client must not pin this thread (slowloris) …
     let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(30)));
     let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(30)));
@@ -132,20 +172,35 @@ fn handle_connection(stream: TcpStream, service: &QueryService) {
     // it via the head/body size checks.
     let mut reader = BufReader::new(reading.take(2 * MAX_REQUEST_SIZE as u64));
     let mut stream = stream;
-    let response = match read_request(&mut reader) {
+    let (mut response, method, path) = match read_request(&mut reader) {
         Ok(request) => {
             let mut response = respond(&request, service);
             if request.method == "HEAD" {
                 // RFC 9110: a HEAD response carries the headers (including
                 // Content-Length) but no content.
-                truncate_to_head(&mut response);
+                truncate_to_head(&mut response.bytes);
             }
-            response
+            (response, request.method, request.path)
         }
-        Err(e) => error_response(400, &format!("bad request: {e}")),
+        Err(e) => (
+            Routed::new(400, error_response(400, &format!("bad request: {e}"))),
+            "-".to_string(),
+            "-".to_string(),
+        ),
     };
-    let _ = stream.write_all(&response);
+    let _ = stream.write_all(&response.bytes);
     let _ = stream.flush();
+    if access_log {
+        eprintln!(
+            "access method={method} path={path} status={} dur_ms={:.3} trace={}",
+            response.status,
+            started.elapsed().as_secs_f64() * 1000.0,
+            response
+                .trace_id
+                .take()
+                .map_or_else(|| "-".into(), format_trace_id),
+        );
+    }
 }
 
 /// Cuts a serialized response after the blank line separating head and body.
@@ -219,31 +274,51 @@ fn read_request(reader: &mut BufReader<io::Take<TcpStream>>) -> Result<Request, 
 }
 
 /// Routes one request to its endpoint.
-fn respond(request: &Request, service: &QueryService) -> Vec<u8> {
+fn respond(request: &Request, service: &QueryService) -> Routed {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET" | "HEAD", "/healthz") => {
             let body = format!(
-                "{{\"status\":\"ok\",\"triples\":{}}}",
-                service.store().triple_count()
+                "{{\"status\":\"ok\",\"triples\":{},\"uptime_secs\":{:.3},\"engine\":\"{}\",\"dataset\":\"{}\"}}",
+                service.store().triple_count(),
+                service.uptime().as_secs_f64(),
+                json_escape(service.config().default_engine.name()),
+                json_escape(service.dataset_label()),
             );
-            json_response(200, &body, &[])
+            Routed::new(200, json_response(200, &body, &[]))
         }
-        ("GET" | "HEAD", "/stats") => json_response(200, &service.stats().to_json(), &[]),
-        ("GET" | "POST", "/query") => respond_query(request, service),
-        ("GET" | "HEAD", "/") => json_response(
+        ("GET" | "HEAD", "/stats") => {
+            Routed::new(200, json_response(200, &service.stats().to_json(), &[]))
+        }
+        ("GET" | "HEAD", "/metrics") => Routed::new(
             200,
-            "{\"service\":\"turbohom\",\"endpoints\":[\"/query\",\"/healthz\",\"/stats\"]}",
-            &[],
+            build_response(200, "text/plain; version=0.0.4", &service.prometheus(), &[]),
         ),
-        (_, "/healthz" | "/stats" | "/query" | "/") => {
-            error_response(405, &format!("method {} not allowed", request.method))
+        ("GET" | "HEAD", "/debug/slow") => {
+            Routed::new(200, json_response(200, &service.slow_log().to_json(), &[]))
         }
-        _ => error_response(404, &format!("no such endpoint: {}", request.path)),
+        ("GET" | "POST", "/query") => respond_query(request, service),
+        ("GET" | "HEAD", "/") => Routed::new(
+            200,
+            json_response(
+                200,
+                "{\"service\":\"turbohom\",\"endpoints\":[\"/query\",\"/healthz\",\"/stats\",\"/metrics\",\"/debug/slow\"]}",
+                &[],
+            ),
+        ),
+        (_, "/healthz" | "/stats" | "/metrics" | "/debug/slow" | "/query" | "/") => Routed::new(
+            405,
+            error_response(405, &format!("method {} not allowed", request.method)),
+        ),
+        _ => Routed::new(
+            404,
+            error_response(404, &format!("no such endpoint: {}", request.path)),
+        ),
     }
 }
 
 /// The `/query` endpoint: parameter extraction + execution + serialization.
-fn respond_query(request: &Request, service: &QueryService) -> Vec<u8> {
+fn respond_query(request: &Request, service: &QueryService) -> Routed {
+    let bad = |message: &str| Routed::new(400, error_response(400, message));
     let mut params = parse_query_string(&request.query_string);
     if request.method == "POST" {
         if request
@@ -256,7 +331,7 @@ fn respond_query(request: &Request, service: &QueryService) -> Vec<u8> {
             // Raw query body (application/sparql-query or unspecified).
             match String::from_utf8(request.body.clone()) {
                 Ok(q) => params.push(("query".into(), q)),
-                Err(_) => return error_response(400, "query body is not valid UTF-8"),
+                Err(_) => return bad("query body is not valid UTF-8"),
             }
         }
     }
@@ -268,33 +343,60 @@ fn respond_query(request: &Request, service: &QueryService) -> Vec<u8> {
             .map(|(_, v)| v.as_str())
     };
     let Some(sparql) = param("query") else {
-        return error_response(400, "missing `query` parameter");
+        return bad("missing `query` parameter");
     };
     let engine = match param("engine") {
         None => None,
         Some(name) => match name.parse::<EngineKind>() {
             Ok(kind) => Some(kind),
-            Err(e) => return error_response(400, &e.to_string()),
+            Err(e) => return bad(&e.to_string()),
         },
     };
     let threads = match param("threads") {
         None => None,
         Some(t) => match t.parse::<usize>() {
             Ok(t) if t >= 1 => Some(t),
-            _ => return error_response(400, "`threads` must be a positive integer"),
+            _ => return bad("`threads` must be a positive integer"),
         },
     };
-    match service.query(sparql, QueryOptions { engine, threads }) {
+    let profile = match param("profile").map(str::to_ascii_lowercase).as_deref() {
+        None | Some("0") | Some("false") | Some("no") | Some("") => false,
+        Some("1") | Some("true") | Some("yes") => true,
+        Some(_) => return bad("`profile` must be a boolean (1/0, true/false, yes/no)"),
+    };
+    match service.query(
+        sparql,
+        QueryOptions {
+            engine,
+            threads,
+            profile,
+        },
+    ) {
         Ok(response) => {
             let cache = if response.cache_hit { "HIT" } else { "MISS" };
             let headers = [
                 ("X-Cache", cache.to_string()),
                 ("X-Engine", response.engine.to_string()),
                 ("X-Fingerprint", format!("{:016x}", response.fingerprint)),
+                ("X-Trace-Id", format_trace_id(response.trace_id)),
             ];
-            sparql_json_response(&response.results.to_sparql_json(), &headers)
+            let mut body = response.results.to_sparql_json();
+            if let Some(report) = &response.profile {
+                // Splice the profile report in as a top-level member, next
+                // to the standard "head"/"results" pair.
+                debug_assert!(body.ends_with('}'));
+                body.truncate(body.len() - 1);
+                body.push_str(",\"profile\":");
+                body.push_str(&report.to_json());
+                body.push('}');
+            }
+            Routed {
+                bytes: sparql_json_response(&body, &headers),
+                status: 200,
+                trace_id: Some(response.trace_id),
+            }
         }
-        Err(e) => error_response(400, &e.to_string()),
+        Err(e) => bad(&e.to_string()),
     }
 }
 

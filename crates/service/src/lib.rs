@@ -14,9 +14,14 @@
 //!   determination and goes straight to enumeration,
 //! * **metrics** ([`metrics::ServiceMetrics`]) — per-engine QPS and latency
 //!   histograms (p50/p95/p99) plus cache hit/miss counters, served as JSON,
+//! * **observability** — every request runs under a span trace
+//!   (`turbohom-trace`): `profile=1` returns the full span tree inline,
+//!   [`metrics::ServiceMetrics`] renders Prometheus text exposition, and a
+//!   [`slow::SlowQueryLog`] ring keeps the slowest offenders,
 //! * an **HTTP/1.1 endpoint** ([`HttpServer`]) on `std::net::TcpListener` —
-//!   `GET`/`POST /query` returning SPARQL-JSON, `/healthz`, `/stats` — and
-//!   the `turbohom-server` binary wiring it to a LUBM or N-Triples store.
+//!   `GET`/`POST /query` returning SPARQL-JSON, `/healthz`, `/stats`,
+//!   `/metrics`, `/debug/slow` — and the `turbohom-server` binary wiring it
+//!   to a LUBM or N-Triples store.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -41,13 +46,18 @@ pub mod cache;
 pub mod http;
 pub mod metrics;
 pub mod service;
+pub mod slow;
 
 pub use cache::{PlanCache, PlanKey};
 pub use http::{HttpServer, ServerHandle};
-pub use metrics::{EngineMetrics, LatencyHistogram, ServiceMetrics};
+pub use metrics::{EngineMetrics, LatencyHistogram, ServiceMetrics, StageTotals};
 pub use service::{
     EngineStats, QueryOptions, QueryResponse, QueryService, ServiceConfig, StatsSnapshot,
 };
+pub use slow::{SlowQueryEntry, SlowQueryLog};
+// Re-exported so HTTP-layer consumers can work with profile reports and
+// trace ids without a direct engine/trace dependency.
+pub use turbohom_engine::{format_trace_id, Trace, TraceReport};
 
 /// The service is shared across worker threads; keep that provable.
 const fn assert_send_sync<T: Send + Sync>() {}
@@ -55,4 +65,5 @@ const _: () = {
     assert_send_sync::<QueryService>();
     assert_send_sync::<PlanCache>();
     assert_send_sync::<ServiceMetrics>();
+    assert_send_sync::<SlowQueryLog>();
 };

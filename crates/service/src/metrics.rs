@@ -10,10 +10,21 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
-use turbohom_engine::{EngineKind, MatchStats};
+use turbohom_engine::{EngineKind, MatchStats, TraceReport};
 
 /// Number of log₂ buckets: covers 1 µs … ~2³⁸ µs (≈ 76 hours) per query.
 const BUCKETS: usize = 40;
+
+/// The pipeline stages whose cumulative time `/metrics` exposes as
+/// `turbohom_stage_seconds_total{stage=…}`, in pipeline order. These are the
+/// root span names the service layer records on every request's trace.
+pub const STAGES: [&str; 5] = [
+    "fingerprint",
+    "cache_lookup",
+    "parse",
+    "transform",
+    "execute",
+];
 
 /// A log₂-bucketed latency histogram.
 pub struct LatencyHistogram {
@@ -74,6 +85,78 @@ impl LatencyHistogram {
         }
         Duration::from_micros(1u64 << (BUCKETS - 1))
     }
+
+    /// Total observed time in microseconds (the Prometheus `_sum`).
+    pub fn total_micros(&self) -> u64 {
+        self.total_micros.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the raw per-bucket counts (bucket `i` holds
+    /// observations `< 2^i` µs). Exposed for the Prometheus renderer and
+    /// its tests.
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Appends this histogram as a cumulative Prometheus `_bucket` series
+    /// (plus `_sum` and `_count`) for metric `name` with `labels` (rendered
+    /// inside `{}`, no trailing comma). Bucket `i`'s upper bound is `2^i` µs
+    /// expressed in seconds; the saturating top bucket becomes `+Inf`.
+    pub fn render_prometheus(&self, out: &mut String, name: &str, labels: &str) {
+        let counts = self.bucket_counts();
+        let mut cumulative = 0u64;
+        for (i, count) in counts.iter().enumerate() {
+            cumulative += count;
+            if i + 1 == BUCKETS {
+                out.push_str(&format!(
+                    "{name}_bucket{{{labels},le=\"+Inf\"}} {cumulative}\n"
+                ));
+            } else {
+                let le = (1u64 << i) as f64 / 1e6;
+                out.push_str(&format!(
+                    "{name}_bucket{{{labels},le=\"{le}\"}} {cumulative}\n"
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "{name}_sum{{{labels}}} {}\n",
+            self.total_micros() as f64 / 1e6
+        ));
+        out.push_str(&format!("{name}_count{{{labels}}} {cumulative}\n"));
+    }
+}
+
+/// Cumulative wall-clock time per pipeline stage, fed by every request's
+/// trace (coarse traces are always on, so these are exact totals, not
+/// samples). Lock-free like everything else here.
+pub struct StageTotals {
+    nanos: [AtomicU64; STAGES.len()],
+}
+
+impl Default for StageTotals {
+    fn default() -> Self {
+        StageTotals {
+            nanos: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl StageTotals {
+    /// Adds `nanos` to `stage`'s total. Unknown stage names (e.g. a span a
+    /// future layer invents) are ignored rather than panicking.
+    pub fn record(&self, stage: &str, nanos: u64) {
+        if let Some(i) = STAGES.iter().position(|s| *s == stage) {
+            self.nanos[i].fetch_add(nanos, Ordering::Relaxed);
+        }
+    }
+
+    /// Cumulative seconds spent in `stage` across all requests.
+    pub fn seconds(&self, stage: &str) -> f64 {
+        STAGES
+            .iter()
+            .position(|s| *s == stage)
+            .map_or(0.0, |i| self.nanos[i].load(Ordering::Relaxed) as f64 / 1e9)
+    }
 }
 
 /// Counters and latency for one engine kind.
@@ -99,9 +182,11 @@ pub struct EngineMetrics {
     pub morsels_stolen: AtomicU64,
 }
 
-/// All service metrics: one [`EngineMetrics`] per engine plus uptime.
+/// All service metrics: one [`EngineMetrics`] per engine plus per-stage
+/// time totals and uptime.
 pub struct ServiceMetrics {
     per_engine: [EngineMetrics; EngineKind::COUNT],
+    stages: StageTotals,
     started: Instant,
 }
 
@@ -116,6 +201,7 @@ impl ServiceMetrics {
     pub fn new() -> Self {
         ServiceMetrics {
             per_engine: Default::default(),
+            stages: StageTotals::default(),
             started: Instant::now(),
         }
     }
@@ -144,6 +230,18 @@ impl ServiceMetrics {
         self.engine(kind).errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Folds a finished request trace into the per-stage time totals.
+    pub fn record_stages(&self, report: &TraceReport) {
+        for (name, nanos) in report.stages() {
+            self.stages.record(name, nanos);
+        }
+    }
+
+    /// The cumulative per-stage time totals.
+    pub fn stage_totals(&self) -> &StageTotals {
+        &self.stages
+    }
+
     /// Seconds since the service started.
     pub fn uptime(&self) -> Duration {
         self.started.elapsed()
@@ -164,6 +262,90 @@ impl ServiceMetrics {
             return 0.0;
         }
         self.engine(kind).queries.load(Ordering::Relaxed) as f64 / secs
+    }
+
+    /// Appends everything this struct tracks in Prometheus text exposition
+    /// format (version 0.0.4): uptime, per-engine counters, per-stage time
+    /// totals, and one latency histogram per engine. The service layer
+    /// appends its own cache/store series after this.
+    pub fn render_prometheus(&self, out: &mut String) {
+        out.push_str("# HELP turbohom_uptime_seconds Seconds since the service started.\n");
+        out.push_str("# TYPE turbohom_uptime_seconds gauge\n");
+        out.push_str(&format!(
+            "turbohom_uptime_seconds {}\n",
+            self.uptime().as_secs_f64()
+        ));
+
+        let counter =
+            |out: &mut String, name: &str, help: &str, value: fn(&EngineMetrics) -> u64| {
+                out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+                for kind in EngineKind::all() {
+                    out.push_str(&format!(
+                        "{name}{{engine=\"{}\"}} {}\n",
+                        kind.name(),
+                        value(self.engine(kind))
+                    ));
+                }
+            };
+        counter(
+            out,
+            "turbohom_queries_total",
+            "Successfully answered queries.",
+            |m| m.queries.load(Ordering::Relaxed),
+        );
+        counter(
+            out,
+            "turbohom_query_errors_total",
+            "Queries that returned an error.",
+            |m| m.errors.load(Ordering::Relaxed),
+        );
+        counter(
+            out,
+            "turbohom_solutions_total",
+            "Solutions returned across all successful queries.",
+            |m| m.solutions.load(Ordering::Relaxed),
+        );
+        counter(
+            out,
+            "turbohom_intersection_ops_total",
+            "Cumulative k-way intersections run by the +INT joinability test.",
+            |m| m.intersection_ops.load(Ordering::Relaxed),
+        );
+        counter(
+            out,
+            "turbohom_morsels_total",
+            "Cumulative morsels executed by the work-stealing scheduler.",
+            |m| m.morsels.load(Ordering::Relaxed),
+        );
+        counter(
+            out,
+            "turbohom_morsels_stolen_total",
+            "Cumulative morsels obtained by stealing.",
+            |m| m.morsels_stolen.load(Ordering::Relaxed),
+        );
+
+        out.push_str(
+            "# HELP turbohom_stage_seconds_total Cumulative wall-clock seconds per pipeline stage.\n",
+        );
+        out.push_str("# TYPE turbohom_stage_seconds_total counter\n");
+        for stage in STAGES {
+            out.push_str(&format!(
+                "turbohom_stage_seconds_total{{stage=\"{stage}\"}} {}\n",
+                self.stages.seconds(stage)
+            ));
+        }
+
+        out.push_str(
+            "# HELP turbohom_query_latency_seconds Request latency of successful queries.\n",
+        );
+        out.push_str("# TYPE turbohom_query_latency_seconds histogram\n");
+        for kind in EngineKind::all() {
+            self.engine(kind).latency.render_prometheus(
+                out,
+                "turbohom_query_latency_seconds",
+                &format!("engine=\"{}\"", kind.name()),
+            );
+        }
     }
 }
 
@@ -205,6 +387,123 @@ mod tests {
         h.record(Duration::from_secs(1_000_000));
         assert_eq!(h.count(), 1);
         assert!(h.quantile(1.0) > Duration::from_secs(1));
+        // The saturating top bucket holds the observation …
+        assert_eq!(h.bucket_counts()[BUCKETS - 1], 1);
+        // … and the quantile estimate is its (huge) upper bound, not +∞.
+        assert_eq!(
+            h.quantile(1.0),
+            Duration::from_micros(1u64 << (BUCKETS - 1))
+        );
+    }
+
+    #[test]
+    fn single_observation_dominates_every_quantile() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(100));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), Duration::from_micros(100));
+        // 100 µs lands in bucket 7 (64–127 µs), upper bound 128 µs; with one
+        // observation every quantile — including the extremes — reports it.
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Duration::from_micros(128), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_extremes_hit_first_and_last_occupied_buckets() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(1));
+        h.record(Duration::from_micros(1000));
+        // q=0.0 clamps to the first observation, q=1.0 covers the last.
+        assert_eq!(h.quantile(0.0), Duration::from_micros(2));
+        assert_eq!(h.quantile(1.0), Duration::from_micros(1024));
+        // Out-of-range inputs clamp instead of panicking.
+        assert_eq!(h.quantile(-3.0), h.quantile(0.0));
+        assert_eq!(h.quantile(7.0), h.quantile(1.0));
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative_and_end_in_inf() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(3)); // bucket 2
+        h.record(Duration::from_micros(3)); // bucket 2
+        h.record(Duration::from_micros(100)); // bucket 7
+        let mut out = String::new();
+        h.render_prometheus(&mut out, "x_seconds", "engine=\"e\"");
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), BUCKETS + 2);
+        // Buckets are cumulative: 0 until 4 µs, 2 from there, 3 from 128 µs.
+        assert!(lines.contains(&"x_seconds_bucket{engine=\"e\",le=\"0.000002\"} 0"));
+        assert!(lines.contains(&"x_seconds_bucket{engine=\"e\",le=\"0.000004\"} 2"));
+        assert!(lines.contains(&"x_seconds_bucket{engine=\"e\",le=\"0.000064\"} 2"));
+        assert!(lines.contains(&"x_seconds_bucket{engine=\"e\",le=\"0.000128\"} 3"));
+        assert_eq!(
+            lines[BUCKETS - 1],
+            "x_seconds_bucket{engine=\"e\",le=\"+Inf\"} 3"
+        );
+        assert_eq!(lines[BUCKETS], "x_seconds_sum{engine=\"e\"} 0.000106");
+        assert_eq!(lines[BUCKETS + 1], "x_seconds_count{engine=\"e\"} 3");
+        // Cumulative counts never decrease.
+        let mut last = 0u64;
+        for line in &lines[..BUCKETS] {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn stage_totals_accumulate_known_stages_and_ignore_others() {
+        let totals = StageTotals::default();
+        totals.record("parse", 1_500_000_000);
+        totals.record("parse", 500_000_000);
+        totals.record("no-such-stage", u64::MAX);
+        assert_eq!(totals.seconds("parse"), 2.0);
+        assert_eq!(totals.seconds("execute"), 0.0);
+        assert_eq!(totals.seconds("no-such-stage"), 0.0);
+    }
+
+    #[test]
+    fn service_exposition_has_every_metric_family() {
+        let m = ServiceMetrics::new();
+        m.record_success(
+            EngineKind::TurboHomPlusPlus,
+            Duration::from_micros(50),
+            &MatchStats {
+                solutions: 2,
+                ..MatchStats::default()
+            },
+        );
+        m.record_error(EngineKind::HashJoin);
+        let mut out = String::new();
+        m.render_prometheus(&mut out);
+        for family in [
+            "turbohom_uptime_seconds",
+            "turbohom_queries_total",
+            "turbohom_query_errors_total",
+            "turbohom_solutions_total",
+            "turbohom_intersection_ops_total",
+            "turbohom_morsels_total",
+            "turbohom_morsels_stolen_total",
+            "turbohom_stage_seconds_total",
+            "turbohom_query_latency_seconds",
+        ] {
+            assert!(
+                out.contains(&format!("# TYPE {family} ")),
+                "missing TYPE line for {family}"
+            );
+        }
+        assert!(out.contains("turbohom_queries_total{engine=\"turbohom++\"} 1"));
+        assert!(out.contains("turbohom_query_errors_total{engine=\"hashjoin\"} 1"));
+        assert!(out.contains("turbohom_solutions_total{engine=\"turbohom++\"} 2"));
+        assert!(out.contains("turbohom_stage_seconds_total{stage=\"execute\"} 0"));
+        assert!(out.contains("turbohom_query_latency_seconds_count{engine=\"turbohom++\"} 1"));
+        // Every non-comment line is `name{labels} value` or `name value`.
+        for line in out.lines().filter(|l| !l.starts_with('#')) {
+            let (series, value) = line.rsplit_once(' ').unwrap();
+            assert!(!series.is_empty());
+            assert!(value.parse::<f64>().is_ok(), "bad value in line: {line}");
+        }
     }
 
     #[test]

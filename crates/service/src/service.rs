@@ -17,11 +17,14 @@
 
 use crate::cache::{PlanCache, PlanKey};
 use crate::metrics::ServiceMetrics;
+use crate::slow::{SlowQueryEntry, SlowQueryLog};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use turbohom_engine::{json_escape, EngineKind, QueryResults, Store, StoreError};
-use turbohom_sparql::fingerprint;
+use turbohom_engine::{
+    json_escape, EngineKind, QueryResults, Store, StoreError, Trace, TraceReport,
+};
+use turbohom_sparql::{fingerprint, QueryFingerprint};
 
 /// Configuration of a [`QueryService`].
 #[derive(Debug, Clone, Copy)]
@@ -33,6 +36,11 @@ pub struct ServiceConfig {
     /// Upper bound for the per-request `threads` override (defends the
     /// thread pool against `threads=10000` requests).
     pub max_threads: usize,
+    /// Queries at or above this latency land in the slow-query recorder
+    /// (`Duration::ZERO` records everything, `None` disables it).
+    pub slow_query: Option<Duration>,
+    /// Ring capacity of the slow-query recorder.
+    pub slow_log_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -41,6 +49,8 @@ impl Default for ServiceConfig {
             plan_cache_capacity: 256,
             default_engine: EngineKind::TurboHomPlusPlus,
             max_threads: 64,
+            slow_query: Some(Duration::from_millis(500)),
+            slow_log_capacity: 32,
         }
     }
 }
@@ -52,6 +62,9 @@ pub struct QueryOptions {
     pub engine: Option<EngineKind>,
     /// Worker-thread override for this request only.
     pub threads: Option<usize>,
+    /// PROFILE mode: collect a detailed trace (per-stage and per-worker
+    /// spans) and return it in [`QueryResponse::profile`].
+    pub profile: bool,
 }
 
 /// The outcome of one service query.
@@ -66,6 +79,11 @@ pub struct QueryResponse {
     pub fingerprint: u64,
     /// Wall clock for the whole request (fingerprint + plan + run + render).
     pub elapsed: Duration,
+    /// The request's trace id (`X-Trace-Id`; ties the response to the
+    /// access log and slow-query recorder).
+    pub trace_id: u64,
+    /// The detailed trace, present when [`QueryOptions::profile`] was set.
+    pub profile: Option<TraceReport>,
 }
 
 /// A point-in-time view of the service counters (served as `/stats`).
@@ -164,6 +182,9 @@ pub struct QueryService {
     cache: PlanCache,
     metrics: ServiceMetrics,
     plans_prepared: AtomicU64,
+    slow_log: SlowQueryLog,
+    next_trace_id: AtomicU64,
+    dataset_label: String,
 }
 
 impl QueryService {
@@ -177,10 +198,25 @@ impl QueryService {
         QueryService {
             store,
             cache: PlanCache::new(config.plan_cache_capacity),
-            config,
             metrics: ServiceMetrics::new(),
             plans_prepared: AtomicU64::new(0),
+            slow_log: SlowQueryLog::new(config.slow_log_capacity, config.slow_query),
+            next_trace_id: AtomicU64::new(1),
+            dataset_label: "unnamed".into(),
+            config,
         }
+    }
+
+    /// Sets the dataset label reported by `/healthz` (builder style, e.g.
+    /// `"lubm-1"` or the N-Triples file name).
+    pub fn with_dataset_label(mut self, label: impl Into<String>) -> Self {
+        self.dataset_label = label.into();
+        self
+    }
+
+    /// The dataset label reported by `/healthz`.
+    pub fn dataset_label(&self) -> &str {
+        &self.dataset_label
     }
 
     /// The shared store.
@@ -193,22 +229,55 @@ impl QueryService {
         &self.config
     }
 
+    /// The service metrics (counters, histograms, stage totals).
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
+    /// The slow-query recorder (served as `/debug/slow`).
+    pub fn slow_log(&self) -> &SlowQueryLog {
+        &self.slow_log
+    }
+
+    /// Seconds since the service started.
+    pub fn uptime(&self) -> Duration {
+        self.metrics.uptime()
+    }
+
     /// Answers one query.
+    ///
+    /// Every request runs under a coarse trace (a handful of spans feeding
+    /// the per-stage time totals in `/metrics` and the slow-query recorder);
+    /// [`QueryOptions::profile`] upgrades it to a detailed trace whose
+    /// report comes back in [`QueryResponse::profile`].
     pub fn query(&self, sparql: &str, options: QueryOptions) -> Result<QueryResponse, StoreError> {
         let engine = options.engine.unwrap_or(self.config.default_engine);
         let threads = options.threads.map(|t| t.clamp(1, self.config.max_threads));
+        let trace_id = self.next_trace_id.fetch_add(1, Ordering::Relaxed);
+        let trace = if options.profile {
+            Trace::detailed(trace_id)
+        } else {
+            Trace::new(trace_id)
+        };
         let start = Instant::now();
-        let outcome = self.run(sparql, engine, threads);
+        let outcome = self.run(sparql, engine, threads, &trace);
         match outcome {
             Ok((results, cache_hit, fp)) => {
                 let elapsed = start.elapsed();
                 self.metrics.record_success(engine, elapsed, &results.stats);
+                let report = trace.finish();
+                self.metrics.record_stages(&report);
+                if self.slow_log.is_slow(elapsed) {
+                    self.record_slow(&report, fp.canonical, engine, cache_hit, elapsed, &results);
+                }
                 Ok(QueryResponse {
                     results,
                     engine,
                     cache_hit,
-                    fingerprint: fp,
+                    fingerprint: fp.hash,
                     elapsed,
+                    trace_id,
+                    profile: options.profile.then_some(report),
                 })
             }
             Err(e) => {
@@ -223,23 +292,114 @@ impl QueryService {
         sparql: &str,
         engine: EngineKind,
         threads: Option<usize>,
-    ) -> Result<(QueryResults, bool, u64), StoreError> {
-        let fp = fingerprint(sparql)?;
+        trace: &Trace,
+    ) -> Result<(QueryResults, bool, QueryFingerprint), StoreError> {
+        let fp = {
+            let mut span = trace.span("fingerprint");
+            let fp = fingerprint(sparql)?;
+            span.counter("tokens", fp.tokens as u64);
+            fp
+        };
         let key = PlanKey {
-            canonical: fp.canonical,
+            canonical: fp.canonical.clone(),
             kind: engine,
         };
-        if let Some(plan) = self.cache.get(&key) {
+        let cached = {
+            let mut span = trace.span("cache_lookup");
+            let cached = self.cache.get(&key);
+            span.counter("hit", cached.is_some() as u64);
+            cached
+        };
+        if let Some(plan) = cached {
             // Warm path: straight to enumeration.
-            let results = self.store.run_plan_with(&plan, threads)?;
-            return Ok((results, true, fp.hash));
+            let results = self.store.run_plan_traced(&plan, threads, trace)?;
+            return Ok((results, true, fp));
         }
         // Cold path: parse + transform, run, then publish the plan.
-        let plan = Arc::new(self.store.prepare_plan(sparql, engine)?);
+        let plan = Arc::new(self.store.prepare_plan_traced(sparql, engine, trace)?);
         self.plans_prepared.fetch_add(1, Ordering::Relaxed);
-        let results = self.store.run_plan_with(&plan, threads)?;
+        let results = self.store.run_plan_traced(&plan, threads, trace)?;
         self.cache.insert(key, plan);
-        Ok((results, false, fp.hash))
+        Ok((results, false, fp))
+    }
+
+    /// Pushes one offender into the slow-query ring and logs it to stderr.
+    fn record_slow(
+        &self,
+        report: &TraceReport,
+        canonical: String,
+        engine: EngineKind,
+        cache_hit: bool,
+        elapsed: Duration,
+        results: &QueryResults,
+    ) {
+        let entry = SlowQueryEntry {
+            trace_id: report.trace_id,
+            canonical,
+            engine,
+            cache_hit,
+            total_ms: elapsed.as_secs_f64() * 1000.0,
+            stages_ms: report
+                .stages()
+                .into_iter()
+                .map(|(name, ns)| (name, ns as f64 / 1e6))
+                .collect(),
+            solutions: results.stats.solutions,
+            uptime_secs: self.metrics.uptime().as_secs_f64(),
+        };
+        let line = entry.to_log_line();
+        if self.slow_log.record(entry) {
+            eprintln!("{line}");
+        }
+    }
+
+    /// Renders every counter in Prometheus text exposition format (the
+    /// `/metrics` payload): engine counters and latency histograms, stage
+    /// time totals, plan-cache and store series.
+    pub fn prometheus(&self) -> String {
+        let mut out = String::with_capacity(8192);
+        self.metrics.render_prometheus(&mut out);
+        out.push_str("# HELP turbohom_plan_cache_hits_total Plan-cache hits.\n");
+        out.push_str("# TYPE turbohom_plan_cache_hits_total counter\n");
+        out.push_str(&format!(
+            "turbohom_plan_cache_hits_total {}\n",
+            self.cache.hits()
+        ));
+        out.push_str("# HELP turbohom_plan_cache_misses_total Plan-cache misses.\n");
+        out.push_str("# TYPE turbohom_plan_cache_misses_total counter\n");
+        out.push_str(&format!(
+            "turbohom_plan_cache_misses_total {}\n",
+            self.cache.misses()
+        ));
+        out.push_str("# HELP turbohom_plan_cache_evictions_total Plans evicted from the cache.\n");
+        out.push_str("# TYPE turbohom_plan_cache_evictions_total counter\n");
+        out.push_str(&format!(
+            "turbohom_plan_cache_evictions_total {}\n",
+            self.cache.evictions()
+        ));
+        out.push_str("# HELP turbohom_plan_cache_size Plans currently cached.\n");
+        out.push_str("# TYPE turbohom_plan_cache_size gauge\n");
+        out.push_str(&format!("turbohom_plan_cache_size {}\n", self.cache.len()));
+        out.push_str(
+            "# HELP turbohom_plans_prepared_total How many times parse + transform actually ran.\n",
+        );
+        out.push_str("# TYPE turbohom_plans_prepared_total counter\n");
+        out.push_str(&format!(
+            "turbohom_plans_prepared_total {}\n",
+            self.plans_prepared.load(Ordering::Relaxed)
+        ));
+        out.push_str("# HELP turbohom_triples Triples in the underlying store.\n");
+        out.push_str("# TYPE turbohom_triples gauge\n");
+        out.push_str(&format!("turbohom_triples {}\n", self.store.triple_count()));
+        out.push_str(
+            "# HELP turbohom_slow_queries_total Queries recorded by the slow-query recorder.\n",
+        );
+        out.push_str("# TYPE turbohom_slow_queries_total counter\n");
+        out.push_str(&format!(
+            "turbohom_slow_queries_total {}\n",
+            self.slow_log.recorded()
+        ));
+        out
     }
 
     /// Takes a snapshot of every counter (the `/stats` payload).
@@ -379,10 +539,151 @@ mod tests {
                 QueryOptions {
                     engine: None,
                     threads: Some(1_000_000),
+                    profile: false,
                 },
             )
             .unwrap();
         assert_eq!(r.results.len(), 3);
+    }
+
+    #[test]
+    fn profile_mode_returns_a_full_stage_breakdown() {
+        let svc = service();
+        let cold = svc
+            .query(
+                Q,
+                QueryOptions {
+                    profile: true,
+                    ..QueryOptions::default()
+                },
+            )
+            .unwrap();
+        let report = cold.profile.as_ref().unwrap();
+        assert_eq!(report.trace_id, cold.trace_id);
+        // Cold request: all five pipeline stages, in order.
+        let names: Vec<&str> = report.stages().iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            vec![
+                "fingerprint",
+                "cache_lookup",
+                "parse",
+                "transform",
+                "execute"
+            ]
+        );
+        // The stage roll-up covers (almost) the whole request: stages are
+        // what the request *does*, so their sum can only miss the small
+        // gaps between spans.
+        assert!(report.stage_total_ns() <= report.total_ns);
+        // Detailed trace: the core recorded enumeration under execute.
+        assert!(report.span_total_ns("enumeration") > 0);
+        let fingerprint_span = report
+            .spans
+            .iter()
+            .find(|s| s.name == "fingerprint")
+            .unwrap();
+        assert!(fingerprint_span
+            .counters
+            .iter()
+            .any(|(n, _)| *n == "tokens"));
+
+        // Warm request: no parse/transform stages, cache_lookup hit=1.
+        let warm = svc
+            .query(
+                Q,
+                QueryOptions {
+                    profile: true,
+                    ..QueryOptions::default()
+                },
+            )
+            .unwrap();
+        let report = warm.profile.as_ref().unwrap();
+        let names: Vec<&str> = report.stages().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["fingerprint", "cache_lookup", "execute"]);
+        let lookup = report
+            .spans
+            .iter()
+            .find(|s| s.name == "cache_lookup")
+            .unwrap();
+        assert_eq!(lookup.counters, vec![("hit", 1)]);
+        // Ids are distinct and monotonically assigned.
+        assert!(warm.trace_id > cold.trace_id);
+    }
+
+    #[test]
+    fn unprofiled_requests_skip_the_report_but_feed_stage_totals() {
+        let svc = service();
+        let r = svc.query(Q, QueryOptions::default()).unwrap();
+        assert!(r.profile.is_none());
+        assert!(r.trace_id > 0);
+        // The coarse trace still fed the per-stage time totals.
+        let totals = svc.metrics().stage_totals();
+        assert!(totals.seconds("fingerprint") > 0.0);
+        assert!(totals.seconds("execute") > 0.0);
+        let exposition = svc.prometheus();
+        assert!(exposition.contains("# TYPE turbohom_stage_seconds_total counter"));
+    }
+
+    #[test]
+    fn slow_log_records_offenders_with_their_stage_breakdown() {
+        let mut ds = Dataset::new();
+        for i in 0..3 {
+            let s = ub(&format!("student{i}"));
+            ds.insert_iris(&s, vocab::RDF_TYPE, &ub("Student"));
+        }
+        // Threshold zero: every query is an offender.
+        let svc = QueryService::with_config(
+            Arc::new(Store::from_dataset(ds)),
+            ServiceConfig {
+                slow_query: Some(Duration::ZERO),
+                slow_log_capacity: 4,
+                ..ServiceConfig::default()
+            },
+        );
+        let r = svc.query(Q, QueryOptions::default()).unwrap();
+        let entries = svc.slow_log().snapshot();
+        assert_eq!(entries.len(), 1);
+        let entry = &entries[0];
+        assert_eq!(entry.trace_id, r.trace_id);
+        assert_eq!(entry.engine, EngineKind::TurboHomPlusPlus);
+        assert!(!entry.cache_hit);
+        assert_eq!(entry.solutions, 3);
+        assert!(entry.canonical.contains("SELECT"));
+        let stage_names: Vec<&str> = entry.stages_ms.iter().map(|(n, _)| *n).collect();
+        assert!(stage_names.contains(&"parse"));
+        assert!(stage_names.contains(&"execute"));
+        assert!(svc.prometheus().contains("turbohom_slow_queries_total 1"));
+    }
+
+    #[test]
+    fn disabled_slow_log_stays_empty() {
+        let svc = QueryService::with_config(
+            service().store.clone(),
+            ServiceConfig {
+                slow_query: None,
+                ..ServiceConfig::default()
+            },
+        );
+        svc.query(Q, QueryOptions::default()).unwrap();
+        assert!(svc.slow_log().snapshot().is_empty());
+        assert!(svc.slow_log().to_json().contains("\"threshold_ms\":null"));
+    }
+
+    #[test]
+    fn prometheus_exposition_covers_cache_and_store_series() {
+        let svc = service().with_dataset_label("test-ds");
+        svc.query(Q, QueryOptions::default()).unwrap();
+        svc.query(Q, QueryOptions::default()).unwrap();
+        let out = svc.prometheus();
+        assert!(out.contains("turbohom_plan_cache_hits_total 1\n"));
+        assert!(out.contains("turbohom_plan_cache_misses_total 1\n"));
+        assert!(out.contains("turbohom_plan_cache_size 1\n"));
+        assert!(out.contains("turbohom_plans_prepared_total 1\n"));
+        assert!(out.contains("turbohom_triples 6\n"));
+        assert!(out.contains("turbohom_queries_total{engine=\"turbohom++\"} 2\n"));
+        assert!(out.contains("turbohom_query_latency_seconds_count{engine=\"turbohom++\"} 2\n"));
+        assert_eq!(svc.dataset_label(), "test-ds");
     }
 
     #[test]

