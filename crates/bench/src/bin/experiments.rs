@@ -122,13 +122,46 @@ fn record_mode(args: &[String]) -> i32 {
         .unwrap_or_else(|| format!("BENCH_{dataset}.json"));
 
     println!("flight recorder: building {dataset} ...");
+    let build_started = std::time::Instant::now();
     let store = lubm_store(scale);
-    println!("  {} triples", store.triple_count());
+    let parse_build_ms = build_started.elapsed().as_secs_f64() * 1000.0;
+    println!(
+        "  {} triples ({parse_build_ms:.1} ms parse+build)",
+        store.triple_count()
+    );
+
+    // The load_ms column: how long the same store takes to come up from a
+    // snapshot (zero-copy map) vs the parse+build path above.
+    let snapshot_path = std::env::temp_dir().join(format!("turbohom-bench-{dataset}.snap"));
+    let snapshot_map_ms = match store.save_snapshot(&snapshot_path) {
+        Ok(bytes) => {
+            let map_started = std::time::Instant::now();
+            let mapped = turbohom_engine::Store::from_snapshot(&snapshot_path)
+                .unwrap_or_else(|e| panic!("reloading snapshot failed: {e}"));
+            let ms = map_started.elapsed().as_secs_f64() * 1000.0;
+            assert_eq!(mapped.triple_count(), store.triple_count());
+            println!("  snapshot: {bytes} bytes, mapped in {ms:.1} ms");
+            std::fs::remove_file(&snapshot_path).ok();
+            Some(ms)
+        }
+        Err(e) => {
+            eprintln!("  snapshot timing skipped: {e}");
+            None
+        }
+    };
+
     let queries = lubm::queries();
     let mut record = BenchRecord {
         dataset,
         triples: store.triple_count(),
         threads,
+        load_ms: {
+            let mut l = vec![("parse_build".to_string(), parse_build_ms)];
+            if let Some(ms) = snapshot_map_ms {
+                l.push(("snapshot_map".to_string(), ms));
+            }
+            l
+        },
         ..BenchRecord::default()
     };
 

@@ -91,6 +91,12 @@ pub struct BenchRecord {
     pub queries: Vec<QueryRun>,
     /// Morsel-vs-chunked scheduler comparison (empty if not recorded).
     pub scheduler_comparison: Vec<SchedulerRun>,
+    /// Store-load timings in milliseconds: `parse_build` (generate/parse the
+    /// triples and build every index on the heap) vs `snapshot_map` (open a
+    /// saved snapshot zero-copy). Empty when not recorded — records written
+    /// before the column existed parse fine, the reader treats the key as
+    /// optional.
+    pub load_ms: Vec<(String, f64)>,
 }
 
 fn push_f64(out: &mut String, v: f64) {
@@ -138,6 +144,17 @@ impl BenchRecord {
         out.push_str(
             "  \"protocol\": \"5 warm runs; median_ms = middle run, avg_ms = drop best/worst then average\",\n",
         );
+        if !self.load_ms.is_empty() {
+            out.push_str("  \"load_ms\": {");
+            for (i, (name, ms)) in self.load_ms.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{}\": ", json_escape(name)));
+                push_f64(&mut out, *ms);
+            }
+            out.push_str("},\n");
+        }
         out.push_str("  \"queries\": [\n");
         for (i, q) in self.queries.iter().enumerate() {
             out.push_str("    {\"id\": \"");
@@ -204,6 +221,18 @@ impl BenchRecord {
             dataset: get_str(obj, "dataset")?,
             triples: get_usize(obj, "triples")?,
             threads: get_usize(obj, "threads")?,
+            // Optional column: absent in records written before snapshots.
+            load_ms: match find(obj, "load_ms").and_then(|v| v.as_object()) {
+                Some(entries) => entries
+                    .iter()
+                    .map(|(name, v)| {
+                        v.as_f64()
+                            .map(|ms| (name.clone(), ms))
+                            .ok_or("load_ms values must be numbers".to_string())
+                    })
+                    .collect::<Result<_, _>>()?,
+                None => Vec::new(),
+            },
             ..BenchRecord::default()
         };
         for q in get_array(obj, "queries")? {
@@ -633,6 +662,7 @@ mod tests {
                 morsels: 40,
                 morsels_stolen: 6,
             }],
+            load_ms: vec![("parse_build".into(), 12.5), ("snapshot_map".into(), 0.75)],
         }
     }
 
@@ -657,6 +687,20 @@ mod tests {
         assert!((parsed.queries[0].stages_ms[2].1 - 0.45).abs() < 1e-9);
         assert!(parsed.queries[1].stages_ms.is_empty());
         assert!(!json.contains("\"engine\": \"mergejoin\", \"stages_ms\""));
+        // The load_ms column round-trips.
+        assert_eq!(parsed.load_ms.len(), 2);
+        assert_eq!(parsed.load_ms[0].0, "parse_build");
+        assert!((parsed.load_ms[1].1 - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn records_without_the_load_ms_column_still_parse() {
+        let mut record = sample_record();
+        record.load_ms.clear();
+        let json = record.to_json();
+        assert!(!json.contains("load_ms"));
+        let parsed = BenchRecord::from_json(&json).unwrap();
+        assert!(parsed.load_ms.is_empty());
     }
 
     #[test]

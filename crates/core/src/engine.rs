@@ -779,7 +779,7 @@ impl<'a> TurboHomEngine<'a> {
                     .data
                     .mappings
                     .term_of_vertex(*v)
-                    .and_then(|tid| self.dictionary.term(tid).cloned())
+                    .and_then(|tid| self.dictionary.term(tid))
                 {
                     ctx.insert(var.clone(), term);
                 }
@@ -791,7 +791,7 @@ impl<'a> TurboHomEngine<'a> {
                     .data
                     .mappings
                     .term_of_elabel(*el)
-                    .and_then(|tid| self.dictionary.term(tid).cloned())
+                    .and_then(|tid| self.dictionary.term(tid))
                 {
                     ctx.insert(var.clone(), term);
                 }

@@ -329,7 +329,7 @@ impl<'a> SubgraphSearcher<'a> {
         self.data
             .mappings
             .term_of_vertex(v)
-            .and_then(|tid| self.dictionary.term(tid).cloned())
+            .and_then(|tid| self.dictionary.term(tid))
     }
 
     /// Reports the current complete mapping as one or more solutions

@@ -1,0 +1,243 @@
+//! The pluggable storage layer: every read path of the engines goes through
+//! a [`StorageBackend`], so the matcher code is agnostic to whether the
+//! dataset and its derived indexes live in owned heap memory
+//! ([`HeapBackend`]) or are zero-copy views into a memory-mapped snapshot
+//! file ([`SnapshotBackend`]).
+
+use crate::error::StoreError;
+use crate::store::StoreOptions;
+use std::path::{Path, PathBuf};
+use turbohom_baseline::PermutationIndexes;
+use turbohom_rdf::{Dataset, InferenceConfig, InferenceEngine};
+use turbohom_storage::{Snapshot, SnapshotWriter};
+use turbohom_transform::{direct_transform, type_aware_transform, TransformedGraph};
+
+/// Engine-level snapshot meta section: format sub-version, inference flag,
+/// triple count (component 0x09; the component sections of the dataset,
+/// graphs and permutations follow).
+const TAG_STORE_META: u64 = 0x0901;
+
+/// The store-level snapshot format sub-version. Bumped when the *composition*
+/// of component sections changes (the components themselves version their
+/// sections through their tags).
+const STORE_FORMAT_SUB_VERSION: u64 = 1;
+
+/// Everything a [`Store`](crate::Store) reads: the dataset plus every derived
+/// structure the engines need.
+pub(crate) struct BackendData {
+    pub dataset: Dataset,
+    pub type_aware: TransformedGraph,
+    pub direct: TransformedGraph,
+    pub permutations: PermutationIndexes,
+}
+
+impl BackendData {
+    /// Builds every derived structure from a dataset (materializing the RDFS
+    /// closure first when `inference` is set).
+    fn build(mut dataset: Dataset, inference: bool) -> Self {
+        if inference {
+            InferenceEngine::new(InferenceConfig::full()).materialize(&mut dataset);
+        }
+        let type_aware = type_aware_transform(&dataset);
+        let direct = direct_transform(&dataset);
+        let permutations = PermutationIndexes::build(&dataset);
+        BackendData {
+            dataset,
+            type_aware,
+            direct,
+            permutations,
+        }
+    }
+}
+
+/// Uniform read access to a store's data, regardless of where it lives.
+///
+/// `Send + Sync` so services can share a store behind an `Arc` across worker
+/// threads with either backend.
+pub trait StorageBackend: Send + Sync {
+    /// Short machine-readable backend name (`"heap"` or `"snapshot"`),
+    /// surfaced by `/healthz` and the metrics endpoint.
+    fn name(&self) -> &'static str;
+
+    /// The snapshot file backing this store, if any.
+    fn snapshot_path(&self) -> Option<&Path>;
+
+    /// `true` when the snapshot payload is memory-mapped (as opposed to
+    /// owned heap memory, including the buffered-read fallback).
+    fn is_mapped(&self) -> bool;
+
+    /// The encoded dataset (triples + dictionary).
+    fn dataset(&self) -> &Dataset;
+
+    /// The type-aware transformed graph (paper Section 4.1).
+    fn type_aware(&self) -> &TransformedGraph;
+
+    /// The direct transformed graph (paper Section 3.2).
+    fn direct(&self) -> &TransformedGraph;
+
+    /// The six RDF-3X-style permutation indexes.
+    fn permutations(&self) -> &PermutationIndexes;
+}
+
+/// The owned in-memory backend: parses/builds everything on the heap.
+pub struct HeapBackend {
+    data: BackendData,
+}
+
+impl HeapBackend {
+    /// Builds the backend from an encoded dataset.
+    pub fn from_dataset(dataset: Dataset, inference: bool) -> Self {
+        HeapBackend {
+            data: BackendData::build(dataset, inference),
+        }
+    }
+}
+
+impl StorageBackend for HeapBackend {
+    fn name(&self) -> &'static str {
+        "heap"
+    }
+
+    fn snapshot_path(&self) -> Option<&Path> {
+        None
+    }
+
+    fn is_mapped(&self) -> bool {
+        false
+    }
+
+    fn dataset(&self) -> &Dataset {
+        &self.data.dataset
+    }
+
+    fn type_aware(&self) -> &TransformedGraph {
+        &self.data.type_aware
+    }
+
+    fn direct(&self) -> &TransformedGraph {
+        &self.data.direct
+    }
+
+    fn permutations(&self) -> &PermutationIndexes {
+        &self.data.permutations
+    }
+}
+
+/// The zero-copy snapshot backend: all flat arrays are views into a
+/// memory-mapped (or, as a fallback, buffer-read) snapshot file. The
+/// mapping stays alive for as long as any view references it.
+pub struct SnapshotBackend {
+    data: BackendData,
+    path: PathBuf,
+    mapped: bool,
+    /// Whether the snapshot was written by a store with inference enabled
+    /// (the closure is already materialized in the stored triples).
+    inference: bool,
+}
+
+impl SnapshotBackend {
+    /// Opens `path` and reconstructs every structure in place.
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        let snapshot = Snapshot::open(path)?;
+        let mapped = snapshot.is_mapped();
+        let mut cur = snapshot.cursor();
+        let meta: turbohom_storage::FlatVec<u64> = cur.next_section(TAG_STORE_META)?;
+        if meta.len() != 3 {
+            return Err(turbohom_storage::SnapshotError::Malformed(
+                "store meta section length".into(),
+            )
+            .into());
+        }
+        if meta[0] != STORE_FORMAT_SUB_VERSION {
+            return Err(turbohom_storage::SnapshotError::VersionMismatch {
+                found: meta[0] as u32,
+                expected: STORE_FORMAT_SUB_VERSION as u32,
+            }
+            .into());
+        }
+        let inference = meta[1] != 0;
+        let triple_count = meta[2] as usize;
+        let dataset = Dataset::read_sections(&mut cur)?;
+        if dataset.len() != triple_count {
+            return Err(turbohom_storage::SnapshotError::Malformed(format!(
+                "snapshot holds {} triples, meta says {triple_count}",
+                dataset.len()
+            ))
+            .into());
+        }
+        let type_aware = TransformedGraph::read_sections(&mut cur)?;
+        let direct = TransformedGraph::read_sections(&mut cur)?;
+        let permutations = PermutationIndexes::read_sections(&mut cur)?;
+        Ok(SnapshotBackend {
+            data: BackendData {
+                dataset,
+                type_aware,
+                direct,
+                permutations,
+            },
+            path: path.to_path_buf(),
+            mapped,
+            inference,
+        })
+    }
+
+    /// The [`StoreOptions`] recorded in (or implied by) the snapshot,
+    /// with the runtime-only thread count supplied by the caller.
+    pub fn options(&self, threads: usize) -> StoreOptions {
+        StoreOptions {
+            inference: self.inference,
+            threads,
+        }
+    }
+}
+
+impl StorageBackend for SnapshotBackend {
+    fn name(&self) -> &'static str {
+        "snapshot"
+    }
+
+    fn snapshot_path(&self) -> Option<&Path> {
+        Some(&self.path)
+    }
+
+    fn is_mapped(&self) -> bool {
+        self.mapped
+    }
+
+    fn dataset(&self) -> &Dataset {
+        &self.data.dataset
+    }
+
+    fn type_aware(&self) -> &TransformedGraph {
+        &self.data.type_aware
+    }
+
+    fn direct(&self) -> &TransformedGraph {
+        &self.data.direct
+    }
+
+    fn permutations(&self) -> &PermutationIndexes {
+        &self.data.permutations
+    }
+}
+
+/// Serializes a backend's full data to a snapshot file; returns the number
+/// of bytes written.
+pub(crate) fn save_snapshot(
+    backend: &dyn StorageBackend,
+    inference: bool,
+    path: &Path,
+) -> Result<u64, StoreError> {
+    let mut w = SnapshotWriter::new();
+    let meta: [u64; 3] = [
+        STORE_FORMAT_SUB_VERSION,
+        inference as u64,
+        backend.dataset().len() as u64,
+    ];
+    w.section(TAG_STORE_META, &meta);
+    backend.dataset().write_sections(&mut w);
+    backend.type_aware().write_sections(&mut w);
+    backend.direct().write_sections(&mut w);
+    backend.permutations().write_sections(&mut w);
+    Ok(w.write_to(path)?)
+}

@@ -4,6 +4,7 @@ use std::fmt;
 use turbohom_core::EngineError;
 use turbohom_rdf::RdfError;
 use turbohom_sparql::ParseError;
+use turbohom_storage::SnapshotError;
 use turbohom_transform::TransformError;
 
 /// Errors surfaced by the [`Store`](crate::Store) API.
@@ -17,6 +18,10 @@ pub enum StoreError {
     Transform(TransformError),
     /// The matching engine rejected the query.
     Engine(EngineError),
+    /// A snapshot file could not be written, read or validated. The inner
+    /// [`SnapshotError`] distinguishes bad magic, version mismatch,
+    /// truncation, checksum failure and structural corruption.
+    Snapshot(SnapshotError),
     /// A per-request thread override of `0` was supplied. `0` worker threads
     /// cannot execute anything; callers that want the store default should
     /// pass `None`, so this is rejected instead of silently clamped.
@@ -30,6 +35,7 @@ impl fmt::Display for StoreError {
             StoreError::Sparql(e) => write!(f, "SPARQL error: {e}"),
             StoreError::Transform(e) => write!(f, "transformation error: {e}"),
             StoreError::Engine(e) => write!(f, "engine error: {e}"),
+            StoreError::Snapshot(e) => write!(f, "snapshot error: {e}"),
             StoreError::InvalidThreadCount(n) => write!(
                 f,
                 "invalid thread count {n}: the override must be at least 1 (pass None for the store default)"
@@ -64,6 +70,12 @@ impl From<EngineError> for StoreError {
     }
 }
 
+impl From<SnapshotError> for StoreError {
+    fn from(e: SnapshotError) -> Self {
+        StoreError::Snapshot(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,5 +96,8 @@ mod tests {
         assert!(e.to_string().contains("engine"));
         let e = StoreError::InvalidThreadCount(0);
         assert!(e.to_string().contains("invalid thread count 0"));
+        let e: StoreError = SnapshotError::BadMagic.into();
+        assert!(e.to_string().contains("snapshot error"));
+        assert!(matches!(e, StoreError::Snapshot(SnapshotError::BadMagic)));
     }
 }

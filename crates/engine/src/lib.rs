@@ -8,11 +8,13 @@
 //! examples, the cross-engine correctness tests and the benchmark harness
 //! build on.
 
+pub mod backend;
 pub mod error;
 pub mod plan;
 pub mod results;
 pub mod store;
 
+pub use backend::{HeapBackend, SnapshotBackend, StorageBackend};
 pub use error::StoreError;
 pub use plan::QueryPlan;
 pub use results::{json_escape, QueryResults, ResultRow};
@@ -20,6 +22,10 @@ pub use store::{EngineKind, ParseEngineKindError, PreparedQuery, Store, StoreOpt
 // Re-exported so harnesses consuming `QueryResults::stats` (the benchmark
 // flight recorder, the service metrics) need no direct core dependency.
 pub use turbohom_core::MatchStats;
+// Re-exported so callers matching on `StoreError::Snapshot` (the server's
+// startup diagnostics, the corruption tests) need no direct storage
+// dependency.
+pub use turbohom_storage::SnapshotError;
 // Re-exported so callers of `execute_traced` / the `*_traced` plan methods
 // (the service, the benchmark recorder) need no direct trace dependency.
 pub use turbohom_trace::{format_trace_id, SpanId, SpanRecord, Trace, TraceReport};

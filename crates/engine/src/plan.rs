@@ -448,11 +448,11 @@ impl Store {
         parent: Option<SpanId>,
     ) -> Result<(Vec<ResultRow>, usize, MatchStats), StoreError> {
         let graph = if component.use_direct {
-            &self.direct
+            self.direct_graph()
         } else {
-            &self.type_aware
+            self.type_aware_graph()
         };
-        let engine = TurboHomEngine::new(graph, &self.dataset.dictionary, config);
+        let engine = TurboHomEngine::new(graph, &self.dataset().dictionary, config);
         let preset = component.cached_order.lock().clone();
         let (result, computed) = engine.execute_with_order_traced(
             &component.transformed,

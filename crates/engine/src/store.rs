@@ -1,21 +1,20 @@
 //! The [`Store`]: one RDF dataset plus every derived structure the engines
 //! need, and the uniform query entry point.
 
+use crate::backend::{self, HeapBackend, SnapshotBackend, StorageBackend};
 use crate::error::StoreError;
 use crate::plan::QueryPlan;
 use crate::results::{QueryResults, ResultRow};
 use std::fmt;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 use turbohom_baseline::{HashJoinEngine, JoinStrategy, MergeJoinEngine, PermutationIndexes};
 use turbohom_core::{MatchResult, TurboHomConfig};
-use turbohom_rdf::{parse_ntriples, Dataset, InferenceConfig, InferenceEngine, Term};
+use turbohom_rdf::{parse_ntriples, Dataset, Term};
 use turbohom_sparql::{parse_query, GroupPattern, Query, SparqlTerm};
 use turbohom_trace::{Trace, TraceReport};
-use turbohom_transform::{
-    direct_transform, transform_query, type_aware_transform, TransformError, TransformedGraph,
-    TransformedQuery,
-};
+use turbohom_transform::{transform_query, TransformError, TransformedGraph, TransformedQuery};
 
 /// Which execution engine to use for a query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -144,17 +143,27 @@ impl Default for StoreOptions {
     }
 }
 
-/// An in-memory RDF store with all engine-specific structures materialized.
+/// An RDF store with all engine-specific structures materialized.
 ///
-/// A `Store` is immutable after construction and `Send + Sync`: services
-/// share one behind an `Arc` across worker threads (see the
-/// `turbohom-service` crate).
+/// The data lives behind a [`StorageBackend`]: either owned heap memory
+/// (built from parsed triples) or zero-copy views into a memory-mapped
+/// snapshot file (see [`Store::from_snapshot`]). A `Store` is immutable
+/// after construction and `Send + Sync`: services share one behind an `Arc`
+/// across worker threads (see the `turbohom-service` crate).
 pub struct Store {
-    pub(crate) dataset: Dataset,
-    pub(crate) type_aware: TransformedGraph,
-    pub(crate) direct: TransformedGraph,
-    permutations: PermutationIndexes,
+    backend: Box<dyn StorageBackend>,
     options: StoreOptions,
+}
+
+impl fmt::Debug for Store {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Store")
+            .field("backend", &self.backend.name())
+            .field("snapshot_path", &self.backend.snapshot_path())
+            .field("triples", &self.triple_count())
+            .field("options", &self.options)
+            .finish()
+    }
 }
 
 impl Store {
@@ -164,18 +173,9 @@ impl Store {
     }
 
     /// Builds a store from an already encoded dataset.
-    pub fn from_dataset_with(mut dataset: Dataset, options: StoreOptions) -> Self {
-        if options.inference {
-            InferenceEngine::new(InferenceConfig::full()).materialize(&mut dataset);
-        }
-        let type_aware = type_aware_transform(&dataset);
-        let direct = direct_transform(&dataset);
-        let permutations = PermutationIndexes::build(&dataset);
+    pub fn from_dataset_with(dataset: Dataset, options: StoreOptions) -> Self {
         Store {
-            dataset,
-            type_aware,
-            direct,
-            permutations,
+            backend: Box::new(HeapBackend::from_dataset(dataset, options.inference)),
             options,
         }
     }
@@ -190,24 +190,76 @@ impl Store {
         Ok(Self::from_dataset_with(parse_ntriples(input)?, options))
     }
 
+    /// Opens a snapshot file written by [`save_snapshot`](Self::save_snapshot)
+    /// and serves every read path from zero-copy views into it (memory-mapped
+    /// where the platform allows, a buffered read otherwise). The inference
+    /// flag is recovered from the snapshot; the worker-thread count is a
+    /// runtime option and defaults to 1.
+    pub fn from_snapshot(path: &Path) -> Result<Self, StoreError> {
+        Self::from_snapshot_with(path, 1)
+    }
+
+    /// Like [`from_snapshot`](Self::from_snapshot) with an explicit
+    /// worker-thread count.
+    pub fn from_snapshot_with(path: &Path, threads: usize) -> Result<Self, StoreError> {
+        if threads == 0 {
+            return Err(StoreError::InvalidThreadCount(0));
+        }
+        let backend = SnapshotBackend::open(path)?;
+        let options = backend.options(threads);
+        Ok(Store {
+            backend: Box::new(backend),
+            options,
+        })
+    }
+
+    /// Writes the store's full contents (dictionary, triples, both
+    /// transformed graphs with their indexes, the six permutation indexes)
+    /// to a versioned, checksummed snapshot file that
+    /// [`from_snapshot`](Self::from_snapshot) reads back without copying.
+    /// Returns the number of bytes written.
+    pub fn save_snapshot(&self, path: &Path) -> Result<u64, StoreError> {
+        backend::save_snapshot(self.backend.as_ref(), self.options.inference, path)
+    }
+
+    /// The backend serving this store (`"heap"` or `"snapshot"`).
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// The snapshot file backing this store, if any.
+    pub fn snapshot_path(&self) -> Option<&Path> {
+        self.backend.snapshot_path()
+    }
+
+    /// `true` when the store reads from a memory-mapped snapshot.
+    pub fn is_mapped(&self) -> bool {
+        self.backend.is_mapped()
+    }
+
     /// The underlying dataset.
     pub fn dataset(&self) -> &Dataset {
-        &self.dataset
+        self.backend.dataset()
     }
 
     /// Number of triples loaded (after inference, if enabled).
     pub fn triple_count(&self) -> usize {
-        self.dataset.len()
+        self.backend.dataset().len()
     }
 
     /// The type-aware transformed graph (Section 4.1).
     pub fn type_aware_graph(&self) -> &TransformedGraph {
-        &self.type_aware
+        self.backend.type_aware()
     }
 
     /// The direct transformed graph (Section 3.2).
     pub fn direct_graph(&self) -> &TransformedGraph {
-        &self.direct
+        self.backend.direct()
+    }
+
+    /// The six permutation indexes (the join baselines' storage).
+    pub(crate) fn permutations(&self) -> &PermutationIndexes {
+        self.backend.permutations()
     }
 
     /// The construction options.
@@ -294,18 +346,19 @@ impl Store {
         branch: &GroupPattern,
         use_direct: bool,
     ) -> Result<(&TransformedGraph, TransformedQuery), StoreError> {
+        let dictionary = &self.dataset().dictionary;
         if use_direct {
-            let tq = transform_query(branch, &self.direct, &self.dataset.dictionary)?;
-            return Ok((&self.direct, tq));
+            let tq = transform_query(branch, self.direct_graph(), dictionary)?;
+            return Ok((self.direct_graph(), tq));
         }
-        match transform_query(branch, &self.type_aware, &self.dataset.dictionary) {
-            Ok(tq) => Ok((&self.type_aware, tq)),
+        match transform_query(branch, self.type_aware_graph(), dictionary) {
+            Ok(tq) => Ok((self.type_aware_graph(), tq)),
             Err(
                 TransformError::VariableTypeUnsupported
                 | TransformError::VariableSubclassUnsupported,
             ) => {
-                let tq = transform_query(branch, &self.direct, &self.dataset.dictionary)?;
-                Ok((&self.direct, tq))
+                let tq = transform_query(branch, self.direct_graph(), dictionary)?;
+                Ok((self.direct_graph(), tq))
             }
             Err(e) => Err(e.into()),
         }
@@ -349,10 +402,10 @@ impl Store {
                 .map(|slot| match slot {
                     Slot::Vertex(u) => solution.vertices[*u]
                         .and_then(|v| graph.mappings.term_of_vertex(v))
-                        .and_then(|tid| self.dataset.dictionary.term(tid).cloned()),
+                        .and_then(|tid| self.dataset().dictionary.term(tid)),
                     Slot::Edge(e) => solution.edge_labels[*e]
                         .and_then(|el| graph.mappings.term_of_elabel(el))
-                        .and_then(|tid| self.dataset.dictionary.term(tid).cloned()),
+                        .and_then(|tid| self.dataset().dictionary.term(tid)),
                     Slot::Absent => None,
                 })
                 .collect();
@@ -364,8 +417,8 @@ impl Store {
         let projected = query.projected_variables();
         let start = Instant::now();
         let engine = match strategy {
-            JoinStrategy::SortMerge => MergeJoinEngine::new(&self.dataset, &self.permutations),
-            JoinStrategy::Hash => HashJoinEngine::new(&self.dataset, &self.permutations),
+            JoinStrategy::SortMerge => MergeJoinEngine::new(self.dataset(), self.permutations()),
+            JoinStrategy::Hash => HashJoinEngine::new(self.dataset(), self.permutations()),
         };
         let (relation, _stats) = engine.execute(query);
         let columns: Vec<Option<usize>> = projected.iter().map(|v| relation.column(v)).collect();
@@ -377,7 +430,7 @@ impl Store {
                     .iter()
                     .map(|col| {
                         col.and_then(|i| row[i])
-                            .and_then(|tid| self.dataset.dictionary.term(tid).cloned())
+                            .and_then(|tid| self.dataset().dictionary.term(tid))
                     })
                     .collect()
             })

@@ -1,0 +1,197 @@
+//! Snapshot backend equivalence and corruption hardening.
+//!
+//! The snapshot backend must be indistinguishable from the heap backend for
+//! every query on every engine, and opening a mangled snapshot must fail
+//! with a typed error — never a panic.
+
+use std::path::PathBuf;
+use turbohom_engine::{EngineKind, SnapshotError, Store, StoreError, StoreOptions};
+
+fn ub(l: &str) -> String {
+    format!("http://ub.org/{l}")
+}
+
+fn sample_store() -> Store {
+    let mut ds = turbohom_rdf::Dataset::new();
+    ds.insert_iris(
+        &ub("GraduateStudent"),
+        turbohom_rdf::vocab::RDFS_SUBCLASSOF,
+        &ub("Student"),
+    );
+    for i in 0..4 {
+        let s = ub(&format!("student{i}"));
+        ds.insert_iris(&s, turbohom_rdf::vocab::RDF_TYPE, &ub("GraduateStudent"));
+        ds.insert_iris(&s, &ub("memberOf"), &ub("dept0"));
+        ds.insert(
+            &turbohom_rdf::Term::iri(&s),
+            &turbohom_rdf::Term::iri(ub("age")),
+            &turbohom_rdf::Term::typed_literal(
+                format!("{}", 20 + i),
+                "http://www.w3.org/2001/XMLSchema#integer",
+            ),
+        );
+    }
+    ds.insert_iris(
+        &ub("dept0"),
+        turbohom_rdf::vocab::RDF_TYPE,
+        &ub("Department"),
+    );
+    ds.insert_iris(&ub("dept0"), &ub("subOrganizationOf"), &ub("univ0"));
+    ds.insert_iris(
+        &ub("univ0"),
+        turbohom_rdf::vocab::RDF_TYPE,
+        &ub("University"),
+    );
+    Store::from_dataset_with(
+        ds,
+        StoreOptions {
+            inference: true,
+            threads: 1,
+        },
+    )
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("turbohom-engine-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+const QUERIES: &[&str] = &[
+    r#"PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+       PREFIX ub: <http://ub.org/>
+       SELECT ?x ?d WHERE { ?x rdf:type ub:Student . ?x ub:memberOf ?d . }"#,
+    r#"PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+       PREFIX ub: <http://ub.org/>
+       SELECT ?x ?y ?z WHERE {
+         ?x rdf:type ub:Student . ?y rdf:type ub:University . ?z rdf:type ub:Department .
+         ?x ub:memberOf ?z . ?z ub:subOrganizationOf ?y . }"#,
+    "SELECT ?p ?o WHERE { <http://ub.org/student0> ?p ?o . }",
+    r#"PREFIX ub: <http://ub.org/>
+       SELECT ?x ?a WHERE { ?x ub:age ?a . FILTER(?a > 21) }"#,
+    r#"PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+       PREFIX ub: <http://ub.org/>
+       SELECT ?x ?u WHERE {
+         { ?x rdf:type ub:Department . } UNION { ?x rdf:type ub:University . }
+         OPTIONAL { ?x ub:subOrganizationOf ?u . }
+       }"#,
+];
+
+#[test]
+fn snapshot_backend_is_byte_identical_to_heap_on_every_engine() {
+    let heap = sample_store();
+    let path = temp_path("equivalence.snap");
+    let bytes = heap.save_snapshot(&path).unwrap();
+    assert!(bytes > 64);
+
+    let snap = Store::from_snapshot(&path).unwrap();
+    assert_eq!(snap.backend_name(), "snapshot");
+    assert_eq!(snap.snapshot_path(), Some(path.as_path()));
+    assert_eq!(heap.backend_name(), "heap");
+    assert_eq!(heap.snapshot_path(), None);
+    assert_eq!(snap.triple_count(), heap.triple_count());
+    assert!(snap.options().inference);
+
+    for q in QUERIES {
+        for kind in EngineKind::all() {
+            let a = heap.execute(q, kind).unwrap();
+            let b = snap.execute(q, kind).unwrap();
+            assert_eq!(
+                a.to_sparql_json(),
+                b.to_sparql_json(),
+                "engine {kind} disagrees on {q}"
+            );
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn saving_from_a_snapshot_store_round_trips_again() {
+    let heap = sample_store();
+    let p1 = temp_path("resave1.snap");
+    let p2 = temp_path("resave2.snap");
+    heap.save_snapshot(&p1).unwrap();
+    let snap = Store::from_snapshot(&p1).unwrap();
+    // A snapshot-backed store can itself be saved; the files are identical.
+    snap.save_snapshot(&p2).unwrap();
+    assert_eq!(std::fs::read(&p1).unwrap(), std::fs::read(&p2).unwrap());
+    std::fs::remove_file(&p1).ok();
+    std::fs::remove_file(&p2).ok();
+}
+
+#[test]
+fn bad_magic_is_a_typed_error() {
+    let path = temp_path("badmagic.snap");
+    sample_store().save_snapshot(&path).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[0] = b'X';
+    std::fs::write(&path, &bytes).unwrap();
+    let err = Store::from_snapshot(&path).unwrap_err();
+    assert!(matches!(err, StoreError::Snapshot(SnapshotError::BadMagic)));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn version_mismatch_is_a_typed_error() {
+    let path = temp_path("badversion.snap");
+    sample_store().save_snapshot(&path).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[8] = 0xFE; // version field at offset 8
+    std::fs::write(&path, &bytes).unwrap();
+    let err = Store::from_snapshot(&path).unwrap_err();
+    assert!(matches!(
+        err,
+        StoreError::Snapshot(SnapshotError::VersionMismatch { .. })
+    ));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn truncated_snapshot_is_a_typed_error() {
+    let path = temp_path("truncated.snap");
+    sample_store().save_snapshot(&path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    for keep in [0usize, 7, 63, 64, bytes.len() / 2, bytes.len() - 1] {
+        std::fs::write(&path, &bytes[..keep]).unwrap();
+        let err = Store::from_snapshot(&path).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreError::Snapshot(SnapshotError::Truncated(_))
+                    | StoreError::Snapshot(SnapshotError::Malformed(_))
+            ),
+            "keep={keep} gave {err:?}"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn corrupted_payload_is_a_typed_error() {
+    let path = temp_path("corrupt.snap");
+    sample_store().save_snapshot(&path).unwrap();
+    let original = std::fs::read(&path).unwrap();
+    // Flip a byte in the middle of the payload and near its end.
+    for pos in [original.len() / 2, original.len() * 3 / 4] {
+        let mut bytes = original.clone();
+        bytes[pos] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = Store::from_snapshot(&path).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreError::Snapshot(SnapshotError::ChecksumMismatch(_))
+                    | StoreError::Snapshot(SnapshotError::Malformed(_))
+            ),
+            "pos={pos} gave {err:?}"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn missing_file_is_an_io_error() {
+    let err = Store::from_snapshot(&temp_path("does-not-exist.snap")).unwrap_err();
+    assert!(matches!(err, StoreError::Snapshot(SnapshotError::Io(_))));
+}

@@ -126,11 +126,11 @@ impl LabeledGraphBuilder {
             num_edges: self.edges.len(),
             num_vlabels,
             num_elabels,
-            label_offsets,
-            labels,
+            label_offsets: label_offsets.into(),
+            labels: labels.into(),
             outgoing,
             incoming,
-            degree_order,
+            degree_order: degree_order.into(),
         }
     }
 }
@@ -226,11 +226,7 @@ fn build_direction(
                     k += 1;
                 }
                 type_groups.push(TypeGroup {
-                    vlabel: if key == 0 {
-                        None
-                    } else {
-                        Some(VLabel(key - 1))
-                    },
+                    vlabel_key: key,
                     start,
                     end: typed_targets.len() as u32,
                 });
@@ -250,12 +246,12 @@ fn build_direction(
     }
 
     AdjacencyDirection {
-        vertex_offsets,
-        elabel_groups,
-        type_groups,
-        targets,
-        typed_targets,
-        degrees,
+        vertex_offsets: vertex_offsets.into(),
+        elabel_groups: elabel_groups.into(),
+        type_groups: type_groups.into(),
+        targets: targets.into(),
+        typed_targets: typed_targets.into(),
+        degrees: degrees.into(),
     }
 }
 

@@ -8,10 +8,15 @@
 //! time.
 
 use std::fmt;
+use turbohom_storage::Pod;
 
 /// A data-graph vertex id (dense, 0-based).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct VertexId(pub u32);
+
+// Safety: repr(transparent) over u32 — no padding, no niches.
+unsafe impl Pod for VertexId {}
 
 impl VertexId {
     /// Returns the id as a `usize` index.
@@ -30,7 +35,11 @@ impl fmt::Display for VertexId {
 /// A vertex label id (dense, 0-based). Under the type-aware transformation
 /// a vertex label corresponds to an RDF class (e.g. `GraduateStudent`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct VLabel(pub u32);
+
+// Safety: repr(transparent) over u32 — no padding, no niches.
+unsafe impl Pod for VLabel {}
 
 impl VLabel {
     /// Returns the id as a `usize` index.
@@ -48,7 +57,11 @@ impl fmt::Display for VLabel {
 
 /// An edge label id (dense, 0-based). Corresponds to an RDF predicate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct ELabel(pub u32);
+
+// Safety: repr(transparent) over u32 — no padding, no niches.
+unsafe impl Pod for ELabel {}
 
 impl ELabel {
     /// Returns the id as a `usize` index.

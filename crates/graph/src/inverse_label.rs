@@ -9,13 +9,19 @@
 use crate::ids::{VLabel, VertexId};
 use crate::labeled_graph::LabeledGraph;
 use crate::ops;
+use turbohom_storage::{FlatCsr, FlatVec, SectionCursor, SnapshotError, SnapshotWriter};
+
+/// Snapshot section tags (component 0x05).
+const TAG_INV_OFFSETS: u64 = 0x0501;
+const TAG_INV_VERTICES: u64 = 0x0502;
+const TAG_INV_UNLABELED: u64 = 0x0503;
 
 /// Vertex label → sorted vertex list index.
 #[derive(Debug, Clone, Default)]
 pub struct InverseLabelIndex {
-    lists: Vec<Vec<VertexId>>,
+    lists: FlatCsr<VertexId>,
     /// Vertices with an empty label set (useful for diagnostics).
-    unlabeled: Vec<VertexId>,
+    unlabeled: FlatVec<VertexId>,
 }
 
 impl InverseLabelIndex {
@@ -36,16 +42,16 @@ impl InverseLabelIndex {
         // Vertices are visited in increasing id order, so the lists are
         // already sorted; assert in debug builds.
         debug_assert!(lists.iter().all(|l| ops::is_sorted_set(l)));
-        InverseLabelIndex { lists, unlabeled }
+        InverseLabelIndex {
+            lists: FlatCsr::from_rows(&lists),
+            unlabeled: unlabeled.into(),
+        }
     }
 
     /// The sorted vertices carrying `label` (empty slice if the label is
     /// out of range or unused).
     pub fn vertices_with_label(&self, label: VLabel) -> &[VertexId] {
-        self.lists
-            .get(label.index())
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+        self.lists.row(label.index())
     }
 
     /// `freq(g, {label})` — the number of vertices carrying `label`.
@@ -84,7 +90,26 @@ impl InverseLabelIndex {
 
     /// Number of distinct labels indexed.
     pub fn label_count(&self) -> usize {
-        self.lists.len()
+        self.lists.num_rows()
+    }
+
+    /// Serializes the index as snapshot sections.
+    pub fn write_sections(&self, w: &mut SnapshotWriter) {
+        w.section(TAG_INV_OFFSETS, self.lists.offsets());
+        w.section(TAG_INV_VERTICES, self.lists.data());
+        w.section(TAG_INV_UNLABELED, &self.unlabeled);
+    }
+
+    /// Reconstructs the index reading its arrays in place from a snapshot.
+    pub fn read_sections(cur: &mut SectionCursor<'_>) -> Result<Self, SnapshotError> {
+        let lists = FlatCsr::from_parts(
+            cur.next_section(TAG_INV_OFFSETS)?,
+            cur.next_section(TAG_INV_VERTICES)?,
+        )?;
+        Ok(InverseLabelIndex {
+            lists,
+            unlabeled: cur.next_section(TAG_INV_UNLABELED)?,
+        })
     }
 }
 

@@ -15,6 +15,16 @@
 //! per label in the *typed* groups but only once in the per-edge-label slice.
 
 use crate::ids::{Direction, ELabel, VLabel, VertexId};
+use turbohom_storage::{FlatVec, Pod, SectionCursor, SnapshotError, SnapshotWriter};
+
+/// Snapshot section tags (component 0x03). The two adjacency directions use
+/// distinct tag bases so a mis-ordered reader fails loudly.
+const TAG_GRAPH_META: u64 = 0x0301;
+const TAG_GRAPH_LABEL_OFFSETS: u64 = 0x0302;
+const TAG_GRAPH_LABELS: u64 = 0x0303;
+const TAG_GRAPH_DEGREE_ORDER: u64 = 0x0304;
+const TAG_DIR_OUTGOING: u64 = 0x0310;
+const TAG_DIR_INCOMING: u64 = 0x0320;
 
 /// A neighbor type: the pair (edge label, neighbor vertex label).
 ///
@@ -29,7 +39,8 @@ pub struct NeighborType {
 }
 
 /// Per-edge-label adjacency group of one vertex.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C)]
 pub(crate) struct ELabelGroup {
     pub(crate) elabel: ELabel,
     /// Range into `AdjacencyDirection::targets` (deduplicated neighbors).
@@ -40,13 +51,46 @@ pub(crate) struct ELabelGroup {
     pub(crate) type_end: u32,
 }
 
+// Safety: repr(C) of five u32 fields — no padding, no niches.
+unsafe impl Pod for ELabelGroup {}
+
 /// Per-(edge label, neighbor vertex label) adjacency group of one vertex.
-#[derive(Debug, Clone, Copy)]
+///
+/// The neighbor label is stored as a raw key — `0` for the paper's `_` group
+/// (no label) and `l + 1` for `VLabel(l)` — so the struct is Pod and the key
+/// order matches the `Option<VLabel>` order (`None < Some`) the binary
+/// searches rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C)]
 pub(crate) struct TypeGroup {
-    pub(crate) vlabel: Option<VLabel>,
+    pub(crate) vlabel_key: u32,
     /// Range into `AdjacencyDirection::typed_targets`.
     pub(crate) start: u32,
     pub(crate) end: u32,
+}
+
+// Safety: repr(C) of three u32 fields — no padding, no niches.
+unsafe impl Pod for TypeGroup {}
+
+impl TypeGroup {
+    /// Encodes an optional neighbor label as the stored key.
+    #[inline]
+    pub(crate) fn key_of(vl: Option<VLabel>) -> u32 {
+        match vl {
+            None => 0,
+            Some(l) => l.0 + 1,
+        }
+    }
+
+    /// Decodes the stored key back into an optional neighbor label.
+    #[inline]
+    pub(crate) fn vlabel(&self) -> Option<VLabel> {
+        if self.vlabel_key == 0 {
+            None
+        } else {
+            Some(VLabel(self.vlabel_key - 1))
+        }
+    }
 }
 
 /// Adjacency structure of one direction (outgoing or incoming).
@@ -54,17 +98,17 @@ pub(crate) struct TypeGroup {
 pub(crate) struct AdjacencyDirection {
     /// `vertex_offsets[v] .. vertex_offsets[v+1]` is the range of
     /// `elabel_groups` belonging to vertex `v`.
-    pub(crate) vertex_offsets: Vec<u32>,
-    pub(crate) elabel_groups: Vec<ELabelGroup>,
-    pub(crate) type_groups: Vec<TypeGroup>,
+    pub(crate) vertex_offsets: FlatVec<u32>,
+    pub(crate) elabel_groups: FlatVec<ELabelGroup>,
+    pub(crate) type_groups: FlatVec<TypeGroup>,
     /// Neighbors per (vertex, edge label), sorted, duplicate free.
-    pub(crate) targets: Vec<VertexId>,
+    pub(crate) targets: FlatVec<VertexId>,
     /// Neighbors per (vertex, edge label, neighbor label), sorted. A neighbor
     /// with k labels appears in k type groups.
-    pub(crate) typed_targets: Vec<VertexId>,
+    pub(crate) typed_targets: FlatVec<VertexId>,
     /// Total number of edges incident in this direction per vertex
     /// (counting parallel edges with different labels separately).
-    pub(crate) degrees: Vec<u32>,
+    pub(crate) degrees: FlatVec<u32>,
 }
 
 impl AdjacencyDirection {
@@ -80,6 +124,71 @@ impl AdjacencyDirection {
             .binary_search_by_key(&el, |g| g.elabel)
             .ok()
             .map(|i| &groups[i])
+    }
+
+    /// Writes the six arrays of this direction under `base` tags.
+    fn write_sections(&self, w: &mut SnapshotWriter, base: u64) {
+        w.section(base, &self.vertex_offsets);
+        w.section(base + 1, &self.elabel_groups);
+        w.section(base + 2, &self.type_groups);
+        w.section(base + 3, &self.targets);
+        w.section(base + 4, &self.typed_targets);
+        w.section(base + 5, &self.degrees);
+    }
+
+    /// Reads one direction back and validates every stored range so the
+    /// accessors cannot index out of bounds on a corrupt file.
+    fn read_sections(
+        cur: &mut SectionCursor<'_>,
+        base: u64,
+        num_vertices: usize,
+    ) -> Result<Self, SnapshotError> {
+        let dir = AdjacencyDirection {
+            vertex_offsets: cur.next_section(base)?,
+            elabel_groups: cur.next_section(base + 1)?,
+            type_groups: cur.next_section(base + 2)?,
+            targets: cur.next_section(base + 3)?,
+            typed_targets: cur.next_section(base + 4)?,
+            degrees: cur.next_section(base + 5)?,
+        };
+        let malformed = |what: &str| SnapshotError::Malformed(format!("adjacency: {what}"));
+        if dir.vertex_offsets.len() != num_vertices + 1 || dir.degrees.len() != num_vertices {
+            return Err(malformed("per-vertex array length mismatch"));
+        }
+        let num_groups = dir.elabel_groups.len() as u32;
+        if dir.vertex_offsets.first() != Some(&0)
+            || dir.vertex_offsets.windows(2).any(|w| w[0] > w[1])
+            || dir.vertex_offsets.last().copied().unwrap_or(0) != num_groups
+        {
+            return Err(malformed("vertex offsets are not monotone"));
+        }
+        let num_targets = dir.targets.len() as u32;
+        let num_type_groups = dir.type_groups.len() as u32;
+        for g in dir.elabel_groups.iter() {
+            if g.target_start > g.target_end
+                || g.target_end > num_targets
+                || g.type_start > g.type_end
+                || g.type_end > num_type_groups
+            {
+                return Err(malformed("edge-label group range out of bounds"));
+            }
+        }
+        let num_typed = dir.typed_targets.len() as u32;
+        for tg in dir.type_groups.iter() {
+            if tg.start > tg.end || tg.end > num_typed {
+                return Err(malformed("type group range out of bounds"));
+            }
+        }
+        let num_v = num_vertices as u32;
+        if dir
+            .targets
+            .iter()
+            .chain(dir.typed_targets.iter())
+            .any(|t| t.0 >= num_v)
+        {
+            return Err(malformed("neighbor id out of range"));
+        }
+        Ok(dir)
     }
 }
 
@@ -106,12 +215,12 @@ pub struct LabeledGraph {
     pub(crate) num_vlabels: usize,
     pub(crate) num_elabels: usize,
     /// CSR of vertex label sets (sorted per vertex).
-    pub(crate) label_offsets: Vec<u32>,
-    pub(crate) labels: Vec<VLabel>,
+    pub(crate) label_offsets: FlatVec<u32>,
+    pub(crate) labels: FlatVec<VLabel>,
     pub(crate) outgoing: AdjacencyDirection,
     pub(crate) incoming: AdjacencyDirection,
     /// All vertices sorted by descending total degree (ties by ascending id).
-    pub(crate) degree_order: Vec<VertexId>,
+    pub(crate) degree_order: FlatVec<VertexId>,
 }
 
 impl LabeledGraph {
@@ -218,7 +327,7 @@ impl LabeledGraph {
                 .iter()
                 .map(move |tg| NeighborType {
                     edge_label: g.elabel,
-                    vertex_label: tg.vlabel,
+                    vertex_label: tg.vlabel(),
                 })
         })
     }
@@ -247,7 +356,7 @@ impl LabeledGraph {
         match d.find_elabel_group(v, el) {
             Some(g) => {
                 let tgs = &d.type_groups[g.type_start as usize..g.type_end as usize];
-                match tgs.binary_search_by(|tg| tg.vlabel.cmp(&Some(vl))) {
+                match tgs.binary_search_by_key(&TypeGroup::key_of(Some(vl)), |tg| tg.vlabel_key) {
                     Ok(i) => {
                         let tg = &tgs[i];
                         &d.typed_targets[tg.start as usize..tg.end as usize]
@@ -271,7 +380,7 @@ impl LabeledGraph {
         match d.find_elabel_group(v, el) {
             Some(g) => {
                 let tgs = &d.type_groups[g.type_start as usize..g.type_end as usize];
-                match tgs.binary_search_by(|tg| tg.vlabel.cmp(&None)) {
+                match tgs.binary_search_by_key(&TypeGroup::key_of(None), |tg| tg.vlabel_key) {
                     Ok(i) => {
                         let tg = &tgs[i];
                         &d.typed_targets[tg.start as usize..tg.end as usize]
@@ -309,7 +418,9 @@ impl LabeledGraph {
         let mut slices: Vec<&[VertexId]> = Vec::new();
         for g in d.elabel_groups_of(v) {
             let tgs = &d.type_groups[g.type_start as usize..g.type_end as usize];
-            if let Ok(i) = tgs.binary_search_by(|tg| tg.vlabel.cmp(&Some(vl))) {
+            if let Ok(i) =
+                tgs.binary_search_by_key(&TypeGroup::key_of(Some(vl)), |tg| tg.vlabel_key)
+            {
                 let tg = &tgs[i];
                 slices.push(&d.typed_targets[tg.start as usize..tg.end as usize]);
             }
@@ -348,6 +459,65 @@ impl LabeledGraph {
             })
             .map(|g| g.elabel)
             .collect()
+    }
+
+    /// Serializes the graph as snapshot sections: a meta array, the vertex
+    /// label CSR, both adjacency directions and the degree order.
+    pub fn write_sections(&self, w: &mut SnapshotWriter) {
+        let meta: [u64; 4] = [
+            self.num_vertices as u64,
+            self.num_edges as u64,
+            self.num_vlabels as u64,
+            self.num_elabels as u64,
+        ];
+        w.section(TAG_GRAPH_META, &meta);
+        w.section(TAG_GRAPH_LABEL_OFFSETS, &self.label_offsets);
+        w.section(TAG_GRAPH_LABELS, &self.labels);
+        self.outgoing.write_sections(w, TAG_DIR_OUTGOING);
+        self.incoming.write_sections(w, TAG_DIR_INCOMING);
+        w.section(TAG_GRAPH_DEGREE_ORDER, &self.degree_order);
+    }
+
+    /// Reconstructs a graph reading all arrays in place from a snapshot,
+    /// validating the CSR invariants so accessors cannot panic.
+    pub fn read_sections(cur: &mut SectionCursor<'_>) -> Result<Self, SnapshotError> {
+        let meta: FlatVec<u64> = cur.next_section(TAG_GRAPH_META)?;
+        if meta.len() != 4 {
+            return Err(SnapshotError::Malformed("graph meta section length".into()));
+        }
+        let num_vertices = meta[0] as usize;
+        let label_offsets: FlatVec<u32> = cur.next_section(TAG_GRAPH_LABEL_OFFSETS)?;
+        let labels: FlatVec<VLabel> = cur.next_section(TAG_GRAPH_LABELS)?;
+        if label_offsets.len() != num_vertices + 1
+            || label_offsets.first() != Some(&0)
+            || label_offsets.windows(2).any(|w| w[0] > w[1])
+            || label_offsets.last().copied().unwrap_or(0) as usize != labels.len()
+        {
+            return Err(SnapshotError::Malformed(
+                "graph label offsets are not monotone".into(),
+            ));
+        }
+        let outgoing = AdjacencyDirection::read_sections(cur, TAG_DIR_OUTGOING, num_vertices)?;
+        let incoming = AdjacencyDirection::read_sections(cur, TAG_DIR_INCOMING, num_vertices)?;
+        let degree_order: FlatVec<VertexId> = cur.next_section(TAG_GRAPH_DEGREE_ORDER)?;
+        if degree_order.len() != num_vertices
+            || degree_order.iter().any(|v| v.index() >= num_vertices)
+        {
+            return Err(SnapshotError::Malformed(
+                "graph degree order is not a vertex permutation".into(),
+            ));
+        }
+        Ok(LabeledGraph {
+            num_vertices,
+            num_edges: meta[1] as usize,
+            num_vlabels: meta[2] as usize,
+            num_elabels: meta[3] as usize,
+            label_offsets,
+            labels,
+            outgoing,
+            incoming,
+            degree_order,
+        })
     }
 }
 
@@ -589,6 +759,65 @@ mod tests {
         // v2 (deg 2) stay in id order.
         let pos = |v: VertexId| order.iter().position(|&x| x == v).unwrap();
         assert!(pos(VertexId(1)) < pos(VertexId(2)));
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_every_access_path() {
+        let g = figure7_graph();
+        let mut w = turbohom_storage::SnapshotWriter::new();
+        g.write_sections(&mut w);
+        let idx = crate::predicate_index::PredicateIndex::build(&g);
+        idx.write_sections(&mut w);
+        let inv = crate::inverse_label::InverseLabelIndex::build(&g);
+        inv.write_sections(&mut w);
+        let path = std::env::temp_dir().join(format!("turbohom-graph-{}.snap", std::process::id()));
+        w.write_to(&path).unwrap();
+        let snap = turbohom_storage::Snapshot::open(&path).unwrap();
+        let mut cur = snap.cursor();
+        let l = LabeledGraph::read_sections(&mut cur).unwrap();
+        let lidx = crate::predicate_index::PredicateIndex::read_sections(&mut cur).unwrap();
+        let linv = crate::inverse_label::InverseLabelIndex::read_sections(&mut cur).unwrap();
+        std::fs::remove_file(&path).unwrap();
+
+        assert_eq!(l.stats(), g.stats());
+        for v in g.vertices() {
+            assert_eq!(l.labels(v), g.labels(v));
+            assert_eq!(l.total_degree(v), g.total_degree(v));
+            for dir in [Direction::Outgoing, Direction::Incoming] {
+                let types: Vec<NeighborType> = g.neighbor_types(v, dir).collect();
+                let ltypes: Vec<NeighborType> = l.neighbor_types(v, dir).collect();
+                assert_eq!(types, ltypes);
+                for t in types {
+                    assert_eq!(
+                        l.neighbors(v, dir, t.edge_label),
+                        g.neighbors(v, dir, t.edge_label)
+                    );
+                    match t.vertex_label {
+                        Some(vl) => assert_eq!(
+                            l.neighbors_typed(v, dir, t.edge_label, vl),
+                            g.neighbors_typed(v, dir, t.edge_label, vl)
+                        ),
+                        None => assert_eq!(
+                            l.neighbors_unlabeled(v, dir, t.edge_label),
+                            g.neighbors_unlabeled(v, dir, t.edge_label)
+                        ),
+                    }
+                }
+            }
+        }
+        assert_eq!(l.vertices_by_degree_desc(), g.vertices_by_degree_desc());
+        for el in 0..g.edge_label_count() as u32 {
+            assert_eq!(lidx.subjects(ELabel(el)), idx.subjects(ELabel(el)));
+            assert_eq!(lidx.objects(ELabel(el)), idx.objects(ELabel(el)));
+            assert_eq!(lidx.edge_count(ELabel(el)), idx.edge_count(ELabel(el)));
+        }
+        for vl in 0..g.vertex_label_count() as u32 {
+            assert_eq!(
+                linv.vertices_with_label(VLabel(vl)),
+                inv.vertices_with_label(VLabel(vl))
+            );
+        }
+        assert_eq!(linv.unlabeled_vertices(), inv.unlabeled_vertices());
     }
 
     #[test]

@@ -10,14 +10,22 @@
 use crate::ids::{Direction, ELabel, VertexId};
 use crate::labeled_graph::LabeledGraph;
 use crate::ops;
+use turbohom_storage::{FlatCsr, FlatVec, SectionCursor, SnapshotError, SnapshotWriter};
+
+/// Snapshot section tags (component 0x04).
+const TAG_PRED_SUBJECT_OFFSETS: u64 = 0x0401;
+const TAG_PRED_SUBJECTS: u64 = 0x0402;
+const TAG_PRED_OBJECT_OFFSETS: u64 = 0x0403;
+const TAG_PRED_OBJECTS: u64 = 0x0404;
+const TAG_PRED_EDGE_COUNTS: u64 = 0x0405;
 
 /// Edge label → (sorted distinct subjects, sorted distinct objects).
 #[derive(Debug, Clone, Default)]
 pub struct PredicateIndex {
-    subjects: Vec<Vec<VertexId>>,
-    objects: Vec<Vec<VertexId>>,
+    subjects: FlatCsr<VertexId>,
+    objects: FlatCsr<VertexId>,
     /// Number of edges per predicate (with duplicates across subjects).
-    edge_counts: Vec<usize>,
+    edge_counts: FlatVec<u64>,
 }
 
 impl PredicateIndex {
@@ -26,13 +34,13 @@ impl PredicateIndex {
         let k = graph.edge_label_count();
         let mut subjects: Vec<Vec<VertexId>> = vec![Vec::new(); k];
         let mut objects: Vec<Vec<VertexId>> = vec![Vec::new(); k];
-        let mut edge_counts = vec![0usize; k];
+        let mut edge_counts = vec![0u64; k];
         for v in graph.vertices() {
             for el in graph.incident_edge_labels(v, Direction::Outgoing) {
                 let ns = graph.neighbors(v, Direction::Outgoing, el);
                 if !ns.is_empty() {
                     subjects[el.index()].push(v);
-                    edge_counts[el.index()] += ns.len();
+                    edge_counts[el.index()] += ns.len() as u64;
                     objects[el.index()].extend_from_slice(ns);
                 }
             }
@@ -42,26 +50,20 @@ impl PredicateIndex {
         }
         debug_assert!(subjects.iter().all(|l| ops::is_sorted_set(l)));
         PredicateIndex {
-            subjects,
-            objects,
-            edge_counts,
+            subjects: FlatCsr::from_rows(&subjects),
+            objects: FlatCsr::from_rows(&objects),
+            edge_counts: edge_counts.into(),
         }
     }
 
     /// Sorted distinct subjects of edges labeled `el`.
     pub fn subjects(&self, el: ELabel) -> &[VertexId] {
-        self.subjects
-            .get(el.index())
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+        self.subjects.row(el.index())
     }
 
     /// Sorted distinct objects of edges labeled `el`.
     pub fn objects(&self, el: ELabel) -> &[VertexId] {
-        self.objects
-            .get(el.index())
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+        self.objects.row(el.index())
     }
 
     /// Vertices that appear on the `direction` side of edges labeled `el`
@@ -75,12 +77,44 @@ impl PredicateIndex {
 
     /// Number of edges carrying label `el`.
     pub fn edge_count(&self, el: ELabel) -> usize {
-        self.edge_counts.get(el.index()).copied().unwrap_or(0)
+        self.edge_counts.get(el.index()).map_or(0, |&c| c as usize)
     }
 
     /// Number of predicates indexed.
     pub fn predicate_count(&self) -> usize {
-        self.subjects.len()
+        self.subjects.num_rows()
+    }
+
+    /// Serializes the index as snapshot sections.
+    pub fn write_sections(&self, w: &mut SnapshotWriter) {
+        w.section(TAG_PRED_SUBJECT_OFFSETS, self.subjects.offsets());
+        w.section(TAG_PRED_SUBJECTS, self.subjects.data());
+        w.section(TAG_PRED_OBJECT_OFFSETS, self.objects.offsets());
+        w.section(TAG_PRED_OBJECTS, self.objects.data());
+        w.section(TAG_PRED_EDGE_COUNTS, &self.edge_counts);
+    }
+
+    /// Reconstructs the index reading its arrays in place from a snapshot.
+    pub fn read_sections(cur: &mut SectionCursor<'_>) -> Result<Self, SnapshotError> {
+        let subjects = FlatCsr::from_parts(
+            cur.next_section(TAG_PRED_SUBJECT_OFFSETS)?,
+            cur.next_section(TAG_PRED_SUBJECTS)?,
+        )?;
+        let objects = FlatCsr::from_parts(
+            cur.next_section(TAG_PRED_OBJECT_OFFSETS)?,
+            cur.next_section(TAG_PRED_OBJECTS)?,
+        )?;
+        let edge_counts: FlatVec<u64> = cur.next_section(TAG_PRED_EDGE_COUNTS)?;
+        if subjects.num_rows() != objects.num_rows() || edge_counts.len() != subjects.num_rows() {
+            return Err(SnapshotError::Malformed(
+                "predicate index row counts disagree".into(),
+            ));
+        }
+        Ok(PredicateIndex {
+            subjects,
+            objects,
+            edge_counts,
+        })
     }
 }
 

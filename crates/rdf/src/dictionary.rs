@@ -6,10 +6,22 @@
 //! populated once at load time and query execution never touches strings.
 //! This also lets the benchmark harness exclude "dictionary look-up time"
 //! from elapsed times, as Section 7.1 of the paper prescribes.
+//!
+//! The dictionary has two physical representations behind one API:
+//!
+//! * **Owned** — a `HashMap` + `Vec<Term>` pair, used while loading and
+//!   encoding new terms.
+//! * **View** — three flat arrays read in place from a snapshot: a UTF-8
+//!   string arena, fixed-width [`TermRecord`]s pointing into it, and a
+//!   key-sorted id permutation for binary-search lookups. Nothing is copied
+//!   at load time; `encode` on a view transparently converts to owned first
+//!   (copy-on-write).
 
 use crate::error::RdfError;
 use crate::term::Term;
+use std::borrow::Cow;
 use std::collections::HashMap;
+use turbohom_storage::{FlatVec, Pod, SectionCursor, SnapshotError, SnapshotWriter};
 
 /// A dense identifier for a dictionary-encoded [`Term`].
 ///
@@ -17,7 +29,11 @@ use std::collections::HashMap;
 /// double as indices into side arrays (the labeled graph uses them to index
 /// vertex metadata directly).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct TermId(pub u64);
+
+// Safety: repr(transparent) over u64 — no padding, no niches.
+unsafe impl Pod for TermId {}
 
 impl TermId {
     /// Returns the id as a `usize` index.
@@ -33,14 +49,161 @@ impl std::fmt::Display for TermId {
     }
 }
 
+/// Snapshot section tags (component 0x01).
+const TAG_DICT_ARENA: u64 = 0x0101;
+const TAG_DICT_RECORDS: u64 = 0x0102;
+const TAG_DICT_SORTED: u64 = 0x0103;
+
+/// Term kind codes stored in [`TermRecord::kind`].
+const KIND_IRI: u32 = 0;
+const KIND_BLANK: u32 = 1;
+const KIND_PLAIN: u32 = 2;
+const KIND_TYPED: u32 = 3;
+const KIND_LANG: u32 = 4;
+/// Literal carrying both a datatype and a language tag (publicly
+/// constructible even though `validate` rejects it, so the snapshot must
+/// round-trip it); `extra` stores `datatype \0 language`.
+const KIND_TYPED_LANG: u32 = 5;
+
+/// Fixed-width description of one term: a kind code plus two `(offset, len)`
+/// ranges into the string arena (lexical form and the kind-dependent extra
+/// string — datatype IRI and/or language tag).
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TermRecord {
+    kind: u32,
+    reserved: u32,
+    lex_off: u64,
+    lex_len: u64,
+    extra_off: u64,
+    extra_len: u64,
+}
+
+// Safety: repr(C), all fields u32/u64 with no padding (4+4 then 8-aligned).
+unsafe impl Pod for TermRecord {}
+
+/// Decomposes a term into its snapshot key: `(kind, lexical, extra)`.
+fn term_key(term: &Term) -> (u32, &str, Cow<'_, str>) {
+    match term {
+        Term::Iri(s) => (KIND_IRI, s, Cow::Borrowed("")),
+        Term::BlankNode(s) => (KIND_BLANK, s, Cow::Borrowed("")),
+        Term::Literal {
+            lexical,
+            datatype,
+            language,
+        } => match (datatype, language) {
+            (None, None) => (KIND_PLAIN, lexical, Cow::Borrowed("")),
+            (Some(dt), None) => (KIND_TYPED, lexical, Cow::Borrowed(dt.as_str())),
+            (None, Some(l)) => (KIND_LANG, lexical, Cow::Borrowed(l.as_str())),
+            (Some(dt), Some(l)) => (KIND_TYPED_LANG, lexical, Cow::Owned(format!("{dt}\0{l}"))),
+        },
+    }
+}
+
+/// Rebuilds a term from its stored key parts.
+fn term_from_parts(kind: u32, lex: &[u8], extra: &[u8]) -> Term {
+    let lex = String::from_utf8_lossy(lex).into_owned();
+    let extra_str = String::from_utf8_lossy(extra);
+    match kind {
+        KIND_IRI => Term::Iri(lex),
+        KIND_BLANK => Term::BlankNode(lex),
+        KIND_PLAIN => Term::Literal {
+            lexical: lex,
+            datatype: None,
+            language: None,
+        },
+        KIND_TYPED => Term::Literal {
+            lexical: lex,
+            datatype: Some(extra_str.into_owned()),
+            language: None,
+        },
+        KIND_LANG => Term::Literal {
+            lexical: lex,
+            datatype: None,
+            language: Some(extra_str.into_owned()),
+        },
+        _ => {
+            let (dt, lang) = match extra_str.split_once('\0') {
+                Some((d, l)) => (d.to_owned(), l.to_owned()),
+                None => (extra_str.into_owned(), String::new()),
+            };
+            Term::Literal {
+                lexical: lex,
+                datatype: Some(dt),
+                language: Some(lang),
+            }
+        }
+    }
+}
+
+fn record_key<'a>(arena: &'a [u8], r: &TermRecord) -> (u32, &'a [u8], &'a [u8]) {
+    (
+        r.kind,
+        &arena[r.lex_off as usize..(r.lex_off + r.lex_len) as usize],
+        &arena[r.extra_off as usize..(r.extra_off + r.extra_len) as usize],
+    )
+}
+
+/// The zero-copy snapshot-backed representation.
+#[derive(Debug, Clone)]
+struct ViewRepr {
+    arena: FlatVec<u8>,
+    records: FlatVec<TermRecord>,
+    /// Term ids sorted by `(kind, lexical, extra)` for binary-search lookup.
+    sorted: FlatVec<u64>,
+}
+
+impl ViewRepr {
+    fn lookup_key(&self, kind: u32, lex: &[u8], extra: &[u8]) -> Option<TermId> {
+        let target = (kind, lex, extra);
+        self.sorted
+            .binary_search_by(|&id| {
+                record_key(&self.arena, &self.records[id as usize]).cmp(&target)
+            })
+            .ok()
+            .map(|pos| TermId(self.sorted[pos]))
+    }
+
+    fn lookup(&self, term: &Term) -> Option<TermId> {
+        let (kind, lex, extra) = term_key(term);
+        self.lookup_key(kind, lex.as_bytes(), extra.as_bytes())
+    }
+
+    fn term(&self, index: usize) -> Term {
+        let (kind, lex, extra) = record_key(&self.arena, &self.records[index]);
+        term_from_parts(kind, lex, extra)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Repr {
+    Owned {
+        term_to_id: HashMap<Term, TermId>,
+        id_to_term: Vec<Term>,
+    },
+    View(ViewRepr),
+}
+
 /// A bidirectional mapping between [`Term`]s and [`TermId`]s.
 ///
 /// Encoding is insert-or-get: encoding the same term twice yields the same
-/// id. Decoding is O(1) via a dense vector.
-#[derive(Debug, Default, Clone)]
+/// id. Decoding is O(1) via a dense array in both representations; `id_of`
+/// is O(1) on the owned representation and O(log n) (zero-copy binary
+/// search) on a snapshot view.
+#[derive(Debug, Clone)]
 pub struct Dictionary {
-    term_to_id: HashMap<Term, TermId>,
-    id_to_term: Vec<Term>,
+    repr: Repr,
+}
+
+impl Default for Dictionary {
+    fn default() -> Self {
+        Dictionary {
+            repr: Repr::Owned {
+                term_to_id: HashMap::new(),
+                id_to_term: Vec::new(),
+            },
+        }
+    }
 }
 
 impl Dictionary {
@@ -52,31 +215,74 @@ impl Dictionary {
     /// Creates an empty dictionary with capacity for `capacity` terms.
     pub fn with_capacity(capacity: usize) -> Self {
         Dictionary {
-            term_to_id: HashMap::with_capacity(capacity),
-            id_to_term: Vec::with_capacity(capacity),
+            repr: Repr::Owned {
+                term_to_id: HashMap::with_capacity(capacity),
+                id_to_term: Vec::with_capacity(capacity),
+            },
+        }
+    }
+
+    /// Returns `true` if this dictionary reads from a snapshot view (its
+    /// strings live in the snapshot's arena, not on the heap).
+    pub fn is_view(&self) -> bool {
+        matches!(self.repr, Repr::View(_))
+    }
+
+    /// Converts a view into the owned representation (copy-on-write step
+    /// before any mutation).
+    fn make_owned(&mut self) {
+        if let Repr::View(v) = &self.repr {
+            let n = v.records.len();
+            let mut id_to_term = Vec::with_capacity(n);
+            let mut term_to_id = HashMap::with_capacity(n);
+            for i in 0..n {
+                let t = v.term(i);
+                term_to_id.insert(t.clone(), TermId(i as u64));
+                id_to_term.push(t);
+            }
+            self.repr = Repr::Owned {
+                term_to_id,
+                id_to_term,
+            };
         }
     }
 
     /// Returns the id for `term`, inserting it if it is not yet present.
     pub fn encode(&mut self, term: &Term) -> TermId {
-        if let Some(&id) = self.term_to_id.get(term) {
+        self.make_owned();
+        let Repr::Owned {
+            term_to_id,
+            id_to_term,
+        } = &mut self.repr
+        else {
+            unreachable!("make_owned converted the representation");
+        };
+        if let Some(&id) = term_to_id.get(term) {
             return id;
         }
-        let id = TermId(self.id_to_term.len() as u64);
-        self.id_to_term.push(term.clone());
-        self.term_to_id.insert(term.clone(), id);
+        let id = TermId(id_to_term.len() as u64);
+        id_to_term.push(term.clone());
+        term_to_id.insert(term.clone(), id);
         id
     }
 
     /// Returns the id for `term`, inserting it if it is not yet present
     /// (by-value variant that avoids a clone when the term is newly inserted).
     pub fn encode_owned(&mut self, term: Term) -> TermId {
-        if let Some(&id) = self.term_to_id.get(&term) {
+        self.make_owned();
+        let Repr::Owned {
+            term_to_id,
+            id_to_term,
+        } = &mut self.repr
+        else {
+            unreachable!("make_owned converted the representation");
+        };
+        if let Some(&id) = term_to_id.get(&term) {
             return id;
         }
-        let id = TermId(self.id_to_term.len() as u64);
-        self.id_to_term.push(term.clone());
-        self.term_to_id.insert(term, id);
+        let id = TermId(id_to_term.len() as u64);
+        id_to_term.push(term.clone());
+        term_to_id.insert(term, id);
         id
     }
 
@@ -87,41 +293,53 @@ impl Dictionary {
 
     /// Returns the id of `term` if it has been encoded before.
     pub fn id_of(&self, term: &Term) -> Option<TermId> {
-        self.term_to_id.get(term).copied()
+        match &self.repr {
+            Repr::Owned { term_to_id, .. } => term_to_id.get(term).copied(),
+            Repr::View(v) => v.lookup(term),
+        }
     }
 
     /// Returns the id of the IRI `iri` if it has been encoded before.
     pub fn id_of_iri(&self, iri: &str) -> Option<TermId> {
-        // Avoid allocating a Term for the common lookup path.
-        self.term_to_id.get(&Term::Iri(iri.to_owned())).copied()
+        match &self.repr {
+            Repr::Owned { term_to_id, .. } => term_to_id.get(&Term::Iri(iri.to_owned())).copied(),
+            // Zero-allocation lookup straight against the arena bytes.
+            Repr::View(v) => v.lookup_key(KIND_IRI, iri.as_bytes(), b""),
+        }
     }
 
     /// Returns the term for `id`, if `id` is valid.
-    pub fn term(&self, id: TermId) -> Option<&Term> {
-        self.id_to_term.get(id.index())
+    pub fn term(&self, id: TermId) -> Option<Term> {
+        match &self.repr {
+            Repr::Owned { id_to_term, .. } => id_to_term.get(id.index()).cloned(),
+            Repr::View(v) => (id.index() < v.records.len()).then(|| v.term(id.index())),
+        }
     }
 
     /// Returns the term for `id` or an [`RdfError::UnknownTermId`].
-    pub fn term_checked(&self, id: TermId) -> Result<&Term, RdfError> {
+    pub fn term_checked(&self, id: TermId) -> Result<Term, RdfError> {
         self.term(id).ok_or(RdfError::UnknownTermId(id.0))
     }
 
     /// The number of distinct terms encoded.
     pub fn len(&self) -> usize {
-        self.id_to_term.len()
+        match &self.repr {
+            Repr::Owned { id_to_term, .. } => id_to_term.len(),
+            Repr::View(v) => v.records.len(),
+        }
     }
 
     /// Returns `true` if no terms have been encoded.
     pub fn is_empty(&self) -> bool {
-        self.id_to_term.is_empty()
+        self.len() == 0
     }
 
     /// Iterates over `(id, term)` pairs in id order.
-    pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
-        self.id_to_term
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (TermId(i as u64), t))
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, Term)> + '_ {
+        (0..self.len() as u64).map(move |i| {
+            let id = TermId(i);
+            (id, self.term(id).expect("ids below len are valid"))
+        })
     }
 
     /// Returns a human-readable rendering of `id` (falls back to the raw id
@@ -132,11 +350,85 @@ impl Dictionary {
             None => format!("{id}"),
         }
     }
+
+    /// Serializes the dictionary as snapshot sections (arena, records,
+    /// sorted permutation) — see `docs/STORAGE.md`.
+    pub fn write_sections(&self, w: &mut SnapshotWriter) {
+        let n = self.len();
+        let mut arena: Vec<u8> = Vec::new();
+        let mut records: Vec<TermRecord> = Vec::with_capacity(n);
+        for i in 0..n as u64 {
+            let term = self.term(TermId(i)).expect("ids below len are valid");
+            let (kind, lex, extra) = term_key(&term);
+            let lex_off = arena.len() as u64;
+            arena.extend_from_slice(lex.as_bytes());
+            let extra_off = arena.len() as u64;
+            arena.extend_from_slice(extra.as_bytes());
+            records.push(TermRecord {
+                kind,
+                reserved: 0,
+                lex_off,
+                lex_len: lex.len() as u64,
+                extra_off,
+                extra_len: extra.len() as u64,
+            });
+        }
+        let mut sorted: Vec<u64> = (0..n as u64).collect();
+        sorted.sort_unstable_by(|&a, &b| {
+            record_key(&arena, &records[a as usize]).cmp(&record_key(&arena, &records[b as usize]))
+        });
+        w.section(TAG_DICT_ARENA, &arena);
+        w.section(TAG_DICT_RECORDS, &records);
+        w.section(TAG_DICT_SORTED, &sorted);
+    }
+
+    /// Reconstructs a zero-copy dictionary view from its snapshot sections,
+    /// validating every record's arena ranges so later reads cannot panic.
+    pub fn read_sections(cur: &mut SectionCursor<'_>) -> Result<Self, SnapshotError> {
+        let arena: FlatVec<u8> = cur.next_section(TAG_DICT_ARENA)?;
+        let records: FlatVec<TermRecord> = cur.next_section(TAG_DICT_RECORDS)?;
+        let sorted: FlatVec<u64> = cur.next_section(TAG_DICT_SORTED)?;
+        if sorted.len() != records.len() {
+            return Err(SnapshotError::Malformed(
+                "dictionary sort permutation length mismatch".into(),
+            ));
+        }
+        let arena_len = arena.len() as u64;
+        for (i, r) in records.iter().enumerate() {
+            let lex_ok = r
+                .lex_off
+                .checked_add(r.lex_len)
+                .is_some_and(|end| end <= arena_len);
+            let extra_ok = r
+                .extra_off
+                .checked_add(r.extra_len)
+                .is_some_and(|end| end <= arena_len);
+            if !lex_ok || !extra_ok || r.kind > KIND_TYPED_LANG {
+                return Err(SnapshotError::Malformed(format!(
+                    "dictionary record {i} is out of bounds or has a bad kind"
+                )));
+            }
+        }
+        let n = records.len() as u64;
+        if sorted.iter().any(|&id| id >= n) {
+            return Err(SnapshotError::Malformed(
+                "dictionary sort permutation references an invalid id".into(),
+            ));
+        }
+        Ok(Dictionary {
+            repr: Repr::View(ViewRepr {
+                arena,
+                records,
+                sorted,
+            }),
+        })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use turbohom_storage::Snapshot;
 
     #[test]
     fn encode_is_idempotent() {
@@ -171,7 +463,7 @@ mod tests {
         ];
         let ids: Vec<TermId> = terms.iter().map(|t| d.encode(t)).collect();
         for (t, id) in terms.iter().zip(&ids) {
-            assert_eq!(d.term(*id), Some(t));
+            assert_eq!(d.term(*id).as_ref(), Some(t));
             assert_eq!(d.id_of(t), Some(*id));
         }
     }
@@ -215,5 +507,73 @@ mod tests {
         let id = d.encode_iri("http://ex.org/x");
         assert_eq!(d.id_of_iri("http://ex.org/x"), Some(id));
         assert_eq!(d.id_of_iri("http://ex.org/y"), None);
+    }
+
+    fn sample_terms() -> Vec<Term> {
+        vec![
+            Term::iri("http://ex.org/a"),
+            Term::iri("http://ex.org/b"),
+            Term::blank("b0"),
+            Term::literal("plain"),
+            Term::typed_literal("3", crate::vocab::XSD_INTEGER),
+            Term::lang_literal("chat", "fr"),
+            // Datatype + language together: rejected by validate() but
+            // publicly constructible, so the snapshot must round-trip it.
+            Term::Literal {
+                lexical: "both".to_owned(),
+                datatype: Some("http://ex.org/dt".to_owned()),
+                language: Some("en".to_owned()),
+            },
+            Term::literal(""),
+        ]
+    }
+
+    fn snapshot_view(d: &Dictionary, name: &str) -> Dictionary {
+        let mut w = SnapshotWriter::new();
+        d.write_sections(&mut w);
+        let path =
+            std::env::temp_dir().join(format!("turbohom-dict-{}-{name}.snap", std::process::id()));
+        w.write_to(&path).unwrap();
+        let snap = Snapshot::open(&path).unwrap();
+        let view = Dictionary::read_sections(&mut snap.cursor()).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        // The file is unlinked but the mapping stays valid until dropped.
+        view
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_ids_and_lookups() {
+        let mut d = Dictionary::new();
+        let terms = sample_terms();
+        let ids: Vec<TermId> = terms.iter().map(|t| d.encode(t)).collect();
+        let view = snapshot_view(&d, "roundtrip");
+        assert!(view.is_view());
+        assert_eq!(view.len(), d.len());
+        for (t, id) in terms.iter().zip(&ids) {
+            assert_eq!(view.term(*id).as_ref(), Some(t), "term {t}");
+            assert_eq!(view.id_of(t), Some(*id), "id_of {t}");
+        }
+        assert_eq!(view.id_of_iri("http://ex.org/a"), Some(ids[0]));
+        assert_eq!(view.id_of_iri("http://ex.org/zzz"), None);
+        assert!(view.id_of(&Term::literal("missing")).is_none());
+        assert!(view.term(TermId(terms.len() as u64)).is_none());
+        let collected: Vec<Term> = view.iter().map(|(_, t)| t).collect();
+        assert_eq!(collected, terms);
+    }
+
+    #[test]
+    fn encode_on_a_view_copies_on_write() {
+        let mut d = Dictionary::new();
+        for t in sample_terms() {
+            d.encode_owned(t);
+        }
+        let mut view = snapshot_view(&d, "cow");
+        let before = view.len();
+        // Re-encoding an existing term must not change anything.
+        assert!(view.encode(&Term::literal("plain")).index() < before);
+        let new_id = view.encode_iri("http://ex.org/new");
+        assert_eq!(new_id.index(), before);
+        assert!(!view.is_view());
+        assert_eq!(view.term(new_id), Some(Term::iri("http://ex.org/new")));
     }
 }

@@ -10,9 +10,14 @@ use crate::dictionary::{Dictionary, TermId};
 use crate::term::Term;
 use crate::vocab;
 use std::collections::HashSet;
+use turbohom_storage::{FlatVec, Pod, SectionCursor, SnapshotError, SnapshotWriter};
+
+/// Snapshot section tag (component 0x02).
+const TAG_TRIPLES: u64 = 0x0201;
 
 /// A dictionary-encoded RDF triple `(subject, predicate, object)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(C)]
 pub struct Triple {
     /// Subject id.
     pub s: TermId,
@@ -22,6 +27,9 @@ pub struct Triple {
     pub o: TermId,
 }
 
+// Safety: repr(C) of three repr(transparent) u64 ids — no padding, no niches.
+unsafe impl Pod for Triple {}
+
 impl Triple {
     /// Creates a new triple.
     pub fn new(s: TermId, p: TermId, o: TermId) -> Self {
@@ -30,9 +38,14 @@ impl Triple {
 }
 
 /// An append-only, deduplicated collection of encoded triples.
+///
+/// The triples live in a [`FlatVec`], so a store loaded from a snapshot
+/// reads them in place. The dedup set exists only while the store is being
+/// populated; a snapshot-backed store materializes it lazily on the first
+/// mutation (snapshots are written deduplicated).
 #[derive(Debug, Default, Clone)]
 pub struct TripleStore {
-    triples: Vec<Triple>,
+    triples: FlatVec<Triple>,
     seen: HashSet<Triple>,
 }
 
@@ -45,15 +58,19 @@ impl TripleStore {
     /// Creates an empty store with capacity for `capacity` triples.
     pub fn with_capacity(capacity: usize) -> Self {
         TripleStore {
-            triples: Vec::with_capacity(capacity),
+            triples: Vec::with_capacity(capacity).into(),
             seen: HashSet::with_capacity(capacity),
         }
     }
 
     /// Inserts a triple. Returns `true` if it was not already present.
     pub fn insert(&mut self, triple: Triple) -> bool {
+        if self.seen.len() != self.triples.len() {
+            // Snapshot-backed store: build the dedup set on first mutation.
+            self.seen = self.triples.iter().copied().collect();
+        }
         if self.seen.insert(triple) {
-            self.triples.push(triple);
+            self.triples.to_mut().push(triple);
             true
         } else {
             false
@@ -62,7 +79,12 @@ impl TripleStore {
 
     /// Returns `true` if the exact triple is present.
     pub fn contains(&self, triple: &Triple) -> bool {
-        self.seen.contains(triple)
+        if self.seen.len() == self.triples.len() {
+            self.seen.contains(triple)
+        } else {
+            // Snapshot-backed store before any mutation: no hash set yet.
+            self.triples.iter().any(|t| t == triple)
+        }
     }
 
     /// Number of distinct triples.
@@ -83,6 +105,19 @@ impl TripleStore {
     /// Returns the triples as a slice (insertion order).
     pub fn as_slice(&self) -> &[Triple] {
         &self.triples
+    }
+
+    /// Serializes the store as a snapshot section.
+    pub fn write_sections(&self, w: &mut SnapshotWriter) {
+        w.section(TAG_TRIPLES, self.as_slice());
+    }
+
+    /// Reconstructs a store reading its triples in place from a snapshot.
+    pub fn read_sections(cur: &mut SectionCursor<'_>) -> Result<Self, SnapshotError> {
+        Ok(TripleStore {
+            triples: cur.next_section(TAG_TRIPLES)?,
+            seen: HashSet::new(),
+        })
     }
 }
 
@@ -192,17 +227,39 @@ impl Dataset {
         (
             self.dictionary
                 .term(triple.s)
-                .expect("subject id not in dictionary")
-                .clone(),
+                .expect("subject id not in dictionary"),
             self.dictionary
                 .term(triple.p)
-                .expect("predicate id not in dictionary")
-                .clone(),
+                .expect("predicate id not in dictionary"),
             self.dictionary
                 .term(triple.o)
-                .expect("object id not in dictionary")
-                .clone(),
+                .expect("object id not in dictionary"),
         )
+    }
+
+    /// Serializes dictionary and triples as snapshot sections.
+    pub fn write_sections(&self, w: &mut SnapshotWriter) {
+        self.dictionary.write_sections(w);
+        self.triples.write_sections(w);
+    }
+
+    /// Reconstructs a dataset from snapshot sections, validating that every
+    /// triple's ids resolve against the dictionary.
+    pub fn read_sections(cur: &mut SectionCursor<'_>) -> Result<Self, SnapshotError> {
+        let dictionary = Dictionary::read_sections(cur)?;
+        let triples = TripleStore::read_sections(cur)?;
+        let num_terms = dictionary.len() as u64;
+        for t in triples.iter() {
+            if t.s.0 >= num_terms || t.p.0 >= num_terms || t.o.0 >= num_terms {
+                return Err(SnapshotError::Malformed(
+                    "triple references a term id outside the dictionary".into(),
+                ));
+            }
+        }
+        Ok(Dataset {
+            dictionary,
+            triples,
+        })
     }
 }
 
@@ -281,6 +338,36 @@ mod tests {
         assert_eq!(s, Term::iri("http://s"));
         assert_eq!(p, Term::iri("http://p"));
         assert_eq!(o, Term::literal("o"));
+    }
+
+    #[test]
+    fn dataset_snapshot_round_trip_and_mutation_after_load() {
+        let mut d = Dataset::new();
+        d.insert_iris("http://a", "http://p", "http://b");
+        d.insert_iris("http://b", "http://p", "http://c");
+        d.insert(
+            &Term::iri("http://a"),
+            &Term::iri("http://q"),
+            &Term::literal("x"),
+        );
+        let mut w = turbohom_storage::SnapshotWriter::new();
+        d.write_sections(&mut w);
+        let path =
+            std::env::temp_dir().join(format!("turbohom-dataset-{}.snap", std::process::id()));
+        w.write_to(&path).unwrap();
+        let snap = turbohom_storage::Snapshot::open(&path).unwrap();
+        let mut loaded = Dataset::read_sections(&mut snap.cursor()).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(loaded.len(), d.len());
+        assert_eq!(loaded.triples.as_slice(), d.triples.as_slice());
+        for t in d.triples.iter() {
+            assert!(loaded.triples.contains(t));
+            assert_eq!(loaded.decode(t), d.decode(t));
+        }
+        // Duplicate insert after load is still rejected; a new one lands.
+        assert!(!loaded.insert_iris("http://a", "http://p", "http://b"));
+        assert!(loaded.insert_iris("http://c", "http://p", "http://a"));
+        assert_eq!(loaded.len(), d.len() + 1);
     }
 
     #[test]

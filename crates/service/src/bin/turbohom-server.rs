@@ -27,6 +27,8 @@ struct Args {
     bind: String,
     lubm_scale: usize,
     ntriples: Option<String>,
+    snapshot: Option<String>,
+    save_snapshot: Option<String>,
     inference: bool,
     threads: usize,
     cache: usize,
@@ -43,6 +45,8 @@ fn usage() -> &'static str {
      \x20 --bind ADDR       listen address (default 127.0.0.1:7878)\n\
      \x20 --lubm N          serve a generated LUBM store at scale N (default 1)\n\
      \x20 --ntriples FILE   serve an N-Triples file instead of LUBM\n\
+     \x20 --snapshot FILE   serve a snapshot file (memory-mapped, zero-copy)\n\
+     \x20 --save-snapshot F write the loaded store to a snapshot file and exit\n\
      \x20 --inference       materialize the RDFS closure at load time\n\
      \x20 --threads N       default worker threads per query (default 1)\n\
      \x20 --cache N         plan-cache capacity (default 256)\n\
@@ -60,6 +64,8 @@ fn parse_args() -> Result<Args, String> {
         bind: "127.0.0.1:7878".into(),
         lubm_scale: 1,
         ntriples: None,
+        snapshot: None,
+        save_snapshot: None,
         inference: false,
         threads: 1,
         cache: 256,
@@ -79,6 +85,8 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "--lubm expects an integer scale")?
             }
             "--ntriples" => args.ntriples = Some(value("--ntriples")?),
+            "--snapshot" => args.snapshot = Some(value("--snapshot")?),
+            "--save-snapshot" => args.save_snapshot = Some(value("--save-snapshot")?),
             "--inference" => args.inference = true,
             "--threads" => {
                 args.threads = value("--threads")?
@@ -133,12 +141,30 @@ fn main() -> ExitCode {
         }
     };
 
+    if args.snapshot.is_some() && (args.ntriples.is_some() || args.save_snapshot.is_some()) {
+        eprintln!(
+            "turbohom-server: --snapshot cannot be combined with --ntriples or --save-snapshot"
+        );
+        return ExitCode::FAILURE;
+    }
+
     let options = StoreOptions {
         inference: args.inference,
         threads: args.threads.max(1),
     };
-    let store = match &args.ntriples {
-        Some(path) => {
+    let load_started = std::time::Instant::now();
+    let store = match (&args.snapshot, &args.ntriples) {
+        (Some(path), _) => {
+            eprintln!("mapping snapshot {path} ...");
+            match Store::from_snapshot_with(std::path::Path::new(path), options.threads) {
+                Ok(store) => store,
+                Err(e) => {
+                    eprintln!("turbohom-server: cannot load snapshot {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        (None, Some(path)) => {
             eprintln!("loading N-Triples from {path} ...");
             let input = match std::fs::read_to_string(path) {
                 Ok(input) => input,
@@ -155,17 +181,42 @@ fn main() -> ExitCode {
                 }
             }
         }
-        None => {
+        (None, None) => {
             eprintln!("generating LUBM({}) ...", args.lubm_scale);
             let dataset = LubmGenerator::new(LubmConfig::scale(args.lubm_scale)).generate();
             Store::from_dataset_with(dataset, options)
         }
     };
-    eprintln!("store ready: {} triples", store.triple_count());
+    let load_ms = load_started.elapsed().as_secs_f64() * 1000.0;
+    eprintln!(
+        "store ready: {} triples in {load_ms:.1} ms ({} backend{})",
+        store.triple_count(),
+        store.backend_name(),
+        if store.is_mapped() { ", mmap" } else { "" },
+    );
 
-    let dataset_label = match &args.ntriples {
-        Some(path) => path.clone(),
-        None => format!("lubm-{}", args.lubm_scale),
+    if let Some(path) = &args.save_snapshot {
+        let started = std::time::Instant::now();
+        match store.save_snapshot(std::path::Path::new(path)) {
+            Ok(bytes) => {
+                println!(
+                    "snapshot saved: {path} ({bytes} bytes, {} triples, {:.1} ms)",
+                    store.triple_count(),
+                    started.elapsed().as_secs_f64() * 1000.0,
+                );
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("turbohom-server: cannot save snapshot {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let dataset_label = match (&args.snapshot, &args.ntriples) {
+        (Some(path), _) => format!("snapshot:{path}"),
+        (None, Some(path)) => path.clone(),
+        (None, None) => format!("lubm-{}", args.lubm_scale),
     };
     let service = Arc::new(
         QueryService::with_config(

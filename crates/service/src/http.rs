@@ -277,12 +277,19 @@ fn read_request(reader: &mut BufReader<io::Take<TcpStream>>) -> Result<Request, 
 fn respond(request: &Request, service: &QueryService) -> Routed {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET" | "HEAD", "/healthz") => {
+            let snapshot = service
+                .store()
+                .snapshot_path()
+                .map(|p| format!("\"{}\"", json_escape(&p.display().to_string())))
+                .unwrap_or_else(|| "null".into());
             let body = format!(
-                "{{\"status\":\"ok\",\"triples\":{},\"uptime_secs\":{:.3},\"engine\":\"{}\",\"dataset\":\"{}\"}}",
+                "{{\"status\":\"ok\",\"triples\":{},\"uptime_secs\":{:.3},\"engine\":\"{}\",\"dataset\":\"{}\",\"backend\":\"{}\",\"snapshot\":{}}}",
                 service.store().triple_count(),
                 service.uptime().as_secs_f64(),
                 json_escape(service.config().default_engine.name()),
                 json_escape(service.dataset_label()),
+                service.store().backend_name(),
+                snapshot,
             );
             Routed::new(200, json_response(200, &body, &[]))
         }

@@ -392,6 +392,20 @@ impl QueryService {
         out.push_str("# TYPE turbohom_triples gauge\n");
         out.push_str(&format!("turbohom_triples {}\n", self.store.triple_count()));
         out.push_str(
+            "# HELP turbohom_storage_backend Active storage backend (1 = active; the snapshot label is the file path, empty for the heap backend).\n",
+        );
+        out.push_str("# TYPE turbohom_storage_backend gauge\n");
+        out.push_str(&format!(
+            "turbohom_storage_backend{{backend=\"{}\",snapshot=\"{}\"}} 1\n",
+            self.store.backend_name(),
+            self.store
+                .snapshot_path()
+                .map(|p| p.display().to_string())
+                .unwrap_or_default()
+                .replace('\\', "\\\\")
+                .replace('"', "\\\"")
+        ));
+        out.push_str(
             "# HELP turbohom_slow_queries_total Queries recorded by the slow-query recorder.\n",
         );
         out.push_str("# TYPE turbohom_slow_queries_total counter\n");
@@ -681,6 +695,7 @@ mod tests {
         assert!(out.contains("turbohom_plan_cache_size 1\n"));
         assert!(out.contains("turbohom_plans_prepared_total 1\n"));
         assert!(out.contains("turbohom_triples 6\n"));
+        assert!(out.contains("turbohom_storage_backend{backend=\"heap\",snapshot=\"\"} 1\n"));
         assert!(out.contains("turbohom_queries_total{engine=\"turbohom++\"} 2\n"));
         assert!(out.contains("turbohom_query_latency_seconds_count{engine=\"turbohom++\"} 2\n"));
         assert_eq!(svc.dataset_label(), "test-ds");

@@ -411,6 +411,8 @@ fn healthz_reports_identity_and_head_works_everywhere() {
     assert!(health.contains("\"uptime_secs\":"));
     assert!(health.contains("\"engine\":\"turbohom++\""));
     assert!(health.contains("\"dataset\":\"lubm-1\""));
+    assert!(health.contains("\"backend\":\"heap\""));
+    assert!(health.contains("\"snapshot\":null"));
     assert!(json_number(&health, "uptime_secs") >= 0.0);
 
     // HEAD returns headers + Content-Length and no body, on every GET

@@ -1,9 +1,23 @@
 //! Shared types of the data-graph transformations.
 
-use std::collections::HashMap;
 use std::fmt;
 use turbohom_graph::{ELabel, InverseLabelIndex, LabeledGraph, PredicateIndex, VLabel, VertexId};
 use turbohom_rdf::TermId;
+use turbohom_storage::{FlatCsr, FlatVec, SectionCursor, SnapshotError, SnapshotWriter};
+
+/// Snapshot section tags (components 0x06 mappings, 0x07 transformed graph).
+const TAG_MAP_TERM_TO_VERTEX: u64 = 0x0601;
+const TAG_MAP_VERTEX_TO_TERM: u64 = 0x0602;
+const TAG_MAP_TERM_TO_VLABEL: u64 = 0x0603;
+const TAG_MAP_VLABEL_TO_TERM: u64 = 0x0604;
+const TAG_MAP_TERM_TO_ELABEL: u64 = 0x0605;
+const TAG_MAP_ELABEL_TO_TERM: u64 = 0x0606;
+const TAG_TRANSFORM_META: u64 = 0x0701;
+const TAG_SIMPLE_LABEL_OFFSETS: u64 = 0x0702;
+const TAG_SIMPLE_LABELS: u64 = 0x0703;
+
+/// Sentinel in the dense term→graph-id arrays for "not mapped".
+const UNMAPPED: u32 = u32::MAX;
 
 /// Which transformation produced a [`TransformedGraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,27 +31,41 @@ pub enum TransformKind {
 /// Bidirectional mappings between RDF term ids and graph-level ids.
 ///
 /// These are the `FV`, `FVL`, `FEL` functions of Definition 3 (and their
-/// inverses), materialized as hash maps / dense vectors.
+/// inverses). All six directions are dense flat arrays (the forward ones
+/// indexed by term id with a sentinel for unmapped terms), so the whole
+/// structure serializes into a snapshot and reads back in place.
 #[derive(Debug, Clone, Default)]
 pub struct GraphMappings {
-    /// RDF term → data vertex.
-    pub term_to_vertex: HashMap<TermId, VertexId>,
+    /// RDF term → data vertex (`UNMAPPED` sentinel when absent).
+    term_to_vertex: FlatVec<u32>,
     /// Data vertex → RDF term (dense).
-    pub vertex_to_term: Vec<TermId>,
+    pub vertex_to_term: FlatVec<TermId>,
     /// RDF class term → vertex label (empty for the direct transformation).
-    pub term_to_vlabel: HashMap<TermId, VLabel>,
+    term_to_vlabel: FlatVec<u32>,
     /// Vertex label → RDF class term (dense).
-    pub vlabel_to_term: Vec<TermId>,
+    pub vlabel_to_term: FlatVec<TermId>,
     /// RDF predicate term → edge label.
-    pub term_to_elabel: HashMap<TermId, ELabel>,
+    term_to_elabel: FlatVec<u32>,
     /// Edge label → RDF predicate term (dense).
-    pub elabel_to_term: Vec<TermId>,
+    pub elabel_to_term: FlatVec<TermId>,
+}
+
+fn forward_get(arr: &FlatVec<u32>, term: TermId) -> Option<u32> {
+    arr.get(term.index()).copied().filter(|&v| v != UNMAPPED)
+}
+
+fn forward_set(arr: &mut FlatVec<u32>, term: TermId, value: u32) {
+    let arr = arr.to_mut();
+    if arr.len() <= term.index() {
+        arr.resize(term.index() + 1, UNMAPPED);
+    }
+    arr[term.index()] = value;
 }
 
 impl GraphMappings {
     /// Looks up the data vertex of an RDF term.
     pub fn vertex_of(&self, term: TermId) -> Option<VertexId> {
-        self.term_to_vertex.get(&term).copied()
+        forward_get(&self.term_to_vertex, term).map(VertexId)
     }
 
     /// Looks up the RDF term of a data vertex.
@@ -47,7 +75,7 @@ impl GraphMappings {
 
     /// Looks up the vertex label of an RDF class term.
     pub fn vlabel_of(&self, term: TermId) -> Option<VLabel> {
-        self.term_to_vlabel.get(&term).copied()
+        forward_get(&self.term_to_vlabel, term).map(VLabel)
     }
 
     /// Looks up the RDF class term of a vertex label.
@@ -57,7 +85,7 @@ impl GraphMappings {
 
     /// Looks up the edge label of an RDF predicate term.
     pub fn elabel_of(&self, term: TermId) -> Option<ELabel> {
-        self.term_to_elabel.get(&term).copied()
+        forward_get(&self.term_to_elabel, term).map(ELabel)
     }
 
     /// Looks up the RDF predicate term of an edge label.
@@ -67,35 +95,78 @@ impl GraphMappings {
 
     /// Interns a term as a data vertex, returning the existing id if present.
     pub(crate) fn intern_vertex(&mut self, term: TermId) -> VertexId {
-        if let Some(&v) = self.term_to_vertex.get(&term) {
+        if let Some(v) = self.vertex_of(term) {
             return v;
         }
         let v = VertexId(self.vertex_to_term.len() as u32);
-        self.vertex_to_term.push(term);
-        self.term_to_vertex.insert(term, v);
+        forward_set(&mut self.term_to_vertex, term, v.0);
+        self.vertex_to_term.to_mut().push(term);
         v
     }
 
     /// Interns a class term as a vertex label.
     pub(crate) fn intern_vlabel(&mut self, term: TermId) -> VLabel {
-        if let Some(&l) = self.term_to_vlabel.get(&term) {
+        if let Some(l) = self.vlabel_of(term) {
             return l;
         }
         let l = VLabel(self.vlabel_to_term.len() as u32);
-        self.vlabel_to_term.push(term);
-        self.term_to_vlabel.insert(term, l);
+        forward_set(&mut self.term_to_vlabel, term, l.0);
+        self.vlabel_to_term.to_mut().push(term);
         l
     }
 
     /// Interns a predicate term as an edge label.
     pub(crate) fn intern_elabel(&mut self, term: TermId) -> ELabel {
-        if let Some(&l) = self.term_to_elabel.get(&term) {
+        if let Some(l) = self.elabel_of(term) {
             return l;
         }
         let l = ELabel(self.elabel_to_term.len() as u32);
-        self.elabel_to_term.push(term);
-        self.term_to_elabel.insert(term, l);
+        forward_set(&mut self.term_to_elabel, term, l.0);
+        self.elabel_to_term.to_mut().push(term);
         l
+    }
+
+    /// Serializes all six mapping arrays as snapshot sections.
+    pub fn write_sections(&self, w: &mut SnapshotWriter) {
+        w.section(TAG_MAP_TERM_TO_VERTEX, &self.term_to_vertex);
+        w.section(TAG_MAP_VERTEX_TO_TERM, &self.vertex_to_term);
+        w.section(TAG_MAP_TERM_TO_VLABEL, &self.term_to_vlabel);
+        w.section(TAG_MAP_VLABEL_TO_TERM, &self.vlabel_to_term);
+        w.section(TAG_MAP_TERM_TO_ELABEL, &self.term_to_elabel);
+        w.section(TAG_MAP_ELABEL_TO_TERM, &self.elabel_to_term);
+    }
+
+    /// Reconstructs the mappings from a snapshot, validating that forward
+    /// and reverse arrays agree so lookups stay total.
+    pub fn read_sections(cur: &mut SectionCursor<'_>) -> Result<Self, SnapshotError> {
+        let m = GraphMappings {
+            term_to_vertex: cur.next_section(TAG_MAP_TERM_TO_VERTEX)?,
+            vertex_to_term: cur.next_section(TAG_MAP_VERTEX_TO_TERM)?,
+            term_to_vlabel: cur.next_section(TAG_MAP_TERM_TO_VLABEL)?,
+            vlabel_to_term: cur.next_section(TAG_MAP_VLABEL_TO_TERM)?,
+            term_to_elabel: cur.next_section(TAG_MAP_TERM_TO_ELABEL)?,
+            elabel_to_term: cur.next_section(TAG_MAP_ELABEL_TO_TERM)?,
+        };
+        for (fwd, rev, what) in [
+            (&m.term_to_vertex, &m.vertex_to_term, "vertex"),
+            (&m.term_to_vlabel, &m.vlabel_to_term, "vertex label"),
+            (&m.term_to_elabel, &m.elabel_to_term, "edge label"),
+        ] {
+            let n = rev.len() as u32;
+            if fwd.iter().any(|&g| g != UNMAPPED && g >= n) {
+                return Err(SnapshotError::Malformed(format!(
+                    "term-to-{what} mapping points outside the reverse array"
+                )));
+            }
+            for (i, t) in rev.iter().enumerate() {
+                if fwd.get(t.index()).copied() != Some(i as u32) {
+                    return Err(SnapshotError::Malformed(format!(
+                        "{what} mapping arrays disagree at graph id {i}"
+                    )));
+                }
+            }
+        }
+        Ok(m)
     }
 }
 
@@ -114,9 +185,9 @@ pub struct TransformedGraph {
     /// Term ↔ graph id mappings.
     pub mappings: GraphMappings,
     /// For the type-aware transformation: the *directly asserted* label set
-    /// of every vertex (`Lsimple`, Section 4.2), used under the simple
-    /// entailment regime. `None` for the direct transformation.
-    pub simple_labels: Option<Vec<Vec<VLabel>>>,
+    /// of every vertex (`Lsimple`, Section 4.2) as a CSR, used under the
+    /// simple entailment regime. `None` for the direct transformation.
+    pub simple_labels: Option<FlatCsr<VLabel>>,
 }
 
 impl TransformedGraph {
@@ -135,7 +206,7 @@ impl TransformedGraph {
             inverse_labels,
             predicates,
             mappings,
-            simple_labels,
+            simple_labels: simple_labels.map(|rows| FlatCsr::from_rows(&rows)),
         }
     }
 
@@ -143,12 +214,80 @@ impl TransformedGraph {
     /// when available, the full label set otherwise.
     pub fn simple_labels_of(&self, v: VertexId) -> &[VLabel] {
         match &self.simple_labels {
-            Some(per_vertex) => per_vertex
-                .get(v.index())
-                .map(|l| l.as_slice())
-                .unwrap_or(&[]),
+            Some(per_vertex) => per_vertex.row(v.index()),
             None => self.graph.labels(v),
         }
+    }
+
+    /// Serializes the whole bundle (meta, graph, indexes, mappings, simple
+    /// labels) as snapshot sections.
+    pub fn write_sections(&self, w: &mut SnapshotWriter) {
+        let meta: [u64; 2] = [
+            match self.kind {
+                TransformKind::Direct => 0,
+                TransformKind::TypeAware => 1,
+            },
+            self.simple_labels.is_some() as u64,
+        ];
+        w.section(TAG_TRANSFORM_META, &meta);
+        self.graph.write_sections(w);
+        self.inverse_labels.write_sections(w);
+        self.predicates.write_sections(w);
+        self.mappings.write_sections(w);
+        let empty = FlatCsr::default();
+        let sl = self.simple_labels.as_ref().unwrap_or(&empty);
+        w.section(TAG_SIMPLE_LABEL_OFFSETS, sl.offsets());
+        w.section(TAG_SIMPLE_LABELS, sl.data());
+    }
+
+    /// Reconstructs the bundle reading everything in place from a snapshot.
+    pub fn read_sections(cur: &mut SectionCursor<'_>) -> Result<Self, SnapshotError> {
+        let meta: FlatVec<u64> = cur.next_section(TAG_TRANSFORM_META)?;
+        if meta.len() != 2 {
+            return Err(SnapshotError::Malformed(
+                "transformed graph meta section length".into(),
+            ));
+        }
+        let kind = match meta[0] {
+            0 => TransformKind::Direct,
+            1 => TransformKind::TypeAware,
+            k => {
+                return Err(SnapshotError::Malformed(format!(
+                    "unknown transform kind {k}"
+                )))
+            }
+        };
+        let graph = LabeledGraph::read_sections(cur)?;
+        let inverse_labels = InverseLabelIndex::read_sections(cur)?;
+        let predicates = PredicateIndex::read_sections(cur)?;
+        let mappings = GraphMappings::read_sections(cur)?;
+        let sl = FlatCsr::from_parts(
+            cur.next_section(TAG_SIMPLE_LABEL_OFFSETS)?,
+            cur.next_section(TAG_SIMPLE_LABELS)?,
+        )?;
+        let simple_labels = if meta[1] != 0 {
+            if sl.num_rows() != graph.vertex_count() {
+                return Err(SnapshotError::Malformed(
+                    "simple label CSR does not cover every vertex".into(),
+                ));
+            }
+            Some(sl)
+        } else {
+            None
+        };
+        if mappings.vertex_to_term.len() != graph.vertex_count() {
+            return Err(SnapshotError::Malformed(
+                "mappings do not cover every vertex".into(),
+            ));
+        }
+        Ok(TransformedGraph {
+            kind,
+            graph,
+            inverse_labels,
+            predicates,
+            mappings,
+            simple_labels,
+        })
     }
 }
 
@@ -210,6 +349,66 @@ mod tests {
         let e1 = m.intern_elabel(TermId(8));
         assert_eq!(m.term_of_elabel(e1), Some(TermId(8)));
         assert_eq!(m.elabel_of(TermId(7)), Some(e0));
+    }
+
+    #[test]
+    fn transformed_graph_snapshot_round_trip() {
+        use turbohom_graph::LabeledGraphBuilder;
+        use turbohom_storage::{Snapshot, SnapshotWriter};
+
+        let mut mappings = GraphMappings::default();
+        let v0 = mappings.intern_vertex(TermId(10));
+        let v1 = mappings.intern_vertex(TermId(11));
+        let v2 = mappings.intern_vertex(TermId(12));
+        let el = mappings.intern_elabel(TermId(20));
+        mappings.intern_vlabel(TermId(30));
+        mappings.intern_vlabel(TermId(31));
+
+        let mut b = LabeledGraphBuilder::new();
+        b.add_vertex(vec![VLabel(0)]);
+        b.add_vertex(vec![VLabel(0), VLabel(1)]);
+        b.add_vertex(vec![]);
+        b.add_edge(v0, v1, el);
+        b.add_edge(v1, v2, el);
+        let graph = b.build();
+
+        let simple = vec![vec![VLabel(0)], vec![VLabel(1)], vec![]];
+        let original =
+            TransformedGraph::assemble(TransformKind::TypeAware, graph, mappings, Some(simple));
+
+        let mut w = SnapshotWriter::new();
+        original.write_sections(&mut w);
+        let dir = std::env::temp_dir().join("turbohom-transform-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("transformed.snap");
+        w.write_to(&path).unwrap();
+
+        let snap = Snapshot::open(&path).unwrap();
+        let mut cur = snap.cursor();
+        let loaded = TransformedGraph::read_sections(&mut cur).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(loaded.kind, TransformKind::TypeAware);
+        assert_eq!(loaded.graph.vertex_count(), 3);
+        assert_eq!(loaded.graph.edge_count(), 2);
+        for v in loaded.graph.vertices() {
+            assert_eq!(loaded.graph.labels(v), original.graph.labels(v));
+            assert_eq!(loaded.simple_labels_of(v), original.simple_labels_of(v));
+            assert_eq!(
+                loaded.mappings.term_of_vertex(v),
+                original.mappings.term_of_vertex(v)
+            );
+        }
+        assert_eq!(loaded.mappings.vertex_of(TermId(11)), Some(v1));
+        assert_eq!(loaded.mappings.elabel_of(TermId(20)), Some(el));
+        assert_eq!(
+            loaded.predicates.subjects(el),
+            original.predicates.subjects(el)
+        );
+        assert_eq!(
+            loaded.inverse_labels.vertices_with_label(VLabel(0)),
+            original.inverse_labels.vertices_with_label(VLabel(0))
+        );
     }
 
     #[test]

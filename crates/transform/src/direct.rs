@@ -146,8 +146,10 @@ mod tests {
             let term = t.mappings.term_of_vertex(v).unwrap();
             assert_eq!(t.mappings.vertex_of(term), Some(v));
         }
-        for (term, &el) in &t.mappings.term_to_elabel {
-            assert_eq!(t.mappings.term_of_elabel(el), Some(*term));
+        for (i, &term) in t.mappings.elabel_to_term.iter().enumerate() {
+            let el = t.mappings.elabel_of(term).expect("interned");
+            assert_eq!(el.index(), i);
+            assert_eq!(t.mappings.term_of_elabel(el), Some(term));
         }
     }
 

@@ -154,7 +154,7 @@ proptest! {
         let mut dict = Dictionary::new();
         let ids: Vec<_> = locals.iter().map(|l| dict.encode(&Term::iri(iri(l)))).collect();
         for (l, id) in locals.iter().zip(&ids) {
-            prop_assert_eq!(dict.term(*id), Some(&Term::iri(iri(l))));
+            prop_assert_eq!(dict.term(*id), Some(Term::iri(iri(l))));
             prop_assert_eq!(dict.id_of(&Term::iri(iri(l))), Some(*id));
         }
         let distinct: std::collections::HashSet<_> = locals.iter().collect();
