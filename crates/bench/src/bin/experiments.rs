@@ -264,6 +264,96 @@ fn record_mode(args: &[String]) -> i32 {
         });
     }
 
+    // The sharded column: the same queries through the scatter-gather
+    // coordinator at k=8. The regression gate only compares `queries`, so
+    // this section is informational — the interesting numbers are
+    // `shards_executed` / `shards_pruned` (summary pruning plus
+    // constant-anchor ownership routing) and the sharded load timings.
+    let shard_k = 8usize;
+    println!(
+        "flight recorder: building sharded {} (k={shard_k}) ...",
+        record.dataset
+    );
+    let sharded_build_started = std::time::Instant::now();
+    let sharded = sharded_lubm_store(scale, shard_k);
+    record.shard_count = shard_k;
+    record.load_ms.push((
+        "sharded_parse_build".to_string(),
+        sharded_build_started.elapsed().as_secs_f64() * 1000.0,
+    ));
+
+    // Sharded map timing: per-shard snapshots plus a manifest, booted back.
+    let manifest_path =
+        std::env::temp_dir().join(format!("turbohom-bench-{}.shards", record.dataset));
+    match sharded.save_snapshots(&manifest_path) {
+        Ok(bytes) => {
+            let map_started = std::time::Instant::now();
+            let mapped = turbohom_engine::ShardedStore::from_manifest(&manifest_path, 1)
+                .unwrap_or_else(|e| panic!("rebooting shard manifest failed: {e}"));
+            let ms = map_started.elapsed().as_secs_f64() * 1000.0;
+            assert_eq!(mapped.triple_count(), sharded.triple_count());
+            println!("  shard snapshots: {bytes} bytes, mapped in {ms:.1} ms");
+            record.load_ms.push(("sharded_map".to_string(), ms));
+            for i in 0..shard_k {
+                let name = format!("turbohom-bench-{}.shards.shard{i}.snap", record.dataset);
+                std::fs::remove_file(manifest_path.with_file_name(name)).ok();
+            }
+            std::fs::remove_file(&manifest_path).ok();
+        }
+        Err(e) => eprintln!("  sharded snapshot timing skipped: {e}"),
+    }
+
+    for q in &queries {
+        let plan = sharded
+            .prepare_plan(&q.sparql, EngineKind::TurboHomPlusPlus)
+            .unwrap_or_else(|e| panic!("sharded planning {} failed: {e}", q.id));
+        let (runs, last) = measure_runs(|| {
+            sharded
+                .run_plan_traced(&plan, Some(threads), &Trace::disabled())
+                .unwrap_or_else(|e| panic!("sharded turbohom++ failed on {}: {e}", q.id))
+        });
+        // The sharded path must agree with the single store it mirrors.
+        let single = record
+            .queries
+            .iter()
+            .find(|r| r.id == q.id && r.engine == "turbohom++")
+            .map(|r| r.solutions)
+            .unwrap_or(0);
+        assert_eq!(
+            last.len(),
+            single,
+            "sharded execution disagrees with the single store on {}",
+            q.id
+        );
+        // One traced run for the stage column (includes `summary_prune`).
+        let trace = Trace::detailed(0);
+        let traced_plan = sharded
+            .prepare_plan_traced(&q.sparql, EngineKind::TurboHomPlusPlus, &trace)
+            .unwrap_or_else(|e| panic!("sharded traced planning {} failed: {e}", q.id));
+        sharded
+            .run_plan_traced(&traced_plan, Some(threads), &trace)
+            .unwrap_or_else(|e| panic!("sharded traced run failed on {}: {e}", q.id));
+        let report = trace.finish();
+        record.sharded.push(QueryRun {
+            id: q.id.clone(),
+            engine: "turbohom++".to_string(),
+            runs_ms: runs.iter().map(|d| d.as_secs_f64() * 1000.0).collect(),
+            median_ms: protocol_median(&runs).as_secs_f64() * 1000.0,
+            avg_ms: protocol_average(&runs).as_secs_f64() * 1000.0,
+            solutions: last.len(),
+            stats: last.stats,
+            stages_ms: report
+                .stages()
+                .into_iter()
+                .map(|(name, ns)| (name.to_string(), ns as f64 / 1e6))
+                .collect(),
+        });
+        println!(
+            "  {:<4} sharded: {} live / {} pruned of {shard_k}",
+            q.id, last.stats.shards_executed, last.stats.shards_pruned
+        );
+    }
+
     let json = record.to_json();
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
     println!("wrote {out_path} ({} bytes)", json.len());

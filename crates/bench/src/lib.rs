@@ -10,7 +10,9 @@
 use std::time::Duration;
 use turbohom_core::TurboHomConfig;
 use turbohom_datasets::{bsbm, btc, lubm, yago, BenchmarkQuery};
-use turbohom_engine::{EngineKind, QueryResults, Store, StoreOptions};
+use turbohom_engine::{
+    EngineKind, QueryResults, ShardedOptions, ShardedStore, Store, StoreOptions,
+};
 
 pub mod recorder;
 
@@ -102,6 +104,21 @@ pub fn ms(d: Duration) -> String {
 pub fn lubm_store(scale: usize) -> Store {
     let dataset = lubm::LubmGenerator::new(lubm::LubmConfig::scale(scale)).generate();
     Store::from_dataset_with(dataset, StoreOptions::default())
+}
+
+/// Builds the LUBM store partitioned across `shards` shard stores (hash
+/// ownership, default halo — the configuration the sharded benchmark column
+/// and the differential tests measure).
+pub fn sharded_lubm_store(scale: usize, shards: usize) -> ShardedStore {
+    let dataset = lubm::LubmGenerator::new(lubm::LubmConfig::scale(scale)).generate();
+    ShardedStore::from_dataset_with(
+        dataset,
+        ShardedOptions {
+            shards,
+            ..ShardedOptions::default()
+        },
+    )
+    .expect("LUBM partitions cleanly")
 }
 
 /// A larger LUBM configuration used for the parallel-speed-up experiment

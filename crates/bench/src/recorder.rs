@@ -89,6 +89,13 @@ pub struct BenchRecord {
     pub threads: usize,
     /// Per-(query, engine) measurements.
     pub queries: Vec<QueryRun>,
+    /// The same queries measured through the sharded scatter-gather path
+    /// (empty if not recorded; the regression gate only compares `queries`,
+    /// so this column is informational). The interesting stats here are
+    /// `shards_executed` / `shards_pruned`.
+    pub sharded: Vec<QueryRun>,
+    /// Shards used for the `sharded` measurements (0 when not recorded).
+    pub shard_count: usize,
     /// Morsel-vs-chunked scheduler comparison (empty if not recorded).
     pub scheduler_comparison: Vec<SchedulerRun>,
     /// Store-load timings in milliseconds: `parse_build` (generate/parse the
@@ -97,6 +104,44 @@ pub struct BenchRecord {
     /// before the column existed parse fine, the reader treats the key as
     /// optional.
     pub load_ms: Vec<(String, f64)>,
+}
+
+fn push_query_runs(out: &mut String, runs: &[QueryRun]) {
+    for (i, q) in runs.iter().enumerate() {
+        out.push_str("    {\"id\": \"");
+        out.push_str(&json_escape(&q.id));
+        out.push_str("\", \"engine\": \"");
+        out.push_str(&json_escape(&q.engine));
+        out.push_str("\", \"runs_ms\": [");
+        for (j, r) in q.runs_ms.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            push_f64(out, *r);
+        }
+        out.push_str("], \"median_ms\": ");
+        push_f64(out, q.median_ms);
+        out.push_str(", \"avg_ms\": ");
+        push_f64(out, q.avg_ms);
+        out.push_str(&format!(", \"solutions\": {}, \"stats\": ", q.solutions));
+        push_stats(out, &q.stats);
+        if !q.stages_ms.is_empty() {
+            out.push_str(", \"stages_ms\": {");
+            for (j, (name, ms)) in q.stages_ms.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\": ", json_escape(name)));
+                push_f64(out, *ms);
+            }
+            out.push('}');
+        }
+        out.push('}');
+        if i + 1 < runs.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
 }
 
 fn push_f64(out: &mut String, v: f64) {
@@ -113,7 +158,7 @@ fn push_stats(out: &mut String, s: &MatchStats) {
         "{{\"candidate_regions\":{},\"nonempty_regions\":{},\"candidate_vertices\":{},\
          \"explored_vertices\":{},\"isjoinable_probes\":{},\"intersection_ops\":{},\
          \"search_recursions\":{},\"matching_orders_computed\":{},\"solutions\":{},\
-         \"morsels\":{},\"morsels_stolen\":{}}}",
+         \"morsels\":{},\"morsels_stolen\":{},\"shards_executed\":{},\"shards_pruned\":{}}}",
         s.candidate_regions,
         s.nonempty_regions,
         s.candidate_vertices,
@@ -125,6 +170,8 @@ fn push_stats(out: &mut String, s: &MatchStats) {
         s.solutions,
         s.morsels,
         s.morsels_stolen,
+        s.shards_executed,
+        s.shards_pruned,
     ));
 }
 
@@ -156,42 +203,14 @@ impl BenchRecord {
             out.push_str("},\n");
         }
         out.push_str("  \"queries\": [\n");
-        for (i, q) in self.queries.iter().enumerate() {
-            out.push_str("    {\"id\": \"");
-            out.push_str(&json_escape(&q.id));
-            out.push_str("\", \"engine\": \"");
-            out.push_str(&json_escape(&q.engine));
-            out.push_str("\", \"runs_ms\": [");
-            for (j, r) in q.runs_ms.iter().enumerate() {
-                if j > 0 {
-                    out.push(',');
-                }
-                push_f64(&mut out, *r);
-            }
-            out.push_str("], \"median_ms\": ");
-            push_f64(&mut out, q.median_ms);
-            out.push_str(", \"avg_ms\": ");
-            push_f64(&mut out, q.avg_ms);
-            out.push_str(&format!(", \"solutions\": {}, \"stats\": ", q.solutions));
-            push_stats(&mut out, &q.stats);
-            if !q.stages_ms.is_empty() {
-                out.push_str(", \"stages_ms\": {");
-                for (j, (name, ms)) in q.stages_ms.iter().enumerate() {
-                    if j > 0 {
-                        out.push(',');
-                    }
-                    out.push_str(&format!("\"{}\": ", json_escape(name)));
-                    push_f64(&mut out, *ms);
-                }
-                out.push('}');
-            }
-            out.push('}');
-            if i + 1 < self.queries.len() {
-                out.push(',');
-            }
-            out.push('\n');
-        }
+        push_query_runs(&mut out, &self.queries);
         out.push_str("  ],\n");
+        if !self.sharded.is_empty() {
+            out.push_str(&format!("  \"shard_count\": {},\n", self.shard_count));
+            out.push_str("  \"sharded\": [\n");
+            push_query_runs(&mut out, &self.sharded);
+            out.push_str("  ],\n");
+        }
         out.push_str("  \"scheduler_comparison\": [\n");
         for (i, s) in self.scheduler_comparison.iter().enumerate() {
             out.push_str("    {\"id\": \"");
@@ -236,35 +255,18 @@ impl BenchRecord {
             ..BenchRecord::default()
         };
         for q in get_array(obj, "queries")? {
-            let q = q.as_object().ok_or("query entry must be an object")?;
-            let stats_obj = find(q, "stats")
-                .and_then(|v| v.as_object())
-                .ok_or("query entry missing stats")?;
-            record.queries.push(QueryRun {
-                id: get_str(q, "id")?,
-                engine: get_str(q, "engine")?,
-                runs_ms: get_array(q, "runs_ms")?
-                    .iter()
-                    .map(|v| v.as_f64().ok_or("runs_ms must be numbers"))
-                    .collect::<Result<_, _>>()?,
-                median_ms: get_f64(q, "median_ms")?,
-                avg_ms: get_f64(q, "avg_ms")?,
-                solutions: get_usize(q, "solutions")?,
-                stats: parse_stats(stats_obj)?,
-                // Optional column: absent in records written before the
-                // stage breakdown existed.
-                stages_ms: match find(q, "stages_ms").and_then(|v| v.as_object()) {
-                    Some(entries) => entries
-                        .iter()
-                        .map(|(name, v)| {
-                            v.as_f64()
-                                .map(|ms| (name.clone(), ms))
-                                .ok_or("stages_ms values must be numbers".to_string())
-                        })
-                        .collect::<Result<_, _>>()?,
-                    None => Vec::new(),
-                },
-            });
+            record.queries.push(parse_query_run(q)?);
+        }
+        // Optional section: absent in records written before sharded
+        // execution existed.
+        if let Some(sharded) = find(obj, "sharded").and_then(|v| v.as_array()) {
+            for q in sharded {
+                record.sharded.push(parse_query_run(q)?);
+            }
+            record.shard_count = find(obj, "shard_count")
+                .and_then(|v| v.as_f64())
+                .map(|v| v as usize)
+                .unwrap_or(0);
         }
         for s in get_array(obj, "scheduler_comparison")? {
             let s = s.as_object().ok_or("scheduler entry must be an object")?;
@@ -289,8 +291,47 @@ impl BenchRecord {
     }
 }
 
+fn parse_query_run(value: &Json) -> Result<QueryRun, String> {
+    let q = value.as_object().ok_or("query entry must be an object")?;
+    let stats_obj = find(q, "stats")
+        .and_then(|v| v.as_object())
+        .ok_or("query entry missing stats")?;
+    Ok(QueryRun {
+        id: get_str(q, "id")?,
+        engine: get_str(q, "engine")?,
+        runs_ms: get_array(q, "runs_ms")?
+            .iter()
+            .map(|v| v.as_f64().ok_or("runs_ms must be numbers"))
+            .collect::<Result<_, _>>()?,
+        median_ms: get_f64(q, "median_ms")?,
+        avg_ms: get_f64(q, "avg_ms")?,
+        solutions: get_usize(q, "solutions")?,
+        stats: parse_stats(stats_obj)?,
+        // Optional column: absent in records written before the stage
+        // breakdown existed.
+        stages_ms: match find(q, "stages_ms").and_then(|v| v.as_object()) {
+            Some(entries) => entries
+                .iter()
+                .map(|(name, v)| {
+                    v.as_f64()
+                        .map(|ms| (name.clone(), ms))
+                        .ok_or("stages_ms values must be numbers".to_string())
+                })
+                .collect::<Result<_, _>>()?,
+            None => Vec::new(),
+        },
+    })
+}
+
 fn parse_stats(obj: &[(String, Json)]) -> Result<MatchStats, String> {
     let field = |name: &str| -> Result<usize, String> { get_usize(obj, name) };
+    // Optional: absent in records written before sharded execution existed.
+    let optional = |name: &str| -> usize {
+        find(obj, name)
+            .and_then(|v| v.as_f64())
+            .map(|v| v as usize)
+            .unwrap_or(0)
+    };
     Ok(MatchStats {
         candidate_regions: field("candidate_regions")?,
         nonempty_regions: field("nonempty_regions")?,
@@ -303,6 +344,8 @@ fn parse_stats(obj: &[(String, Json)]) -> Result<MatchStats, String> {
         solutions: field("solutions")?,
         morsels: field("morsels")?,
         morsels_stolen: field("morsels_stolen")?,
+        shards_executed: optional("shards_executed"),
+        shards_pruned: optional("shards_pruned"),
         ..MatchStats::default()
     })
 }
@@ -654,6 +697,22 @@ mod tests {
                     stages_ms: Vec::new(),
                 },
             ],
+            sharded: vec![QueryRun {
+                id: "Q1".into(),
+                engine: "turbohom++".into(),
+                runs_ms: vec![0.3; 5],
+                median_ms: 0.3,
+                avg_ms: 0.3,
+                solutions: 4,
+                stats: MatchStats {
+                    solutions: 4,
+                    shards_executed: 3,
+                    shards_pruned: 5,
+                    ..MatchStats::default()
+                },
+                stages_ms: Vec::new(),
+            }],
+            shard_count: 8,
             scheduler_comparison: vec![SchedulerRun {
                 id: "Q2".into(),
                 threads: 4,
@@ -662,7 +721,12 @@ mod tests {
                 morsels: 40,
                 morsels_stolen: 6,
             }],
-            load_ms: vec![("parse_build".into(), 12.5), ("snapshot_map".into(), 0.75)],
+            load_ms: vec![
+                ("parse_build".into(), 12.5),
+                ("snapshot_map".into(), 0.75),
+                ("sharded_parse_build".into(), 20.0),
+                ("sharded_map".into(), 1.5),
+            ],
         }
     }
 
@@ -688,9 +752,37 @@ mod tests {
         assert!(parsed.queries[1].stages_ms.is_empty());
         assert!(!json.contains("\"engine\": \"mergejoin\", \"stages_ms\""));
         // The load_ms column round-trips.
-        assert_eq!(parsed.load_ms.len(), 2);
+        assert_eq!(parsed.load_ms.len(), 4);
         assert_eq!(parsed.load_ms[0].0, "parse_build");
         assert!((parsed.load_ms[1].1 - 0.75).abs() < 1e-9);
+        assert_eq!(parsed.load_ms[2].0, "sharded_parse_build");
+        // The sharded section round-trips, shard counters included.
+        assert_eq!(parsed.shard_count, 8);
+        assert_eq!(parsed.sharded.len(), 1);
+        assert_eq!(parsed.sharded[0].stats.shards_executed, 3);
+        assert_eq!(parsed.sharded[0].stats.shards_pruned, 5);
+    }
+
+    #[test]
+    fn records_without_the_sharded_section_still_parse() {
+        let mut record = sample_record();
+        record.sharded.clear();
+        record.shard_count = 0;
+        let json = record.to_json();
+        assert!(!json.contains("\"sharded\""));
+        assert!(!json.contains("shard_count"));
+        let parsed = BenchRecord::from_json(&json).unwrap();
+        assert!(parsed.sharded.is_empty());
+        assert_eq!(parsed.shard_count, 0);
+        // The shard stat keys are always present in `stats` but parse as
+        // zero from records written before they existed.
+        let legacy = json.replace(",\"shards_executed\":0,\"shards_pruned\":0", "");
+        assert!(!legacy.contains("shards_executed"));
+        let parsed = BenchRecord::from_json(&legacy).unwrap();
+        assert!(parsed
+            .queries
+            .iter()
+            .all(|q| q.stats.shards_executed == 0 && q.stats.shards_pruned == 0));
     }
 
     #[test]

@@ -41,6 +41,13 @@ pub struct MatchStats {
     pub morsels: usize,
     /// Morsels obtained by stealing from another worker's range.
     pub morsels_stolen: usize,
+    /// Shards that actually executed the query (stays zero on the
+    /// single-store path; the sharded coordinator sets it to the live-set
+    /// size after summary pruning).
+    pub shards_executed: usize,
+    /// Shards skipped entirely by summary-graph pruning before any
+    /// candidate-region computation ran.
+    pub shards_pruned: usize,
 }
 
 impl MatchStats {
@@ -62,6 +69,8 @@ impl MatchStats {
         self.solutions += other.solutions;
         self.morsels += other.morsels;
         self.morsels_stolen += other.morsels_stolen;
+        self.shards_executed += other.shards_executed;
+        self.shards_pruned += other.shards_pruned;
     }
 }
 

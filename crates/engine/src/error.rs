@@ -26,6 +26,10 @@ pub enum StoreError {
     /// cannot execute anything; callers that want the store default should
     /// pass `None`, so this is rejected instead of silently clamped.
     InvalidThreadCount(usize),
+    /// The query falls outside the sharded executor's scope (UNION, a
+    /// disconnected pattern, or a triple beyond the halo radius). The inner
+    /// message says which rule failed; single-store execution still works.
+    NotShardable(String),
 }
 
 impl fmt::Display for StoreError {
@@ -40,6 +44,7 @@ impl fmt::Display for StoreError {
                 f,
                 "invalid thread count {n}: the override must be at least 1 (pass None for the store default)"
             ),
+            StoreError::NotShardable(why) => write!(f, "query is not shardable: {why}"),
         }
     }
 }
@@ -99,5 +104,8 @@ mod tests {
         let e: StoreError = SnapshotError::BadMagic.into();
         assert!(e.to_string().contains("snapshot error"));
         assert!(matches!(e, StoreError::Snapshot(SnapshotError::BadMagic)));
+        let e = StoreError::NotShardable("UNION patterns are out of scope".into());
+        assert!(e.to_string().contains("not shardable"));
+        assert!(e.to_string().contains("UNION"));
     }
 }

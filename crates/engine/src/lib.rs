@@ -12,13 +12,18 @@ pub mod backend;
 pub mod error;
 pub mod plan;
 pub mod results;
+pub mod sharded;
 pub mod store;
 
 pub use backend::{HeapBackend, SnapshotBackend, StorageBackend};
 pub use error::StoreError;
 pub use plan::QueryPlan;
 pub use results::{json_escape, QueryResults, ResultRow};
+pub use sharded::{AnyPlan, AnyStore, ShardedOptions, ShardedPlan, ShardedStore};
 pub use store::{EngineKind, ParseEngineKindError, PreparedQuery, Store, StoreOptions};
+// Re-exported so callers configuring a sharded store (the server's flag
+// parsing, the bench harness) need no direct partition dependency.
+pub use turbohom_partition::{Anchor, PartitionerKind, DEFAULT_HALO};
 // Re-exported so harnesses consuming `QueryResults::stats` (the benchmark
 // flight recorder, the service metrics) need no direct core dependency.
 pub use turbohom_core::MatchStats;
@@ -41,4 +46,8 @@ const _: () = {
     assert_send_sync::<QueryPlan>();
     assert_send_sync::<QueryResults>();
     assert_send_sync::<StoreError>();
+    assert_send_sync::<ShardedStore>();
+    assert_send_sync::<ShardedPlan>();
+    assert_send_sync::<AnyStore>();
+    assert_send_sync::<AnyPlan>();
 };

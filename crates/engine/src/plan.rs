@@ -242,6 +242,18 @@ impl Store {
                 Ok(results)
             }
         };
+        // Canonical row order: without a pushed-down LIMIT the full solution
+        // multiset is enumerated, so sorting makes the output independent of
+        // enumeration order — parallel morsel scheduling and sharded
+        // scatter-gather merge then produce byte-identical SPARQL-JSON to a
+        // single-threaded single-store run. (Under a LIMIT the engines stop
+        // early and any subset is a valid answer, so no order is imposed.)
+        let result = result.map(|mut results| {
+            if plan.limit.is_none() {
+                results.rows.sort_unstable();
+            }
+            results
+        });
         if let Ok(results) = &result {
             span.counter("solutions", results.solution_count as u64);
             span.counter("rows", results.rows.len() as u64);

@@ -1,0 +1,949 @@
+//! Sharded scatter-gather execution: a [`ShardedStore`] coordinator over
+//! `k` independent [`Store`] shards.
+//!
+//! The data graph is partitioned once at load time (`turbohom-partition`):
+//! every term has one owner shard, and each shard additionally replicates a
+//! bounded *halo* of boundary adjacency, so a connected query never needs a
+//! distributed join — each shard answers it locally and the coordinator
+//! only concatenates.
+//!
+//! Two pruning layers run before any shard executes:
+//!
+//! 1. **Summary pruning** (plan time): the query's constant footprint is
+//!    matched against each shard's summary graph; shards that provably hold
+//!    no result are never planned, let alone executed.
+//! 2. **Ownership routing** (plan time): a constant anchor sends the query
+//!    to its owner shard alone. A variable anchor fans out to the surviving
+//!    shards; each keeps only the rows whose anchor binding it owns, which
+//!    makes the concatenation an exact multiset partition of the
+//!    single-store answer — no deduplication, byte-identical SPARQL-JSON
+//!    (rows are canonically sorted on both paths, see
+//!    [`Store::run_plan_traced`]).
+//!
+//! Queries outside the sharded scope (UNION, disconnected patterns, triples
+//! beyond the halo radius) fail with [`StoreError::NotShardable`]; the
+//! single-store path still handles them.
+
+use crate::error::StoreError;
+use crate::plan::QueryPlan;
+use crate::results::QueryResults;
+use crate::store::{EngineKind, Store, StoreOptions};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use turbohom_core::MatchStats;
+use turbohom_partition::{
+    analyze_query, footprint, partition_dataset, summary_prunes, Anchor, Manifest, Ownership,
+    PartitionConfig, PartitionerKind, ShardSummary, DEFAULT_HALO,
+};
+use turbohom_rdf::{parse_ntriples, Dataset, InferenceConfig, InferenceEngine};
+use turbohom_sparql::{parse_query, Selection};
+use turbohom_storage::SnapshotError;
+use turbohom_trace::Trace;
+
+/// Construction options for a [`ShardedStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardedOptions {
+    /// Number of shards (clamped to at least 1).
+    pub shards: usize,
+    /// Materialize the RDFS closure *globally* before partitioning, so every
+    /// shard sees exactly the triples the equivalent single store would.
+    pub inference: bool,
+    /// Worker threads per shard execution (the per-shard TurboHOM++ setting).
+    pub threads: usize,
+    /// Term → shard assignment strategy.
+    pub partitioner: PartitionerKind,
+    /// Boundary replication radius (linkage hops).
+    pub halo: usize,
+}
+
+impl Default for ShardedOptions {
+    fn default() -> Self {
+        ShardedOptions {
+            shards: 4,
+            inference: false,
+            threads: 1,
+            partitioner: PartitionerKind::Hash,
+            halo: DEFAULT_HALO,
+        }
+    }
+}
+
+/// A coordinator over `k` shard [`Store`]s plus their summary graphs.
+///
+/// `Send + Sync` like `Store`; services share one behind an `Arc`.
+pub struct ShardedStore {
+    shards: Vec<Arc<Store>>,
+    summaries: Vec<ShardSummary>,
+    ownership: Ownership,
+    halo: usize,
+    global_triples: usize,
+    snapshot_path: Option<PathBuf>,
+}
+
+impl std::fmt::Debug for ShardedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedStore")
+            .field("shards", &self.shards.len())
+            .field("partitioner", &self.ownership.kind())
+            .field("halo", &self.halo)
+            .field("global_triples", &self.global_triples)
+            .finish()
+    }
+}
+
+impl ShardedStore {
+    /// Partitions a dataset and builds one store per shard. When
+    /// `options.inference` is set the RDFS closure is materialized *before*
+    /// partitioning (the shard stores are then built without inference), so
+    /// sharded answers match a single inferred store exactly.
+    pub fn from_dataset_with(
+        mut dataset: Dataset,
+        options: ShardedOptions,
+    ) -> Result<Self, StoreError> {
+        if options.inference {
+            InferenceEngine::new(InferenceConfig::full()).materialize(&mut dataset);
+        }
+        let config = PartitionConfig {
+            shards: options.shards,
+            partitioner: options.partitioner,
+            halo: options.halo,
+        };
+        let parts = partition_dataset(&dataset, &config);
+        let store_options = StoreOptions {
+            inference: false,
+            threads: options.threads,
+        };
+        let mut shards = Vec::with_capacity(parts.shards.len());
+        let mut summaries = Vec::with_capacity(parts.shards.len());
+        for shard_dataset in parts.shards {
+            summaries.push(ShardSummary::build(&shard_dataset));
+            shards.push(Arc::new(Store::from_dataset_with(
+                shard_dataset,
+                store_options,
+            )));
+        }
+        Ok(ShardedStore {
+            shards,
+            summaries,
+            ownership: parts.ownership,
+            halo: parts.halo,
+            global_triples: parts.global_triples,
+            snapshot_path: None,
+        })
+    }
+
+    /// Parses an N-Triples document, then partitions it.
+    pub fn from_ntriples_with(input: &str, options: ShardedOptions) -> Result<Self, StoreError> {
+        Self::from_dataset_with(parse_ntriples(input)?, options)
+    }
+
+    /// Writes one snapshot per shard (`<base>.shard<i>.snap` next to `base`)
+    /// plus a manifest at `base` itself, and returns the total bytes
+    /// written. [`from_manifest`](Self::from_manifest) boots from the
+    /// manifest path.
+    pub fn save_snapshots(&self, base: &Path) -> Result<u64, StoreError> {
+        let file_name = base
+            .file_name()
+            .and_then(|n| n.to_str())
+            .ok_or_else(|| SnapshotError::Io("snapshot path has no file name".into()))?;
+        let mut total = 0u64;
+        let mut shard_files = Vec::with_capacity(self.shards.len());
+        let mut shard_triples = Vec::with_capacity(self.shards.len());
+        for (i, shard) in self.shards.iter().enumerate() {
+            let name = format!("{file_name}.shard{i}.snap");
+            total += shard.save_snapshot(&base.with_file_name(&name))?;
+            shard_files.push(name);
+            shard_triples.push(shard.triple_count() as u64);
+        }
+        let manifest = Manifest {
+            shards: self.shards.len(),
+            halo: self.halo,
+            partitioner: self.ownership.kind(),
+            buckets: self.ownership.bucket_table().to_vec(),
+            shard_files,
+            shard_triples,
+            global_triples: self.global_triples as u64,
+        };
+        let text = manifest.to_json();
+        std::fs::write(base, &text).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        Ok(total + text.len() as u64)
+    }
+
+    /// Returns `true` if `path` looks like a shard manifest rather than a
+    /// binary snapshot (manifests are JSON; snapshots start with magic
+    /// bytes).
+    pub fn is_manifest(path: &Path) -> bool {
+        std::fs::read(path)
+            .ok()
+            .and_then(|bytes| {
+                bytes
+                    .iter()
+                    .find(|b| !b.is_ascii_whitespace())
+                    .map(|&b| b == b'{')
+            })
+            .unwrap_or(false)
+    }
+
+    /// Boots a sharded store from a manifest written by
+    /// [`save_snapshots`](Self::save_snapshots): maps every shard snapshot
+    /// and rebuilds the summaries by scanning the shard datasets.
+    pub fn from_manifest(path: &Path, threads: usize) -> Result<Self, StoreError> {
+        let text = std::fs::read_to_string(path).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        let manifest = Manifest::parse(&text).map_err(SnapshotError::Malformed)?;
+        let ownership = manifest
+            .ownership()
+            .expect("Manifest::parse validates the bucket table");
+        let mut shards = Vec::with_capacity(manifest.shards);
+        let mut summaries = Vec::with_capacity(manifest.shards);
+        for file in &manifest.shard_files {
+            let shard = Store::from_snapshot_with(&path.with_file_name(file), threads)?;
+            summaries.push(ShardSummary::build(shard.dataset()));
+            shards.push(Arc::new(shard));
+        }
+        Ok(ShardedStore {
+            shards,
+            summaries,
+            ownership,
+            halo: manifest.halo,
+            global_triples: manifest.global_triples as usize,
+            snapshot_path: Some(path.to_path_buf()),
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard's store (panics if out of range).
+    pub fn shard(&self, i: usize) -> &Arc<Store> {
+        &self.shards[i]
+    }
+
+    /// The boundary replication radius the shards were built with.
+    pub fn halo(&self) -> usize {
+        self.halo
+    }
+
+    /// Name of the partitioner that assigned ownership.
+    pub fn partitioner_name(&self) -> &'static str {
+        self.ownership.kind().name()
+    }
+
+    /// Triples in the original, unpartitioned dataset (after inference).
+    /// Shard-local counts are higher in total because of halo replication.
+    pub fn triple_count(&self) -> usize {
+        self.global_triples
+    }
+
+    /// `"sharded-heap"` or `"sharded-snapshot"`.
+    pub fn backend_name(&self) -> &'static str {
+        if self.snapshot_path.is_some() {
+            "sharded-snapshot"
+        } else {
+            "sharded-heap"
+        }
+    }
+
+    /// The manifest file backing this store, if it was booted from one.
+    pub fn snapshot_path(&self) -> Option<&Path> {
+        self.snapshot_path.as_deref()
+    }
+
+    /// `true` when every shard reads from a memory-mapped snapshot.
+    pub fn is_mapped(&self) -> bool {
+        !self.shards.is_empty() && self.shards.iter().all(|s| s.is_mapped())
+    }
+
+    /// Parses a SPARQL query and builds the sharded plan for `kind`.
+    pub fn prepare_plan(&self, sparql: &str, kind: EngineKind) -> Result<ShardedPlan, StoreError> {
+        self.prepare_plan_traced(sparql, kind, &Trace::disabled())
+    }
+
+    /// Like [`prepare_plan`](Self::prepare_plan), recording `parse`,
+    /// `summary_prune` (with `live`/`pruned` counters) and `transform`
+    /// stage spans.
+    pub fn prepare_plan_traced(
+        &self,
+        sparql: &str,
+        kind: EngineKind,
+        trace: &Trace,
+    ) -> Result<ShardedPlan, StoreError> {
+        let query = {
+            let _span = trace.span("parse");
+            parse_query(sparql)?
+        };
+        let shard_query = analyze_query(&query, self.halo).map_err(StoreError::NotShardable)?;
+
+        // Layer 1: summary pruning + ownership routing decide the live set.
+        let mut span = trace.span("summary_prune");
+        let fp = footprint(&query);
+        let mut live: Vec<usize> = Vec::with_capacity(self.shards.len());
+        let mut scratch = String::new();
+        let route = match &shard_query.anchor {
+            Anchor::Constant(term) => Some(self.ownership.owner(term, &mut scratch)),
+            Anchor::Variable(_) => None,
+        };
+        for (i, summary) in self.summaries.iter().enumerate() {
+            if route.is_some_and(|owner| owner != i) {
+                continue;
+            }
+            if !summary_prunes(summary, &fp) {
+                live.push(i);
+            }
+        }
+        let pruned = self.shards.len() - live.len();
+        span.counter("live", live.len() as u64);
+        span.counter("pruned", pruned as u64);
+        span.finish();
+
+        // The per-shard query: no LIMIT/OFFSET (the coordinator applies the
+        // window after the merge), and the anchor variable added to the
+        // projection when the filter needs a column the query did not ask
+        // for (dropped again after filtering).
+        let mut shard_sparql = query.clone();
+        shard_sparql.limit = None;
+        shard_sparql.offset = None;
+        let mut anchor_extended = false;
+        let anchor_column = match &shard_query.anchor {
+            Anchor::Constant(_) => None,
+            Anchor::Variable(var) => {
+                let mut projected = query.projected_variables();
+                if !projected.contains(var) {
+                    projected.push(var.clone());
+                    shard_sparql.selection = Selection::Variables(projected.clone());
+                    anchor_extended = true;
+                }
+                Some(projected.iter().position(|v| v == var).unwrap())
+            }
+        };
+
+        let mut span = trace.span("transform");
+        let mut per_shard: Vec<Option<Arc<QueryPlan>>> =
+            (0..self.shards.len()).map(|_| None).collect();
+        for &i in &live {
+            per_shard[i] = Some(Arc::new(self.shards[i].plan_query(&shard_sparql, kind)?));
+        }
+        span.counter("shard_plans", live.len() as u64);
+        span.finish();
+
+        // Mirror the single-store LIMIT-pushdown rule: with an OFFSET the
+        // window is the caller's job, so no limit applies at the merge.
+        let limit = match query.offset {
+            None | Some(0) => query.limit,
+            Some(_) => None,
+        };
+        Ok(ShardedPlan {
+            kind,
+            projected: query.projected_variables(),
+            limit,
+            anchor: shard_query.anchor,
+            anchor_column,
+            anchor_extended,
+            per_shard,
+            live,
+            pruned,
+        })
+    }
+
+    /// Runs a sharded plan.
+    pub fn run_plan(&self, plan: &ShardedPlan) -> Result<QueryResults, StoreError> {
+        self.run_plan_traced(plan, None, &Trace::disabled())
+    }
+
+    /// Runs a sharded plan, scattering it across the live shards on a
+    /// worker pool and gathering the per-shard rows into one canonical
+    /// result. Records an `execute` stage span with `shard_fanout` and
+    /// `merge` children plus one `shard_execute` roll-up per executed shard.
+    pub fn run_plan_traced(
+        &self,
+        plan: &ShardedPlan,
+        threads: Option<usize>,
+        trace: &Trace,
+    ) -> Result<QueryResults, StoreError> {
+        if threads == Some(0) {
+            return Err(StoreError::InvalidThreadCount(0));
+        }
+        let start = Instant::now();
+        let mut span = trace.span("execute");
+        let parent = span.id();
+
+        let mut fanout = trace.span_under("shard_fanout", parent);
+        fanout.counter("live", plan.live.len() as u64);
+        fanout.counter("pruned", plan.pruned as u64);
+        // One slot per live shard; a small pool of workers drains them via
+        // an atomic cursor, each worker reusing its scratch buffer across
+        // shard tasks (the ownership filter renders terms into it).
+        let mut slots: Vec<Option<Result<QueryResults, StoreError>>> =
+            (0..plan.live.len()).map(|_| None).collect();
+        let workers = plan
+            .live
+            .len()
+            .min(std::thread::available_parallelism().map_or(4, |n| n.get()))
+            .max(1);
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let cursor = &cursor;
+                handles.push(scope.spawn(move || {
+                    let mut scratch = ShardScratch::default();
+                    let mut done: Vec<(usize, Result<QueryResults, StoreError>)> = Vec::new();
+                    loop {
+                        let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                        if slot >= plan.live.len() {
+                            return done;
+                        }
+                        let shard_id = plan.live[slot];
+                        done.push((slot, self.run_shard(plan, shard_id, threads, &mut scratch)));
+                    }
+                }));
+            }
+            for handle in handles {
+                for (slot, result) in handle.join().expect("shard worker panicked") {
+                    slots[slot] = Some(result);
+                }
+            }
+        });
+        fanout.finish();
+
+        // Gather. Shard durations are recorded as roll-ups so a pool never
+        // skews the span tree (the work happened on worker threads).
+        let mut merge = trace.span_under("merge", parent);
+        let mut rows = Vec::new();
+        let mut stats = MatchStats::default();
+        let mut elapsed_max = std::time::Duration::ZERO;
+        for (slot, result) in slots.into_iter().enumerate() {
+            let result = result.expect("every live slot is executed")?;
+            trace.record_rollup(
+                "shard_execute",
+                parent,
+                result.elapsed,
+                &[
+                    ("shard", plan.live[slot] as u64),
+                    ("rows", result.rows.len() as u64),
+                ],
+            );
+            elapsed_max = elapsed_max.max(result.elapsed);
+            stats.merge(&result.stats);
+            rows.extend(result.rows);
+        }
+        stats.shards_executed = plan.live.len();
+        stats.shards_pruned = plan.pruned;
+        if plan.anchor_extended {
+            for row in &mut rows {
+                row.pop();
+            }
+        }
+        // The same canonical order the single-store path imposes; the merge
+        // is then byte-identical to an unsharded run.
+        rows.sort_unstable();
+        if let Some(limit) = plan.limit {
+            rows.truncate(limit);
+        }
+        merge.counter("rows", rows.len() as u64);
+        merge.finish();
+
+        let results = QueryResults {
+            variables: plan.projected.clone(),
+            solution_count: rows.len(),
+            rows,
+            elapsed: start.elapsed().max(elapsed_max),
+            stats,
+        };
+        span.counter("solutions", results.solution_count as u64);
+        span.counter("rows", results.rows.len() as u64);
+        span.finish();
+        Ok(results)
+    }
+
+    /// Parses and executes in one call (tests and examples; services cache
+    /// the plan).
+    pub fn execute(&self, sparql: &str, kind: EngineKind) -> Result<QueryResults, StoreError> {
+        self.run_plan(&self.prepare_plan(sparql, kind)?)
+    }
+
+    /// Runs one shard's plan and applies the ownership filter for variable
+    /// anchors: each shard keeps exactly the rows whose anchor binding it
+    /// owns, so the gathered rows partition the global multiset.
+    fn run_shard(
+        &self,
+        plan: &ShardedPlan,
+        shard_id: usize,
+        threads: Option<usize>,
+        scratch: &mut ShardScratch,
+    ) -> Result<QueryResults, StoreError> {
+        let shard_plan = plan.per_shard[shard_id]
+            .as_ref()
+            .expect("live shards have plans");
+        // Shard spans would tangle with the coordinator's tree (they run on
+        // pool threads); durations are re-attached as roll-ups instead.
+        let mut results =
+            self.shards[shard_id].run_plan_traced(shard_plan, threads, &Trace::disabled())?;
+        if let Some(col) = plan.anchor_column {
+            let ownership = &self.ownership;
+            results.rows.retain(|row| {
+                // The anchor comes from a required triple, so it is bound in
+                // every row; an absent binding defaults to shard 0.
+                row[col].as_ref().map_or(shard_id == 0, |term| {
+                    ownership.owner(term, &mut scratch.render) == shard_id
+                })
+            });
+            results.solution_count = results.rows.len();
+        }
+        Ok(results)
+    }
+}
+
+/// Per-worker reusable buffers, held across shard tasks so the hot
+/// ownership-filter loop never allocates per row.
+#[derive(Default)]
+struct ShardScratch {
+    render: String,
+}
+
+/// A prepared sharded plan: the live-shard set decided by summary pruning
+/// and ownership routing, plus one single-store plan per live shard.
+pub struct ShardedPlan {
+    kind: EngineKind,
+    projected: Vec<String>,
+    /// The merge-time LIMIT (single-store pushdown rule: absent when an
+    /// OFFSET shifts the window).
+    limit: Option<usize>,
+    anchor: Anchor,
+    /// Column of the anchor variable in the per-shard output (`None` for
+    /// constant anchors, which route instead of filtering).
+    anchor_column: Option<usize>,
+    /// The anchor column was appended to the projection and is dropped
+    /// after filtering.
+    anchor_extended: bool,
+    per_shard: Vec<Option<Arc<QueryPlan>>>,
+    live: Vec<usize>,
+    pruned: usize,
+}
+
+impl ShardedPlan {
+    /// The engine the per-shard plans were prepared for.
+    pub fn kind(&self) -> EngineKind {
+        self.kind
+    }
+
+    /// The projected variable names, in output order.
+    pub fn projected_variables(&self) -> &[String] {
+        &self.projected
+    }
+
+    /// The shards that will execute (after summary pruning and constant
+    /// routing), in ascending order.
+    pub fn live_shards(&self) -> &[usize] {
+        &self.live
+    }
+
+    /// Number of shards skipped before execution.
+    pub fn pruned_shards(&self) -> usize {
+        self.pruned
+    }
+
+    /// The anchor the shardability analysis picked.
+    pub fn anchor(&self) -> &Anchor {
+        &self.anchor
+    }
+}
+
+/// Either a single [`Store`] or a [`ShardedStore`], behind one dispatch
+/// surface so the service layer stays agnostic.
+#[derive(Clone)]
+pub enum AnyStore {
+    /// The classic single-store path.
+    Single(Arc<Store>),
+    /// The sharded scatter-gather path.
+    Sharded(Arc<ShardedStore>),
+}
+
+impl AnyStore {
+    /// Prepares a plan, recording stage spans into `trace`.
+    pub fn prepare_plan_traced(
+        &self,
+        sparql: &str,
+        kind: EngineKind,
+        trace: &Trace,
+    ) -> Result<AnyPlan, StoreError> {
+        match self {
+            AnyStore::Single(s) => Ok(AnyPlan::Single(Arc::new(
+                s.prepare_plan_traced(sparql, kind, trace)?,
+            ))),
+            AnyStore::Sharded(s) => Ok(AnyPlan::Sharded(Arc::new(
+                s.prepare_plan_traced(sparql, kind, trace)?,
+            ))),
+        }
+    }
+
+    /// Runs a prepared plan, recording execution spans into `trace`.
+    /// Panics if the plan came from the other store flavor (the service
+    /// keys its cache per store, so plans never cross).
+    pub fn run_plan_traced(
+        &self,
+        plan: &AnyPlan,
+        threads: Option<usize>,
+        trace: &Trace,
+    ) -> Result<QueryResults, StoreError> {
+        match (self, plan) {
+            (AnyStore::Single(s), AnyPlan::Single(p)) => s.run_plan_traced(p, threads, trace),
+            (AnyStore::Sharded(s), AnyPlan::Sharded(p)) => s.run_plan_traced(p, threads, trace),
+            _ => panic!("plan prepared by a different store flavor"),
+        }
+    }
+
+    /// Triples loaded (the original dataset's count on the sharded path).
+    pub fn triple_count(&self) -> usize {
+        match self {
+            AnyStore::Single(s) => s.triple_count(),
+            AnyStore::Sharded(s) => s.triple_count(),
+        }
+    }
+
+    /// Backend label for diagnostics (`"heap"`, `"snapshot"`,
+    /// `"sharded-heap"`, `"sharded-snapshot"`).
+    pub fn backend_name(&self) -> &'static str {
+        match self {
+            AnyStore::Single(s) => s.backend_name(),
+            AnyStore::Sharded(s) => s.backend_name(),
+        }
+    }
+
+    /// The snapshot (or manifest) file backing this store, if any.
+    pub fn snapshot_path(&self) -> Option<&Path> {
+        match self {
+            AnyStore::Single(s) => s.snapshot_path(),
+            AnyStore::Sharded(s) => s.snapshot_path(),
+        }
+    }
+
+    /// `true` when the store reads from memory-mapped snapshot(s).
+    pub fn is_mapped(&self) -> bool {
+        match self {
+            AnyStore::Single(s) => s.is_mapped(),
+            AnyStore::Sharded(s) => s.is_mapped(),
+        }
+    }
+
+    /// Parses and executes in one call (sugar for prepare + run; services
+    /// cache the plan instead).
+    pub fn execute(&self, sparql: &str, kind: EngineKind) -> Result<QueryResults, StoreError> {
+        let plan = self.prepare_plan_traced(sparql, kind, &Trace::disabled())?;
+        self.run_plan_traced(&plan, None, &Trace::disabled())
+    }
+
+    /// Number of shards (`None` on the single-store path).
+    pub fn shard_count(&self) -> Option<usize> {
+        match self {
+            AnyStore::Single(_) => None,
+            AnyStore::Sharded(s) => Some(s.shard_count()),
+        }
+    }
+
+    /// Partitioner name (`None` on the single-store path).
+    pub fn partitioner_name(&self) -> Option<&'static str> {
+        match self {
+            AnyStore::Single(_) => None,
+            AnyStore::Sharded(s) => Some(s.partitioner_name()),
+        }
+    }
+
+    /// Halo radius (`None` on the single-store path).
+    pub fn halo(&self) -> Option<usize> {
+        match self {
+            AnyStore::Single(_) => None,
+            AnyStore::Sharded(s) => Some(s.halo()),
+        }
+    }
+}
+
+/// A prepared plan for either store flavor (what the service's plan cache
+/// holds).
+#[derive(Clone)]
+pub enum AnyPlan {
+    /// Plan against a single store.
+    Single(Arc<QueryPlan>),
+    /// Plan against a sharded store.
+    Sharded(Arc<ShardedPlan>),
+}
+
+impl AnyPlan {
+    /// The engine the plan was prepared for.
+    pub fn kind(&self) -> EngineKind {
+        match self {
+            AnyPlan::Single(p) => p.kind(),
+            AnyPlan::Sharded(p) => p.kind(),
+        }
+    }
+
+    /// The projected variable names, in output order.
+    pub fn projected_variables(&self) -> &[String] {
+        match self {
+            AnyPlan::Single(p) => p.projected_variables(),
+            AnyPlan::Sharded(p) => p.projected_variables(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbohom_rdf::vocab;
+
+    fn ub(l: &str) -> String {
+        format!("http://ub.org/{l}")
+    }
+
+    /// A dataset with enough structure to exercise routing, pruning and
+    /// halo replication: students in two departments of one university.
+    fn sample_dataset() -> Dataset {
+        let mut ds = Dataset::new();
+        ds.insert_iris(
+            &ub("GraduateStudent"),
+            vocab::RDFS_SUBCLASSOF,
+            &ub("Student"),
+        );
+        for d in 0..2 {
+            let dept = ub(&format!("dept{d}"));
+            ds.insert_iris(&dept, vocab::RDF_TYPE, &ub("Department"));
+            ds.insert_iris(&dept, &ub("subOrganizationOf"), &ub("univ0"));
+            for i in 0..5 {
+                let s = ub(&format!("student{d}_{i}"));
+                ds.insert_iris(&s, vocab::RDF_TYPE, &ub("GraduateStudent"));
+                ds.insert_iris(&s, &ub("memberOf"), &dept);
+            }
+        }
+        ds.insert_iris(&ub("univ0"), vocab::RDF_TYPE, &ub("University"));
+        ds
+    }
+
+    fn single_store() -> Store {
+        Store::from_dataset_with(
+            sample_dataset(),
+            StoreOptions {
+                inference: true,
+                threads: 1,
+            },
+        )
+    }
+
+    fn sharded(shards: usize, partitioner: PartitionerKind) -> ShardedStore {
+        ShardedStore::from_dataset_with(
+            sample_dataset(),
+            ShardedOptions {
+                shards,
+                inference: true,
+                threads: 1,
+                partitioner,
+                halo: DEFAULT_HALO,
+            },
+        )
+        .unwrap()
+    }
+
+    const QUERIES: &[&str] = &[
+        // Variable anchor, every student.
+        r#"PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+           PREFIX ub: <http://ub.org/>
+           SELECT ?x ?d WHERE { ?x rdf:type ub:Student . ?x ub:memberOf ?d . }"#,
+        // Constant anchor (dept0) — routes to one shard.
+        r#"PREFIX ub: <http://ub.org/>
+           SELECT ?x WHERE { ?x ub:memberOf <http://ub.org/dept0> . }"#,
+        // Triangle through the university.
+        r#"PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+           PREFIX ub: <http://ub.org/>
+           SELECT ?x ?d ?u WHERE {
+             ?x ub:memberOf ?d . ?d ub:subOrganizationOf ?u .
+             ?u rdf:type ub:University . }"#,
+        // Anchor variable not projected.
+        r#"PREFIX ub: <http://ub.org/>
+           SELECT ?d WHERE { ?x ub:memberOf ?d . }"#,
+        // OPTIONAL rides along.
+        r#"PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+           PREFIX ub: <http://ub.org/>
+           SELECT ?d ?u WHERE {
+             ?d rdf:type ub:Department .
+             OPTIONAL { ?d ub:subOrganizationOf ?u . } }"#,
+    ];
+
+    #[test]
+    fn sharded_results_are_byte_identical_to_single_store() {
+        let single = single_store();
+        for partitioner in [PartitionerKind::Hash, PartitionerKind::Greedy] {
+            for k in [1, 3, 4] {
+                let sharded = sharded(k, partitioner);
+                for q in QUERIES {
+                    for kind in EngineKind::all() {
+                        let expect = single.execute(q, kind).unwrap();
+                        let got = sharded.execute(q, kind).unwrap();
+                        assert_eq!(
+                            got.to_sparql_json(),
+                            expect.to_sparql_json(),
+                            "k={k} {partitioner:?} {kind} {q}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constant_anchor_routes_to_a_single_shard() {
+        let sharded = sharded(4, PartitionerKind::Hash);
+        let plan = sharded
+            .prepare_plan(QUERIES[1], EngineKind::TurboHomPlusPlus)
+            .unwrap();
+        assert!(matches!(plan.anchor(), Anchor::Constant(_)));
+        assert!(plan.live_shards().len() <= 1);
+        assert!(plan.pruned_shards() >= 3);
+        let r = sharded.run_plan(&plan).unwrap();
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.stats.shards_pruned, plan.pruned_shards());
+        assert_eq!(r.stats.shards_executed, plan.live_shards().len());
+    }
+
+    #[test]
+    fn summary_pruning_skips_shards_without_the_constants() {
+        let sharded = sharded(4, PartitionerKind::Hash);
+        // A predicate absent everywhere: every shard is pruned, the result
+        // is empty without executing anything.
+        let q = r#"PREFIX ub: <http://ub.org/>
+                   SELECT ?x WHERE { ?x ub:nonexistent ?y . }"#;
+        let plan = sharded
+            .prepare_plan(q, EngineKind::TurboHomPlusPlus)
+            .unwrap();
+        assert!(plan.live_shards().is_empty());
+        assert_eq!(plan.pruned_shards(), 4);
+        let r = sharded.run_plan(&plan).unwrap();
+        assert!(r.rows.is_empty());
+        assert_eq!(r.stats.shards_pruned, 4);
+    }
+
+    #[test]
+    fn union_and_disconnected_queries_are_not_shardable() {
+        let sharded = sharded(2, PartitionerKind::Hash);
+        let union = r#"PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+                       PREFIX ub: <http://ub.org/>
+                       SELECT ?x WHERE {
+                         { ?x rdf:type ub:Department . } UNION { ?x rdf:type ub:University . } }"#;
+        assert!(matches!(
+            sharded.execute(union, EngineKind::TurboHomPlusPlus),
+            Err(StoreError::NotShardable(_))
+        ));
+        let disconnected = r#"PREFIX ub: <http://ub.org/>
+                              SELECT ?a ?b WHERE {
+                                ?a ub:memberOf <http://ub.org/dept0> .
+                                ?b ub:memberOf <http://ub.org/dept1> . }"#;
+        assert!(matches!(
+            sharded.execute(disconnected, EngineKind::TurboHomPlusPlus),
+            Err(StoreError::NotShardable(_))
+        ));
+    }
+
+    #[test]
+    fn limit_applies_after_the_merge() {
+        let single = single_store();
+        let sharded = sharded(3, PartitionerKind::Hash);
+        let q = format!("{} LIMIT 4", QUERIES[0]);
+        let r = sharded.execute(&q, EngineKind::TurboHomPlusPlus).unwrap();
+        assert_eq!(r.rows.len(), 4);
+        // The sharded rows are the 4 smallest in canonical order — a valid
+        // LIMIT answer, and a deterministic one.
+        let mut all = single
+            .execute(QUERIES[0], EngineKind::TurboHomPlusPlus)
+            .unwrap();
+        all.rows.truncate(4);
+        assert_eq!(r.rows, all.rows);
+    }
+
+    #[test]
+    fn sharded_traces_record_fanout_merge_and_rollups() {
+        let sharded = sharded(3, PartitionerKind::Hash);
+        let trace = Trace::new(7);
+        let plan = sharded
+            .prepare_plan_traced(QUERIES[0], EngineKind::TurboHomPlusPlus, &trace)
+            .unwrap();
+        sharded.run_plan_traced(&plan, None, &trace).unwrap();
+        let report = trace.finish();
+        let names: Vec<_> = report
+            .spans
+            .iter()
+            .filter(|s| s.parent.is_none())
+            .map(|s| s.name)
+            .collect();
+        assert_eq!(names, ["parse", "summary_prune", "transform", "execute"]);
+        let execute = report.spans.iter().find(|s| s.name == "execute").unwrap();
+        for child in ["shard_fanout", "merge"] {
+            let s = report.spans.iter().find(|s| s.name == child).unwrap();
+            assert_eq!(s.parent, Some(execute.id));
+        }
+        let rollups: Vec<_> = report
+            .spans
+            .iter()
+            .filter(|s| s.name == "shard_execute")
+            .collect();
+        assert_eq!(rollups.len(), plan.live_shards().len());
+        assert!(rollups.iter().all(|s| s.parent == Some(execute.id)));
+        let prune = report
+            .spans
+            .iter()
+            .find(|s| s.name == "summary_prune")
+            .unwrap();
+        assert!(prune.counters.iter().any(|(n, _)| *n == "live"));
+        assert!(prune.counters.iter().any(|(n, _)| *n == "pruned"));
+    }
+
+    #[test]
+    fn snapshot_manifest_round_trip() {
+        let dir = std::env::temp_dir().join(format!("turbohom-shard-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("sample.shards");
+        let built = sharded(3, PartitionerKind::Greedy);
+        built.save_snapshots(&base).unwrap();
+        assert!(ShardedStore::is_manifest(&base));
+        assert!(!ShardedStore::is_manifest(
+            &base.with_file_name("sample.shards.shard0.snap")
+        ));
+
+        let booted = ShardedStore::from_manifest(&base, 1).unwrap();
+        assert_eq!(booted.shard_count(), 3);
+        assert_eq!(booted.partitioner_name(), "greedy");
+        assert_eq!(booted.triple_count(), built.triple_count());
+        assert_eq!(booted.backend_name(), "sharded-snapshot");
+        assert!(booted.is_mapped());
+        for q in QUERIES {
+            let a = built.execute(q, EngineKind::TurboHomPlusPlus).unwrap();
+            let b = booted.execute(q, EngineKind::TurboHomPlusPlus).unwrap();
+            assert_eq!(a.to_sparql_json(), b.to_sparql_json());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn any_store_dispatches_both_flavors() {
+        let single = AnyStore::Single(Arc::new(single_store()));
+        let sharded_store = AnyStore::Sharded(Arc::new(sharded(2, PartitionerKind::Hash)));
+        assert_eq!(single.shard_count(), None);
+        assert_eq!(sharded_store.shard_count(), Some(2));
+        assert_eq!(sharded_store.partitioner_name(), Some("hash"));
+        assert_eq!(sharded_store.halo(), Some(DEFAULT_HALO));
+        assert_eq!(sharded_store.backend_name(), "sharded-heap");
+        assert_eq!(single.triple_count(), sharded_store.triple_count());
+        let trace = Trace::disabled();
+        let mut bodies = Vec::new();
+        for store in [&single, &sharded_store] {
+            let plan = store
+                .prepare_plan_traced(QUERIES[0], EngineKind::TurboHomPlusPlus, &trace)
+                .unwrap();
+            assert_eq!(plan.kind(), EngineKind::TurboHomPlusPlus);
+            assert_eq!(plan.projected_variables(), ["x", "d"]);
+            let r = store.run_plan_traced(&plan, None, &trace).unwrap();
+            bodies.push(r.to_sparql_json());
+        }
+        assert_eq!(bodies[0], bodies[1]);
+    }
+}

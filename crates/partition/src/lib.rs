@@ -1,0 +1,121 @@
+//! Data-graph partitioning and summary-graph pruning for sharded execution.
+//!
+//! The paper's TurboHOM++ wins by shrinking the search space *before*
+//! enumeration; this crate extends the same idea to scale-out (ROADMAP
+//! item 4, following Gai et al.'s partition-based summary-graph method):
+//!
+//! * [`partition_dataset`] deterministically splits a [`Dataset`] into `k`
+//!   partitions by term ownership ([`Ownership`]: plain hash or a METIS-lite
+//!   greedy bucket assignment), replicating a bounded *halo* of boundary
+//!   adjacency into each partition so that a connected query never needs a
+//!   distributed join.
+//! * [`ShardSummary`] is the per-partition summary graph: the exact predicate
+//!   and class signatures plus a Bloom filter over all subject/object terms.
+//!   A query's constant [`footprint`] is matched against the summaries first,
+//!   and whole partitions are skipped before any candidate-region
+//!   computation runs.
+//! * [`analyze_query`] decides whether a query is shardable at all (single
+//!   union-free branch, every triple within the halo radius of an anchor)
+//!   and picks the anchor term that makes scatter-gather results an *exact*
+//!   multiset partition of the single-store answer.
+//! * [`Manifest`] describes a saved set of per-shard snapshots so a sharded
+//!   store can be booted from disk.
+//!
+//! Everything here is deliberately independent of the engine crates: it
+//! speaks [`Dataset`]/[`Term`] on the data side and the SPARQL algebra on
+//! the query side, so the coordinator in `turbohom-engine` stays thin.
+
+mod manifest;
+mod partitioner;
+mod query;
+mod summary;
+
+pub use manifest::{Manifest, MANIFEST_FORMAT};
+pub use partitioner::{
+    partition_dataset, Ownership, PartitionConfig, PartitionedDataset, PartitionerKind,
+    DEFAULT_HALO, GREEDY_BUCKETS,
+};
+pub use query::{analyze_query, Anchor, ShardQuery};
+pub use summary::{footprint, summary_prunes, Bloom, QueryFootprint, ShardSummary};
+
+use turbohom_rdf::{vocab, Term};
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice. The same function the query fingerprint uses;
+/// kept dependency-free here so ownership is stable across processes.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The ownership hash of a term: FNV-1a over its N-Triples rendering.
+/// Dictionary-independent, so every shard (and every process) agrees on
+/// which shard owns a term regardless of local id assignment.
+pub fn term_hash(term: &Term) -> u64 {
+    let mut scratch = String::new();
+    term_hash_into(term, &mut scratch)
+}
+
+/// Like [`term_hash`], rendering into a caller-owned scratch buffer so hot
+/// loops (the coordinator's per-row ownership filter) never allocate.
+pub fn term_hash_into(term: &Term, scratch: &mut String) -> u64 {
+    use std::fmt::Write;
+    scratch.clear();
+    let _ = write!(scratch, "{term}");
+    fnv1a(scratch.as_bytes())
+}
+
+/// Returns `true` for the RDFS schema predicates that are replicated into
+/// every shard (`rdfs:subClassOf`, `rdfs:subPropertyOf`, `rdfs:domain`,
+/// `rdfs:range`). Schema triples are tiny and global, so replication makes
+/// any schema-touching pattern trivially satisfiable everywhere.
+pub fn is_schema_predicate(iri: &str) -> bool {
+    iri == vocab::RDFS_SUBCLASSOF
+        || iri == vocab::RDFS_SUBPROPERTYOF
+        || iri == vocab::RDFS_DOMAIN
+        || iri == vocab::RDFS_RANGE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_known_vectors() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn term_hash_is_rendering_based_and_scratch_reusable() {
+        let a = Term::iri("http://ex.org/a");
+        let mut scratch = String::new();
+        let h1 = term_hash(&a);
+        let h2 = term_hash_into(&a, &mut scratch);
+        assert_eq!(h1, h2);
+        assert_eq!(scratch, "<http://ex.org/a>");
+        // Different term kinds with the same inner text hash differently.
+        assert_ne!(term_hash(&Term::iri("x")), term_hash(&Term::literal("x")));
+        // The scratch buffer is reusable across terms.
+        let h3 = term_hash_into(&Term::literal("x"), &mut scratch);
+        assert_eq!(h3, term_hash(&Term::literal("x")));
+    }
+
+    #[test]
+    fn schema_predicates_are_recognized() {
+        assert!(is_schema_predicate(vocab::RDFS_SUBCLASSOF));
+        assert!(is_schema_predicate(vocab::RDFS_SUBPROPERTYOF));
+        assert!(is_schema_predicate(vocab::RDFS_DOMAIN));
+        assert!(is_schema_predicate(vocab::RDFS_RANGE));
+        assert!(!is_schema_predicate(vocab::RDF_TYPE));
+        assert!(!is_schema_predicate("http://ex.org/p"));
+    }
+}

@@ -1,0 +1,283 @@
+//! Per-partition summary graphs and the query footprint matched against
+//! them.
+//!
+//! A [`ShardSummary`] is deliberately tiny: the *exact* set of predicate
+//! hashes, the *exact* set of class hashes (objects of `rdf:type`), and a
+//! Bloom filter over every subject/object term hash. Matching a query's
+//! constant [`footprint`] against a summary costs a handful of set probes,
+//! and a miss proves the shard cannot hold a single result — the shard is
+//! pruned before any candidate-region computation runs.
+//!
+//! Soundness rests on halo containment: if a shard holds at least one
+//! result, every triple of that result is present in the shard (see
+//! `docs/SHARDING.md`), so each constant of the query's *required* part
+//! appears in the shard and therefore in its summary. Constants inside
+//! `OPTIONAL` groups never prune — an optional part may legitimately match
+//! nowhere.
+
+use crate::{is_schema_predicate, term_hash};
+use std::collections::HashSet;
+use turbohom_rdf::{vocab, Dataset, Term};
+use turbohom_sparql::{GroupPattern, Query};
+
+/// A split-Bloom filter over 64-bit term hashes (two probes derived from
+/// the one hash, ~8 bits per expected item rounded up to a power of two).
+#[derive(Debug, Clone)]
+pub struct Bloom {
+    bits: Vec<u64>,
+    mask: u64,
+}
+
+impl Bloom {
+    /// Creates a filter sized for roughly `items` insertions.
+    pub fn with_capacity(items: usize) -> Bloom {
+        let bits = (items.max(16) * 8).next_power_of_two();
+        Bloom {
+            bits: vec![0u64; bits / 64],
+            mask: bits as u64 - 1,
+        }
+    }
+
+    fn probes(&self, h: u64) -> [u64; 2] {
+        // Double hashing from one 64-bit value: the raw hash plus a
+        // Fibonacci-scrambled second probe.
+        let h2 = h.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(32);
+        [h & self.mask, h2 & self.mask]
+    }
+
+    /// Inserts a hash.
+    pub fn insert(&mut self, h: u64) {
+        for p in self.probes(h) {
+            self.bits[(p / 64) as usize] |= 1u64 << (p % 64);
+        }
+    }
+
+    /// Returns `false` only if the hash was definitely never inserted.
+    pub fn contains(&self, h: u64) -> bool {
+        self.probes(h)
+            .into_iter()
+            .all(|p| self.bits[(p / 64) as usize] & (1u64 << (p % 64)) != 0)
+    }
+}
+
+/// The summary graph of one shard.
+#[derive(Debug, Clone)]
+pub struct ShardSummary {
+    /// Exact set of predicate term hashes present in the shard.
+    predicates: HashSet<u64>,
+    /// Exact set of class hashes: objects of `rdf:type` triples.
+    classes: HashSet<u64>,
+    /// Bloom filter over every subject and object term hash.
+    terms: Bloom,
+}
+
+impl ShardSummary {
+    /// Scans a shard dataset and builds its summary. Summaries are rebuilt
+    /// at boot rather than persisted — the scan is one pass over the shard's
+    /// triples and hashes each distinct term once.
+    pub fn build(dataset: &Dataset) -> ShardSummary {
+        let n = dataset.dictionary.len();
+        // Hash each distinct term once, not once per triple.
+        let mut hashes: Vec<u64> = vec![0; n];
+        let mut scratch = String::new();
+        for (id, term) in dataset.dictionary.iter() {
+            hashes[id.index()] = crate::term_hash_into(&term, &mut scratch);
+        }
+        let type_id = dataset.rdf_type_id();
+        let mut predicates = HashSet::new();
+        let mut classes = HashSet::new();
+        let mut terms = Bloom::with_capacity(dataset.dictionary.len());
+        for t in dataset.triples.iter() {
+            predicates.insert(hashes[t.p.index()]);
+            if Some(t.p) == type_id {
+                classes.insert(hashes[t.o.index()]);
+            }
+            terms.insert(hashes[t.s.index()]);
+            terms.insert(hashes[t.o.index()]);
+        }
+        ShardSummary {
+            predicates,
+            classes,
+            terms,
+        }
+    }
+
+    /// Exact membership: is the predicate with hash `h` present?
+    pub fn contains_predicate(&self, h: u64) -> bool {
+        self.predicates.contains(&h)
+    }
+
+    /// Exact membership: does any instance of the class with hash `h` exist?
+    pub fn contains_class(&self, h: u64) -> bool {
+        self.classes.contains(&h)
+    }
+
+    /// Probabilistic membership: may the term with hash `h` appear in a
+    /// subject or object position? `false` is definite absence.
+    pub fn may_contain_term(&self, h: u64) -> bool {
+        self.terms.contains(h)
+    }
+
+    /// Number of distinct predicates (the summary's "signature width").
+    pub fn predicate_count(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// Number of distinct instantiated classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+}
+
+/// The constants of a query's required part, pre-hashed for summary probes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryFootprint {
+    /// Hashes of constant non-type, non-schema predicates.
+    pub predicates: Vec<u64>,
+    /// Hashes of constant classes (`rdf:type` objects).
+    pub classes: Vec<u64>,
+    /// Hashes of constant subject/object terms of non-schema triples.
+    pub terms: Vec<u64>,
+}
+
+/// Extracts the prunable constants of `query`'s required part. `OPTIONAL`
+/// groups and schema triples (replicated everywhere) contribute nothing.
+pub fn footprint(query: &Query) -> QueryFootprint {
+    let mut fp = QueryFootprint::default();
+    collect_group(&query.pattern, &mut fp);
+    fp.predicates.sort_unstable();
+    fp.predicates.dedup();
+    fp.classes.sort_unstable();
+    fp.classes.dedup();
+    fp.terms.sort_unstable();
+    fp.terms.dedup();
+    fp
+}
+
+fn collect_group(group: &GroupPattern, fp: &mut QueryFootprint) {
+    for t in &group.triples {
+        let predicate_iri = t.predicate.as_constant().and_then(Term::as_iri);
+        if predicate_iri.is_some_and(is_schema_predicate) {
+            continue; // replicated everywhere — never prunes
+        }
+        let is_type = predicate_iri == Some(vocab::RDF_TYPE);
+        if is_type {
+            if let Some(class) = t.object.as_constant() {
+                fp.classes.push(term_hash(class));
+            }
+            if let Some(s) = t.subject.as_constant() {
+                fp.terms.push(term_hash(s));
+            }
+        } else {
+            if let Some(p) = t.predicate.as_constant() {
+                fp.predicates.push(term_hash(p));
+            }
+            for endpoint in [&t.subject, &t.object] {
+                if let Some(c) = endpoint.as_constant() {
+                    fp.terms.push(term_hash(c));
+                }
+            }
+        }
+    }
+    // UNION branches are alternatives, not conjuncts: only constants common
+    // to every branch could prune, so (conservatively) skip them. The
+    // sharded executor rejects UNION queries anyway; this keeps `footprint`
+    // sound if that ever changes.
+    let _ = &group.unions;
+}
+
+/// Returns `true` if the summary *proves* the shard holds no result for a
+/// query with this footprint.
+pub fn summary_prunes(summary: &ShardSummary, fp: &QueryFootprint) -> bool {
+    fp.predicates
+        .iter()
+        .any(|&h| !summary.contains_predicate(h))
+        || fp.classes.iter().any(|&h| !summary.contains_class(h))
+        || fp.terms.iter().any(|&h| !summary.may_contain_term(h))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbohom_sparql::parse_query;
+
+    fn sample_dataset() -> Dataset {
+        let mut ds = Dataset::new();
+        ds.insert_iris("http://ex/s1", vocab::RDF_TYPE, "http://ex/Student");
+        ds.insert_iris("http://ex/s1", "http://ex/memberOf", "http://ex/d1");
+        ds.insert_iris("http://ex/d1", vocab::RDF_TYPE, "http://ex/Department");
+        ds
+    }
+
+    #[test]
+    fn bloom_has_no_false_negatives() {
+        let mut b = Bloom::with_capacity(100);
+        let inserted: Vec<u64> = (0..100).map(|i| term_hash(&Term::integer(i))).collect();
+        for &h in &inserted {
+            b.insert(h);
+        }
+        for &h in &inserted {
+            assert!(b.contains(h));
+        }
+        // A fresh filter contains nothing.
+        let empty = Bloom::with_capacity(100);
+        assert!(inserted.iter().all(|&h| !empty.contains(h)));
+    }
+
+    #[test]
+    fn summary_reflects_the_dataset() {
+        let s = ShardSummary::build(&sample_dataset());
+        assert!(s.contains_predicate(term_hash(&Term::iri("http://ex/memberOf"))));
+        assert!(!s.contains_predicate(term_hash(&Term::iri("http://ex/advisor"))));
+        assert!(s.contains_class(term_hash(&Term::iri("http://ex/Student"))));
+        assert!(!s.contains_class(term_hash(&Term::iri("http://ex/Professor"))));
+        assert!(s.may_contain_term(term_hash(&Term::iri("http://ex/s1"))));
+        assert!(!s.may_contain_term(term_hash(&Term::iri("http://ex/absent"))));
+        assert_eq!(s.predicate_count(), 2);
+        assert_eq!(s.class_count(), 2);
+    }
+
+    #[test]
+    fn footprint_collects_required_constants_only() {
+        let q = parse_query(&format!(
+            "SELECT ?x WHERE {{ \
+               ?x <{}> <http://ex/Student> . \
+               ?x <http://ex/memberOf> <http://ex/d1> . \
+               ?c <{}> <http://ex/Thing> . \
+               OPTIONAL {{ ?x <http://ex/email> <http://ex/e1> . }} \
+             }}",
+            vocab::RDF_TYPE,
+            vocab::RDFS_SUBCLASSOF,
+        ))
+        .unwrap();
+        let fp = footprint(&q);
+        assert_eq!(fp.classes, vec![term_hash(&Term::iri("http://ex/Student"))]);
+        assert_eq!(
+            fp.predicates,
+            vec![term_hash(&Term::iri("http://ex/memberOf"))]
+        );
+        // d1 (required object) is in the term footprint; the schema triple's
+        // constants and the OPTIONAL e1 are not.
+        assert!(fp.terms.contains(&term_hash(&Term::iri("http://ex/d1"))));
+        assert!(!fp.terms.contains(&term_hash(&Term::iri("http://ex/Thing"))));
+        assert!(!fp.terms.contains(&term_hash(&Term::iri("http://ex/e1"))));
+    }
+
+    #[test]
+    fn pruning_fires_on_missing_constants_only() {
+        let summary = ShardSummary::build(&sample_dataset());
+        let hit =
+            parse_query("SELECT ?x WHERE { ?x <http://ex/memberOf> <http://ex/d1> . }").unwrap();
+        assert!(!summary_prunes(&summary, &footprint(&hit)));
+        let miss_pred =
+            parse_query("SELECT ?x WHERE { ?x <http://ex/advisor> <http://ex/d1> . }").unwrap();
+        assert!(summary_prunes(&summary, &footprint(&miss_pred)));
+        let miss_term =
+            parse_query("SELECT ?x WHERE { ?x <http://ex/memberOf> <http://ex/d9> . }").unwrap();
+        assert!(summary_prunes(&summary, &footprint(&miss_term)));
+        // An all-variable query never prunes.
+        let open = parse_query("SELECT ?s WHERE { ?s ?p ?o . }").unwrap();
+        assert_eq!(footprint(&open), QueryFootprint::default());
+        assert!(!summary_prunes(&summary, &footprint(&open)));
+    }
+}

@@ -20,7 +20,10 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 use turbohom_datasets::lubm::{LubmConfig, LubmGenerator};
-use turbohom_engine::{EngineKind, Store, StoreOptions};
+use turbohom_engine::{
+    AnyStore, EngineKind, PartitionerKind, ShardedOptions, ShardedStore, Store, StoreOptions,
+    DEFAULT_HALO,
+};
 use turbohom_service::{HttpServer, QueryService, ServiceConfig};
 
 struct Args {
@@ -31,6 +34,9 @@ struct Args {
     save_snapshot: Option<String>,
     inference: bool,
     threads: usize,
+    shards: usize,
+    partitioner: PartitionerKind,
+    halo: usize,
     cache: usize,
     engine: EngineKind,
     slow_ms: Option<f64>,
@@ -49,6 +55,10 @@ fn usage() -> &'static str {
      \x20 --save-snapshot F write the loaded store to a snapshot file and exit\n\
      \x20 --inference       materialize the RDFS closure at load time\n\
      \x20 --threads N       default worker threads per query (default 1)\n\
+     \x20 --shards N        partition the data across N shard stores and run\n\
+     \x20                   queries scatter-gather (default 1 = single store)\n\
+     \x20 --partitioner P   shard ownership: hash | greedy (default hash)\n\
+     \x20 --halo N          boundary replication radius in triples (default 2)\n\
      \x20 --cache N         plan-cache capacity (default 256)\n\
      \x20 --engine NAME     default engine: turbohom++ | turbohom | mergejoin | hashjoin\n\
      \x20 --slow-ms MS      record queries at or above MS milliseconds in\n\
@@ -68,6 +78,9 @@ fn parse_args() -> Result<Args, String> {
         save_snapshot: None,
         inference: false,
         threads: 1,
+        shards: 1,
+        partitioner: PartitionerKind::Hash,
+        halo: DEFAULT_HALO,
         cache: 256,
         engine: EngineKind::TurboHomPlusPlus,
         slow_ms: Some(500.0),
@@ -92,6 +105,23 @@ fn parse_args() -> Result<Args, String> {
                 args.threads = value("--threads")?
                     .parse()
                     .map_err(|_| "--threads expects an integer")?
+            }
+            "--shards" => {
+                args.shards = value("--shards")?
+                    .parse()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or("--shards expects an integer >= 1")?
+            }
+            "--partitioner" => {
+                args.partitioner = value("--partitioner")?
+                    .parse::<PartitionerKind>()
+                    .map_err(|e| e.to_string())?
+            }
+            "--halo" => {
+                args.halo = value("--halo")?
+                    .parse()
+                    .map_err(|_| "--halo expects an integer")?
             }
             "--cache" => {
                 args.cache = value("--cache")?
@@ -147,20 +177,46 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    if args.snapshot.is_some() && args.shards > 1 {
+        eprintln!(
+            "turbohom-server: --shards cannot be combined with --snapshot \
+             (the manifest records the shard layout)"
+        );
+        return ExitCode::FAILURE;
+    }
 
     let options = StoreOptions {
         inference: args.inference,
         threads: args.threads.max(1),
     };
+    let sharded_options = ShardedOptions {
+        shards: args.shards,
+        inference: args.inference,
+        threads: args.threads.max(1),
+        partitioner: args.partitioner,
+        halo: args.halo,
+    };
     let load_started = std::time::Instant::now();
-    let store = match (&args.snapshot, &args.ntriples) {
+    let (store, load_phase) = match (&args.snapshot, &args.ntriples) {
         (Some(path), _) => {
-            eprintln!("mapping snapshot {path} ...");
-            match Store::from_snapshot_with(std::path::Path::new(path), options.threads) {
-                Ok(store) => store,
-                Err(e) => {
-                    eprintln!("turbohom-server: cannot load snapshot {path}: {e}");
-                    return ExitCode::FAILURE;
+            let file = std::path::Path::new(path);
+            if ShardedStore::is_manifest(file) {
+                eprintln!("mapping shard manifest {path} ...");
+                match ShardedStore::from_manifest(file, options.threads) {
+                    Ok(store) => (AnyStore::Sharded(Arc::new(store)), "sharded_map"),
+                    Err(e) => {
+                        eprintln!("turbohom-server: cannot load shard manifest {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                eprintln!("mapping snapshot {path} ...");
+                match Store::from_snapshot_with(file, options.threads) {
+                    Ok(store) => (AnyStore::Single(Arc::new(store)), "map"),
+                    Err(e) => {
+                        eprintln!("turbohom-server: cannot load snapshot {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
             }
         }
@@ -173,23 +229,53 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            match Store::from_ntriples_with(&input, options) {
-                Ok(store) => store,
-                Err(e) => {
-                    eprintln!("turbohom-server: cannot parse {path}: {e}");
-                    return ExitCode::FAILURE;
+            if args.shards > 1 {
+                match ShardedStore::from_ntriples_with(&input, sharded_options) {
+                    Ok(store) => (AnyStore::Sharded(Arc::new(store)), "sharded_parse_build"),
+                    Err(e) => {
+                        eprintln!("turbohom-server: cannot parse {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                match Store::from_ntriples_with(&input, options) {
+                    Ok(store) => (AnyStore::Single(Arc::new(store)), "parse_build"),
+                    Err(e) => {
+                        eprintln!("turbohom-server: cannot parse {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
             }
         }
         (None, None) => {
             eprintln!("generating LUBM({}) ...", args.lubm_scale);
             let dataset = LubmGenerator::new(LubmConfig::scale(args.lubm_scale)).generate();
-            Store::from_dataset_with(dataset, options)
+            if args.shards > 1 {
+                match ShardedStore::from_dataset_with(dataset, sharded_options) {
+                    Ok(store) => (AnyStore::Sharded(Arc::new(store)), "sharded_parse_build"),
+                    Err(e) => {
+                        eprintln!("turbohom-server: cannot partition LUBM dataset: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                (
+                    AnyStore::Single(Arc::new(Store::from_dataset_with(dataset, options))),
+                    "parse_build",
+                )
+            }
         }
     };
     let load_ms = load_started.elapsed().as_secs_f64() * 1000.0;
+    let shard_note = match store.shard_count() {
+        Some(k) => format!(
+            ", {k} shards, {} partitioner",
+            store.partitioner_name().unwrap_or("?")
+        ),
+        None => String::new(),
+    };
     eprintln!(
-        "store ready: {} triples in {load_ms:.1} ms ({} backend{})",
+        "store ready: {} triples in {load_ms:.1} ms ({load_phase}, {} backend{}{shard_note})",
         store.triple_count(),
         store.backend_name(),
         if store.is_mapped() { ", mmap" } else { "" },
@@ -197,11 +283,21 @@ fn main() -> ExitCode {
 
     if let Some(path) = &args.save_snapshot {
         let started = std::time::Instant::now();
-        match store.save_snapshot(std::path::Path::new(path)) {
+        let saved = match &store {
+            AnyStore::Single(s) => s.save_snapshot(std::path::Path::new(path)),
+            AnyStore::Sharded(s) => s.save_snapshots(std::path::Path::new(path)),
+        };
+        match saved {
             Ok(bytes) => {
                 println!(
-                    "snapshot saved: {path} ({bytes} bytes, {} triples, {:.1} ms)",
+                    "snapshot saved: {path} ({bytes} bytes, {} triples, {} file{}, {:.1} ms)",
                     store.triple_count(),
+                    store.shard_count().map_or(1, |k| k + 1),
+                    if store.shard_count().is_some() {
+                        "s"
+                    } else {
+                        ""
+                    },
                     started.elapsed().as_secs_f64() * 1000.0,
                 );
                 return ExitCode::SUCCESS;
@@ -219,8 +315,8 @@ fn main() -> ExitCode {
         (None, None) => format!("lubm-{}", args.lubm_scale),
     };
     let service = Arc::new(
-        QueryService::with_config(
-            Arc::new(store),
+        QueryService::with_any_store(
+            store,
             ServiceConfig {
                 plan_cache_capacity: args.cache,
                 default_engine: args.engine,

@@ -4,14 +4,14 @@
 //! [`turbohom_sparql::fingerprint`]) plus the engine kind — so every
 //! spelling of a query shares one entry per engine, and a fingerprint hash
 //! collision can never hand back the wrong plan (the full canonical text is
-//! compared on lookup). Values are `Arc<QueryPlan>`, shared with in-flight
-//! requests so eviction never invalidates a running query.
+//! compared on lookup). Values are [`AnyPlan`] handles (an `Arc`'d plan for
+//! either store flavor), shared with in-flight requests so eviction never
+//! invalidates a running query.
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use turbohom_engine::{EngineKind, QueryPlan};
+use turbohom_engine::{AnyPlan, EngineKind};
 
 /// The cache key: canonical query text + engine.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -23,7 +23,7 @@ pub struct PlanKey {
 }
 
 struct Entry {
-    plan: Arc<QueryPlan>,
+    plan: AnyPlan,
     /// Logical timestamp of the last hit (monotone per-cache counter).
     last_used: u64,
 }
@@ -59,7 +59,7 @@ impl PlanCache {
     }
 
     /// Looks up a plan, refreshing its recency on a hit.
-    pub fn get(&self, key: &PlanKey) -> Option<Arc<QueryPlan>> {
+    pub fn get(&self, key: &PlanKey) -> Option<AnyPlan> {
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
@@ -67,7 +67,7 @@ impl PlanCache {
             Some(entry) => {
                 entry.last_used = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(&entry.plan))
+                Some(entry.plan.clone())
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -79,7 +79,7 @@ impl PlanCache {
     /// Inserts a plan, evicting the least-recently-used entry when full.
     /// Returns the plan that is now cached under `key` (an insert racing
     /// with another thread keeps the first plan, so callers agree).
-    pub fn insert(&self, key: PlanKey, plan: Arc<QueryPlan>) -> Arc<QueryPlan> {
+    pub fn insert(&self, key: PlanKey, plan: AnyPlan) -> AnyPlan {
         if self.capacity == 0 {
             return plan;
         }
@@ -87,7 +87,7 @@ impl PlanCache {
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(existing) = inner.map.get(&key) {
-            return Arc::clone(&existing.plan);
+            return existing.plan.clone();
         }
         if inner.map.len() >= self.capacity {
             // O(n) victim scan — plan caches are small (tens to hundreds of
@@ -105,7 +105,7 @@ impl PlanCache {
         inner.map.insert(
             key,
             Entry {
-                plan: Arc::clone(&plan),
+                plan: plan.clone(),
                 last_used: tick,
             },
         );
@@ -146,10 +146,13 @@ impl PlanCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
     use turbohom_engine::Store;
 
-    fn plan_for(store: &Store, q: &str) -> Arc<QueryPlan> {
-        Arc::new(store.prepare_plan(q, EngineKind::TurboHomPlusPlus).unwrap())
+    fn plan_for(store: &Store, q: &str) -> AnyPlan {
+        AnyPlan::Single(Arc::new(
+            store.prepare_plan(q, EngineKind::TurboHomPlusPlus).unwrap(),
+        ))
     }
 
     fn key(s: &str) -> PlanKey {
@@ -213,7 +216,10 @@ mod tests {
         let q = "SELECT ?x WHERE { ?x <http://p> ?y . }";
         let first = cache.insert(key(q), plan_for(&store, q));
         let second = cache.insert(key(q), plan_for(&store, q));
-        assert!(Arc::ptr_eq(&first, &second));
+        let (AnyPlan::Single(a), AnyPlan::Single(b)) = (&first, &second) else {
+            panic!("single-store plans expected");
+        };
+        assert!(Arc::ptr_eq(a, b));
         assert_eq!(cache.len(), 1);
     }
 

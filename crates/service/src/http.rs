@@ -282,14 +282,24 @@ fn respond(request: &Request, service: &QueryService) -> Routed {
                 .snapshot_path()
                 .map(|p| format!("\"{}\"", json_escape(&p.display().to_string())))
                 .unwrap_or_else(|| "null".into());
+            let shards = service
+                .store()
+                .shard_count()
+                .map_or_else(|| "null".into(), |n| n.to_string());
+            let partitioning = service
+                .store()
+                .partitioner_name()
+                .map_or_else(|| "null".into(), |p| format!("\"{p}\""));
             let body = format!(
-                "{{\"status\":\"ok\",\"triples\":{},\"uptime_secs\":{:.3},\"engine\":\"{}\",\"dataset\":\"{}\",\"backend\":\"{}\",\"snapshot\":{}}}",
+                "{{\"status\":\"ok\",\"triples\":{},\"uptime_secs\":{:.3},\"engine\":\"{}\",\"dataset\":\"{}\",\"backend\":\"{}\",\"snapshot\":{},\"shards\":{},\"partitioning\":{}}}",
                 service.store().triple_count(),
                 service.uptime().as_secs_f64(),
                 json_escape(service.config().default_engine.name()),
                 json_escape(service.dataset_label()),
                 service.store().backend_name(),
                 snapshot,
+                shards,
+                partitioning,
             );
             Routed::new(200, json_response(200, &body, &[]))
         }

@@ -18,10 +18,11 @@ const BUCKETS: usize = 40;
 /// The pipeline stages whose cumulative time `/metrics` exposes as
 /// `turbohom_stage_seconds_total{stage=…}`, in pipeline order. These are the
 /// root span names the service layer records on every request's trace.
-pub const STAGES: [&str; 5] = [
+pub const STAGES: [&str; 6] = [
     "fingerprint",
     "cache_lookup",
     "parse",
+    "summary_prune",
     "transform",
     "execute",
 ];

@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use turbohom_engine::{
-    json_escape, EngineKind, QueryResults, Store, StoreError, Trace, TraceReport,
+    json_escape, AnyStore, EngineKind, QueryResults, Store, StoreError, Trace, TraceReport,
 };
 use turbohom_sparql::{fingerprint, QueryFingerprint};
 
@@ -175,13 +175,19 @@ impl StatsSnapshot {
     }
 }
 
-/// A concurrent SPARQL query service over one shared [`Store`].
+/// A concurrent SPARQL query service over one shared store — a single
+/// [`Store`] or a sharded scatter-gather store ([`AnyStore`]).
 pub struct QueryService {
-    store: Arc<Store>,
+    store: AnyStore,
     config: ServiceConfig,
     cache: PlanCache,
     metrics: ServiceMetrics,
     plans_prepared: AtomicU64,
+    /// Shards skipped by summary pruning / ownership routing, summed over
+    /// every successful sharded query (`turbohom_shards_pruned_total`).
+    shards_pruned: AtomicU64,
+    /// Shards that actually executed, summed likewise.
+    shards_executed: AtomicU64,
     slow_log: SlowQueryLog,
     next_trace_id: AtomicU64,
     dataset_label: String,
@@ -195,11 +201,19 @@ impl QueryService {
 
     /// Creates a service with the given configuration.
     pub fn with_config(store: Arc<Store>, config: ServiceConfig) -> Self {
+        Self::with_any_store(AnyStore::Single(store), config)
+    }
+
+    /// Creates a service over either store flavor (the server uses this to
+    /// boot `--shards=k`).
+    pub fn with_any_store(store: AnyStore, config: ServiceConfig) -> Self {
         QueryService {
             store,
             cache: PlanCache::new(config.plan_cache_capacity),
             metrics: ServiceMetrics::new(),
             plans_prepared: AtomicU64::new(0),
+            shards_pruned: AtomicU64::new(0),
+            shards_executed: AtomicU64::new(0),
             slow_log: SlowQueryLog::new(config.slow_log_capacity, config.slow_query),
             next_trace_id: AtomicU64::new(1),
             dataset_label: "unnamed".into(),
@@ -219,8 +233,8 @@ impl QueryService {
         &self.dataset_label
     }
 
-    /// The shared store.
-    pub fn store(&self) -> &Arc<Store> {
+    /// The shared store (single or sharded).
+    pub fn store(&self) -> &AnyStore {
         &self.store
     }
 
@@ -265,6 +279,10 @@ impl QueryService {
             Ok((results, cache_hit, fp)) => {
                 let elapsed = start.elapsed();
                 self.metrics.record_success(engine, elapsed, &results.stats);
+                self.shards_pruned
+                    .fetch_add(results.stats.shards_pruned as u64, Ordering::Relaxed);
+                self.shards_executed
+                    .fetch_add(results.stats.shards_executed as u64, Ordering::Relaxed);
                 let report = trace.finish();
                 self.metrics.record_stages(&report);
                 if self.slow_log.is_slow(elapsed) {
@@ -316,7 +334,7 @@ impl QueryService {
             return Ok((results, true, fp));
         }
         // Cold path: parse + transform, run, then publish the plan.
-        let plan = Arc::new(self.store.prepare_plan_traced(sparql, engine, trace)?);
+        let plan = self.store.prepare_plan_traced(sparql, engine, trace)?;
         self.plans_prepared.fetch_add(1, Ordering::Relaxed);
         let results = self.store.run_plan_traced(&plan, threads, trace)?;
         self.cache.insert(key, plan);
@@ -404,6 +422,34 @@ impl QueryService {
                 .unwrap_or_default()
                 .replace('\\', "\\\\")
                 .replace('"', "\\\"")
+        ));
+        if let Some(shards) = self.store.shard_count() {
+            out.push_str(
+                "# HELP turbohom_shards Sharded-execution topology (1 = active; labels carry the configuration).\n",
+            );
+            out.push_str("# TYPE turbohom_shards gauge\n");
+            out.push_str(&format!(
+                "turbohom_shards{{shards=\"{}\",partitioner=\"{}\",halo=\"{}\"}} 1\n",
+                shards,
+                self.store.partitioner_name().unwrap_or(""),
+                self.store.halo().unwrap_or(0),
+            ));
+        }
+        out.push_str(
+            "# HELP turbohom_shards_pruned_total Shards skipped by summary pruning / ownership routing.\n",
+        );
+        out.push_str("# TYPE turbohom_shards_pruned_total counter\n");
+        out.push_str(&format!(
+            "turbohom_shards_pruned_total {}\n",
+            self.shards_pruned.load(Ordering::Relaxed)
+        ));
+        out.push_str(
+            "# HELP turbohom_shards_executed_total Shards that executed queries on the sharded path.\n",
+        );
+        out.push_str("# TYPE turbohom_shards_executed_total counter\n");
+        out.push_str(&format!(
+            "turbohom_shards_executed_total {}\n",
+            self.shards_executed.load(Ordering::Relaxed)
         ));
         out.push_str(
             "# HELP turbohom_slow_queries_total Queries recorded by the slow-query recorder.\n",
@@ -672,8 +718,8 @@ mod tests {
 
     #[test]
     fn disabled_slow_log_stays_empty() {
-        let svc = QueryService::with_config(
-            service().store.clone(),
+        let svc = QueryService::with_any_store(
+            service().store().clone(),
             ServiceConfig {
                 slow_query: None,
                 ..ServiceConfig::default()
