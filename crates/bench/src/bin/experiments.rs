@@ -199,6 +199,14 @@ fn record_mode(args: &[String]) -> i32 {
                 .run_plan_traced(&traced_plan, Some(threads), &trace)
                 .unwrap_or_else(|e| panic!("traced {} failed on {}: {e}", kind.label(), q.id));
             let report = trace.finish();
+            // One ANALYZE run (also outside the measured five) yields the
+            // max per-step estimate-vs-actual q-error for the `qerror`
+            // column. Join baselines carry no per-step estimates → None.
+            let qerror = store
+                .analyze(&q.sparql, kind, Some(threads))
+                .unwrap_or_else(|e| panic!("analyze {} for {} failed: {e}", q.id, kind))
+                .1
+                .max_qerror();
             record.queries.push(QueryRun {
                 id: q.id.clone(),
                 engine: kind.name().to_string(),
@@ -207,6 +215,7 @@ fn record_mode(args: &[String]) -> i32 {
                 avg_ms: protocol_average(&runs).as_secs_f64() * 1000.0,
                 solutions: last.len(),
                 stats: last.stats,
+                qerror,
                 stages_ms: {
                     let mut stages: Vec<(String, f64)> = report
                         .stages()
@@ -334,6 +343,11 @@ fn record_mode(args: &[String]) -> i32 {
             .run_plan_traced(&traced_plan, Some(threads), &trace)
             .unwrap_or_else(|e| panic!("sharded traced run failed on {}: {e}", q.id));
         let report = trace.finish();
+        let qerror = sharded
+            .analyze(&q.sparql, EngineKind::TurboHomPlusPlus, Some(threads))
+            .unwrap_or_else(|e| panic!("sharded analyze {} failed: {e}", q.id))
+            .1
+            .max_qerror();
         record.sharded.push(QueryRun {
             id: q.id.clone(),
             engine: "turbohom++".to_string(),
@@ -342,6 +356,7 @@ fn record_mode(args: &[String]) -> i32 {
             avg_ms: protocol_average(&runs).as_secs_f64() * 1000.0,
             solutions: last.len(),
             stats: last.stats,
+            qerror,
             stages_ms: report
                 .stages()
                 .into_iter()

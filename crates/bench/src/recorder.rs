@@ -58,6 +58,12 @@ pub struct QueryRun {
     /// when not recorded (records written before the column existed parse
     /// fine — the reader treats the key as optional).
     pub stages_ms: Vec<(String, f64)>,
+    /// Maximum per-step estimate-vs-actual q-error from one ANALYZE run
+    /// outside the five measured ones (`max(est/actual, actual/est)` over
+    /// the matching-order steps). `None` when not recorded — join baselines
+    /// have no per-step estimates, and records written before the column
+    /// existed parse fine.
+    pub qerror: Option<f64>,
 }
 
 /// A scheduler A/B data point: the same query and thread count under the
@@ -135,6 +141,10 @@ fn push_query_runs(out: &mut String, runs: &[QueryRun]) {
                 push_f64(out, *ms);
             }
             out.push('}');
+        }
+        if let Some(qerr) = q.qerror {
+            out.push_str(", \"qerror\": ");
+            push_f64(out, qerr);
         }
         out.push('}');
         if i + 1 < runs.len() {
@@ -320,6 +330,9 @@ fn parse_query_run(value: &Json) -> Result<QueryRun, String> {
                 .collect::<Result<_, _>>()?,
             None => Vec::new(),
         },
+        // Optional column: absent in records written before ANALYZE existed
+        // and for engines without per-step estimates.
+        qerror: find(q, "qerror").and_then(|v| v.as_f64()),
     })
 }
 
@@ -685,6 +698,7 @@ mod tests {
                         ("transform".into(), 0.02),
                         ("execute".into(), 0.45),
                     ],
+                    qerror: Some(1.25),
                 },
                 QueryRun {
                     id: "Q2".into(),
@@ -695,6 +709,7 @@ mod tests {
                     solutions: 0,
                     stats: MatchStats::default(),
                     stages_ms: Vec::new(),
+                    qerror: None,
                 },
             ],
             sharded: vec![QueryRun {
@@ -711,6 +726,7 @@ mod tests {
                     ..MatchStats::default()
                 },
                 stages_ms: Vec::new(),
+                qerror: Some(2.0),
             }],
             shard_count: 8,
             scheduler_comparison: vec![SchedulerRun {
@@ -751,6 +767,10 @@ mod tests {
         assert!((parsed.queries[0].stages_ms[2].1 - 0.45).abs() < 1e-9);
         assert!(parsed.queries[1].stages_ms.is_empty());
         assert!(!json.contains("\"engine\": \"mergejoin\", \"stages_ms\""));
+        // The qerror column round-trips; `None` omits the key entirely.
+        assert_eq!(parsed.queries[0].qerror, Some(1.25));
+        assert_eq!(parsed.queries[1].qerror, None);
+        assert_eq!(parsed.sharded[0].qerror, Some(2.0));
         // The load_ms column round-trips.
         assert_eq!(parsed.load_ms.len(), 4);
         assert_eq!(parsed.load_ms[0].0, "parse_build");
@@ -793,6 +813,21 @@ mod tests {
         assert!(!json.contains("load_ms"));
         let parsed = BenchRecord::from_json(&json).unwrap();
         assert!(parsed.load_ms.is_empty());
+    }
+
+    #[test]
+    fn records_without_the_qerror_column_still_parse() {
+        // A record serialized before the qerror column existed: strip it
+        // from the writer output and re-parse.
+        let mut record = sample_record();
+        for q in record.queries.iter_mut().chain(record.sharded.iter_mut()) {
+            q.qerror = None;
+        }
+        let json = record.to_json();
+        assert!(!json.contains("qerror"));
+        let parsed = BenchRecord::from_json(&json).unwrap();
+        assert!(parsed.queries.iter().all(|q| q.qerror.is_none()));
+        assert!(parsed.sharded.iter().all(|q| q.qerror.is_none()));
     }
 
     #[test]
@@ -840,6 +875,7 @@ mod tests {
                     solutions: 1,
                     stats: MatchStats::default(),
                     stages_ms: Vec::new(),
+                    qerror: None,
                 })
                 .collect(),
             ..BenchRecord::default()

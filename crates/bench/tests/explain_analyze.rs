@@ -1,0 +1,135 @@
+//! EXPLAIN/ANALYZE integration on LUBM(1): golden plan trees (stable
+//! matching order + estimates), cross-engine actual-vs-result agreement,
+//! and the sharded Q1 acceptance criterion (7 of 8 shards skipped with the
+//! deciding check named).
+
+use turbohom_bench::{lubm_store, sharded_lubm_store};
+use turbohom_datasets::lubm;
+use turbohom_engine::EngineKind;
+
+fn query(id: &str) -> String {
+    lubm::queries()
+        .iter()
+        .find(|q| q.id == id)
+        .unwrap_or_else(|| panic!("no LUBM query {id}"))
+        .sparql
+        .clone()
+}
+
+/// The explain tree is deterministic: same store, same query, same JSON —
+/// matching order, per-step estimates, candidate counts and all. Blessed
+/// copies live next to this test; regenerate with `BLESS=1 cargo test -p
+/// turbohom-bench --test explain_analyze` after an intentional plan change.
+#[test]
+fn explain_trees_for_q2_and_q7_match_the_golden_files() {
+    let store = lubm_store(1);
+    for (id, golden) in [
+        ("Q2", include_str!("golden/lubm1_q2_explain.json")),
+        ("Q7", include_str!("golden/lubm1_q7_explain.json")),
+    ] {
+        let got = store
+            .explain(&query(id), EngineKind::TurboHomPlusPlus)
+            .unwrap()
+            .to_json();
+        if std::env::var_os("BLESS").is_some() {
+            let path = format!(
+                "{}/tests/golden/lubm1_{}_explain.json",
+                env!("CARGO_MANIFEST_DIR"),
+                id.to_lowercase()
+            );
+            std::fs::write(path, format!("{got}\n")).unwrap();
+            continue;
+        }
+        assert_eq!(
+            got,
+            golden.trim_end(),
+            "{id} explain tree drifted — if intentional, re-bless with BLESS=1"
+        );
+        // And explaining twice is identical (no hidden iteration-order leak).
+        let again = store
+            .explain(&query(id), EngineKind::TurboHomPlusPlus)
+            .unwrap()
+            .to_json();
+        assert_eq!(got, again, "{id} explain is not deterministic");
+    }
+}
+
+/// ANALYZE must not change what a query returns, and its actuals must agree
+/// with the result set — for every benchmark query on every engine, on both
+/// store flavors.
+#[test]
+fn analyze_actuals_match_result_sizes_for_every_engine() {
+    let single = lubm_store(1);
+    let sharded = sharded_lubm_store(1, 4);
+    for q in &lubm::queries() {
+        for kind in EngineKind::all() {
+            let expected = single.execute(&q.sparql, kind).unwrap().len();
+
+            let (results, report) = single.analyze(&q.sparql, kind, None).unwrap();
+            assert!(report.analyzed, "{} {kind}", q.id);
+            assert_eq!(report.store_flavor, "single");
+            assert_eq!(
+                results.len(),
+                expected,
+                "{} {kind} analyze changed rows",
+                q.id
+            );
+            let actual = report.actual.as_ref().unwrap();
+            assert_eq!(actual.solutions as usize, expected, "{} {kind}", q.id);
+
+            let (results, report) = sharded.analyze(&q.sparql, kind, None).unwrap();
+            assert!(report.analyzed, "{} {kind} sharded", q.id);
+            assert_eq!(report.store_flavor, "sharded");
+            assert_eq!(
+                results.len(),
+                expected,
+                "{} {kind} sharded analyze changed rows",
+                q.id
+            );
+            let actual = report.actual.as_ref().unwrap();
+            assert_eq!(
+                actual.solutions as usize, expected,
+                "{} {kind} sharded",
+                q.id
+            );
+            // Shard row counts partition the result set.
+            let shard_rows: u64 = report.shards.iter().filter_map(|s| s.rows).sum();
+            assert_eq!(shard_rows as usize, expected, "{} {kind} shard rows", q.id);
+        }
+    }
+}
+
+/// ISSUE 10 acceptance: EXPLAIN on LUBM(1) Q1 with 8 shards shows exactly
+/// one live shard; the 7 skipped ones each name the check that decided it.
+#[test]
+fn q1_explain_at_8_shards_skips_7_and_names_the_deciding_check() {
+    let sharded = sharded_lubm_store(1, 8);
+    let report = sharded
+        .explain(&query("Q1"), EngineKind::TurboHomPlusPlus)
+        .unwrap();
+    assert_eq!(report.store_flavor, "sharded");
+    assert_eq!(report.shards.len(), 8);
+    let live: Vec<_> = report
+        .shards
+        .iter()
+        .filter(|s| s.verdict == "live")
+        .collect();
+    assert_eq!(live.len(), 1, "Q1 should execute on exactly one shard");
+    assert!(
+        !live[0].components.is_empty(),
+        "live shard has no plan tree"
+    );
+    for s in report.shards.iter().filter(|s| s.verdict != "live") {
+        assert!(
+            s.check.is_some(),
+            "shard {} skipped without naming its deciding check",
+            s.shard
+        );
+        assert!(s.term.is_some(), "shard {} names no deciding term", s.shard);
+    }
+    // The explain tree never executed anything: ANALYZE-only fields stay
+    // empty.
+    assert!(!report.analyzed);
+    assert!(report.actual.is_none());
+    assert!(report.shards.iter().all(|s| s.rows.is_none()));
+}

@@ -3,12 +3,12 @@
 //! FILTER application and (optionally) parallel execution over starting
 //! vertices (paper Algorithm 1 + Sections 4.3, 5.1, 5.2).
 
-use crate::candidate_region::explore_candidate_region;
+use crate::candidate_region::{explore_candidate_region, CandidateRegion};
 use crate::config::{Scheduler, TurboHomConfig};
 use crate::matching_order::MatchingOrder;
 use crate::morsel::MorselQueue;
 use crate::query_tree::QueryTree;
-use crate::result::{MatchResult, Solution};
+use crate::result::{merge_step_counts, MatchResult, Solution};
 use crate::start_vertex::choose_start_vertex;
 use crate::stats::MatchStats;
 use crate::subgraph_search::SubgraphSearcher;
@@ -33,6 +33,18 @@ const PARALLEL_CHUNK: usize = 16;
 /// workers: roughly eight chunks per worker, capped at [`PARALLEL_CHUNK`].
 fn chunk_size(starts: usize, threads: usize) -> usize {
     (starts / (threads * 8)).clamp(1, PARALLEL_CHUNK)
+}
+
+/// Accumulates one region's candidate counts per matching-order position —
+/// the cardinality estimates ANALYZE compares against the actual per-step
+/// rows.
+fn accumulate_estimates(dst: &mut Vec<u64>, order: &MatchingOrder, region: &CandidateRegion) {
+    if dst.len() < order.len() {
+        dst.resize(order.len(), 0);
+    }
+    for (i, &u) in order.order.iter().enumerate() {
+        dst[i] += region.count(u) as u64;
+    }
 }
 
 /// Per-stage wall-clock accumulators for a detailed trace. Exploration,
@@ -65,6 +77,10 @@ fn timed<T>(detailed: bool, slot: &mut Duration, f: impl FnOnce() -> T) -> T {
         f()
     }
 }
+
+/// What the parallel paths merge across workers: solutions, solution count,
+/// counters, per-step actual rows, per-step candidate estimates.
+type MergeAcc = (Vec<Solution>, usize, MatchStats, Vec<u64>, Vec<u64>);
 
 /// What one parallel worker did, for its per-worker span.
 struct WorkerTiming {
@@ -330,6 +346,8 @@ impl<'a> TurboHomEngine<'a> {
         let mut clock = StageClock::default();
         let mut solutions = Vec::new();
         let mut count = 0usize;
+        let mut step_rows: Vec<u64> = Vec::new();
+        let mut step_estimates: Vec<u64> = Vec::new();
         let mut shared_order: Option<MatchingOrder> = None;
         for &vs in starts {
             stats.candidate_regions += 1;
@@ -360,6 +378,7 @@ impl<'a> TurboHomEngine<'a> {
                 stats.matching_orders_computed += 1;
                 &order_storage
             };
+            accumulate_estimates(&mut step_estimates, order, &region);
             let mut searcher = SubgraphSearcher::new(
                 self.data,
                 config,
@@ -375,6 +394,7 @@ impl<'a> TurboHomEngine<'a> {
             count += searcher.solution_count;
             solutions.append(&mut searcher.solutions);
             stats.merge(&searcher.stats);
+            merge_step_counts(&mut step_rows, &searcher.step_rows);
             if let Some(limit) = config.max_solutions {
                 if count >= limit {
                     break;
@@ -389,6 +409,8 @@ impl<'a> TurboHomEngine<'a> {
                 solutions,
                 solution_count: count,
                 stats,
+                step_rows,
+                step_estimates,
             },
             shared_order,
         )
@@ -471,7 +493,7 @@ impl<'a> TurboHomEngine<'a> {
         );
         let found = AtomicUsize::new(0);
         let stop = AtomicBool::new(false);
-        let merged: Mutex<(Vec<Solution>, usize, MatchStats)> = Mutex::new((Vec::new(), 0, stats));
+        let merged: Mutex<MergeAcc> = Mutex::new((Vec::new(), 0, stats, Vec::new(), Vec::new()));
         let timings: Mutex<Vec<WorkerTiming>> = Mutex::new(Vec::new());
 
         std::thread::scope(|scope| {
@@ -488,6 +510,8 @@ impl<'a> TurboHomEngine<'a> {
                     let mut local_solutions: Vec<Solution> = Vec::new();
                     let mut local_count = 0usize;
                     let mut local_stats = MatchStats::default();
+                    let mut local_rows: Vec<u64> = Vec::new();
+                    let mut local_estimates: Vec<u64> = Vec::new();
                     'work: while let Some(morsel) = queue.pop(w) {
                         local_stats.morsels += 1;
                         if morsel.stolen {
@@ -523,6 +547,7 @@ impl<'a> TurboHomEngine<'a> {
                                     &order_storage
                                 }
                             };
+                            accumulate_estimates(&mut local_estimates, order, &region);
                             let mut searcher = SubgraphSearcher::new(
                                 self.data,
                                 config,
@@ -538,6 +563,7 @@ impl<'a> TurboHomEngine<'a> {
                             local_count += searcher.solution_count;
                             local_solutions.append(&mut searcher.solutions);
                             local_stats.merge(&searcher.stats);
+                            merge_step_counts(&mut local_rows, &searcher.step_rows);
                             if let Some(limit) = config.max_solutions {
                                 let total = found
                                     .fetch_add(searcher.solution_count, Ordering::Relaxed)
@@ -562,11 +588,13 @@ impl<'a> TurboHomEngine<'a> {
                     guard.0.append(&mut local_solutions);
                     guard.1 += local_count;
                     guard.2.merge(&local_stats);
+                    merge_step_counts(&mut guard.3, &local_rows);
+                    merge_step_counts(&mut guard.4, &local_estimates);
                 });
             }
         });
 
-        let (solutions, count, mut stats) = merged.into_inner();
+        let (solutions, count, mut stats, step_rows, step_estimates) = merged.into_inner();
         stats.morsels_stolen = stats.morsels_stolen.max(queue.stolen_count());
         if detailed {
             let mut workers = timings.into_inner();
@@ -581,6 +609,8 @@ impl<'a> TurboHomEngine<'a> {
                 solutions,
                 solution_count: count,
                 stats,
+                step_rows,
+                step_estimates,
             },
             shared_order,
         )
@@ -611,7 +641,7 @@ impl<'a> TurboHomEngine<'a> {
         });
 
         let next = AtomicUsize::new(0);
-        let merged: Mutex<(Vec<Solution>, usize, MatchStats)> = Mutex::new((Vec::new(), 0, stats));
+        let merged: Mutex<MergeAcc> = Mutex::new((Vec::new(), 0, stats, Vec::new(), Vec::new()));
         let timings: Mutex<Vec<WorkerTiming>> = Mutex::new(Vec::new());
         // Like the sequential path, the preset only applies under +REUSE;
         // without it every region determines its own order.
@@ -634,6 +664,8 @@ impl<'a> TurboHomEngine<'a> {
                     let mut local_solutions: Vec<Solution> = Vec::new();
                     let mut local_count = 0usize;
                     let mut local_stats = MatchStats::default();
+                    let mut local_rows: Vec<u64> = Vec::new();
+                    let mut local_estimates: Vec<u64> = Vec::new();
                     loop {
                         let begin = next.fetch_add(chunk, Ordering::Relaxed);
                         if begin >= starts.len() {
@@ -667,6 +699,7 @@ impl<'a> TurboHomEngine<'a> {
                                     &order_storage
                                 }
                             };
+                            accumulate_estimates(&mut local_estimates, order, &region);
                             let mut searcher = SubgraphSearcher::new(
                                 self.data,
                                 config,
@@ -682,6 +715,7 @@ impl<'a> TurboHomEngine<'a> {
                             local_count += searcher.solution_count;
                             local_solutions.append(&mut searcher.solutions);
                             local_stats.merge(&searcher.stats);
+                            merge_step_counts(&mut local_rows, &searcher.step_rows);
                         }
                     }
                     if detailed {
@@ -697,11 +731,13 @@ impl<'a> TurboHomEngine<'a> {
                     guard.0.append(&mut local_solutions);
                     guard.1 += local_count;
                     guard.2.merge(&local_stats);
+                    merge_step_counts(&mut guard.3, &local_rows);
+                    merge_step_counts(&mut guard.4, &local_estimates);
                 });
             }
         });
 
-        let (solutions, count, stats) = merged.into_inner();
+        let (solutions, count, stats, step_rows, step_estimates) = merged.into_inner();
         if detailed {
             let mut workers = timings.into_inner();
             workers.sort_by_key(|t| t.worker);
@@ -715,6 +751,8 @@ impl<'a> TurboHomEngine<'a> {
                 solutions,
                 solution_count: count,
                 stats,
+                step_rows,
+                step_estimates,
             },
             shared_order,
         )
@@ -1078,6 +1116,36 @@ mod tests {
             without.stats.matching_orders_computed,
             without.stats.nonempty_regions
         );
+    }
+
+    #[test]
+    fn step_counters_cover_every_order_position_and_agree_across_schedulers() {
+        let ds = university_dataset();
+        let data = type_aware_transform(&ds);
+        let seq = execute(&ds, &data, TRIANGLE, TurboHomConfig::default());
+        // One slot per query vertex, for both actuals and estimates.
+        assert_eq!(seq.step_rows.len(), 3);
+        assert_eq!(seq.step_estimates.len(), 3);
+        // Every step bound at least one candidate (the query has solutions),
+        // and the final step produced exactly the solution count (no
+        // variable-predicate fan-out in this query).
+        assert!(seq.step_rows.iter().all(|&r| r > 0));
+        assert_eq!(*seq.step_rows.last().unwrap(), 24);
+        assert!(seq.step_estimates.iter().all(|&e| e > 0));
+        // Parallel execution visits the same regions, so the summed per-step
+        // counters are identical regardless of scheduler.
+        for scheduler in [Scheduler::Morsel, Scheduler::Chunked] {
+            let par = execute(
+                &ds,
+                &data,
+                TRIANGLE,
+                TurboHomConfig::default()
+                    .with_threads(4)
+                    .with_scheduler(scheduler),
+            );
+            assert_eq!(par.step_rows, seq.step_rows, "{scheduler:?}");
+            assert_eq!(par.step_estimates, seq.step_estimates, "{scheduler:?}");
+        }
     }
 
     #[test]

@@ -44,6 +44,15 @@ pub struct MatchResult {
     pub solution_count: usize,
     /// Execution counters.
     pub stats: MatchStats,
+    /// Per matching-order position: how many partial mappings were extended
+    /// at that step (the "rows produced" of each step, summed across regions
+    /// and workers). Empty when the search never ran.
+    pub step_rows: Vec<u64>,
+    /// Per matching-order position: the candidate-count estimates that
+    /// justified the order (`|CR(u)|` summed over all explored regions).
+    /// Same length as [`step_rows`](MatchResult::step_rows); EXPLAIN/ANALYZE
+    /// computes its per-step q-error from these two.
+    pub step_estimates: Vec<u64>,
 }
 
 impl MatchResult {
@@ -55,6 +64,17 @@ impl MatchResult {
     /// Returns `true` if no solution was found.
     pub fn is_empty(&self) -> bool {
         self.solution_count == 0
+    }
+}
+
+/// Elementwise accumulation of per-step counters, growing `dst` as needed
+/// (the merge sites of the sequential and parallel run paths share it).
+pub fn merge_step_counts(dst: &mut Vec<u64>, src: &[u64]) {
+    if dst.len() < src.len() {
+        dst.resize(src.len(), 0);
+    }
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d += s;
     }
 }
 
@@ -78,5 +98,17 @@ mod tests {
         r.solution_count = 1;
         assert_eq!(r.len(), 1);
         assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn step_counts_merge_elementwise_and_grow() {
+        let mut dst = vec![1, 2];
+        merge_step_counts(&mut dst, &[10, 20, 30]);
+        assert_eq!(dst, vec![11, 22, 30]);
+        merge_step_counts(&mut dst, &[]);
+        assert_eq!(dst, vec![11, 22, 30]);
+        let mut empty = Vec::new();
+        merge_step_counts(&mut empty, &[5]);
+        assert_eq!(empty, vec![5]);
     }
 }

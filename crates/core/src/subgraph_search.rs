@@ -56,6 +56,9 @@ pub struct SubgraphSearcher<'a> {
     pub solution_count: usize,
     /// Execution counters.
     pub stats: MatchStats,
+    /// Per matching-order position: how many candidates were successfully
+    /// bound at that step (the ANALYZE "rows per step" actuals).
+    pub step_rows: Vec<u64>,
     limit_reached: bool,
     /// Per-depth candidate buffers, reused across recursions so the +INT hot
     /// path does not allocate a fresh result vector per extension step.
@@ -93,6 +96,7 @@ impl<'a> SubgraphSearcher<'a> {
             solutions: Vec::new(),
             solution_count: 0,
             stats: MatchStats::default(),
+            step_rows: vec![0; order.len()],
             limit_reached: false,
             depth_buffers: vec![Vec::new(); n],
             scratch: Vec::new(),
@@ -118,6 +122,7 @@ impl<'a> SubgraphSearcher<'a> {
             return;
         }
         self.mapping[root] = Some(start);
+        self.step_rows[0] += 1;
         if self.config.semantics == MatchSemantics::Isomorphism {
             self.used.insert(start);
         }
@@ -272,6 +277,7 @@ impl<'a> SubgraphSearcher<'a> {
             }
 
             self.mapping[u] = Some(v);
+            self.step_rows[depth] += 1;
             if self.config.semantics == MatchSemantics::Isomorphism {
                 self.used.insert(v);
             }

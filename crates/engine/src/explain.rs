@@ -1,0 +1,1017 @@
+//! EXPLAIN / ANALYZE: structured plan introspection with
+//! estimate-vs-actual telemetry.
+//!
+//! [`Store::explain`] answers "what would this query do?" *without executing
+//! it*: the parsed BGP's transformed components, the chosen start vertex,
+//! the first non-empty candidate region's sizes, and the matching order with
+//! the per-step cardinality estimates (`|CR(u)|`, paper Section 4.3) that
+//! justified it. On a [`ShardedStore`] the report additionally carries one
+//! verdict per shard: pruned (naming the summary-graph check that fired —
+//! exact predicate/class probe or Bloom term probe), live, or routed away by
+//! the constant-anchor ownership rule.
+//!
+//! [`Store::analyze`] executes the query and annotates the same tree with
+//! actuals — rows produced per matching step, per-shard row counts, the
+//! matcher's counters — and computes the per-step **q-error**
+//! `max(estimate/actual, actual/estimate)`, the standard cardinality-
+//! estimation quality measure. A live shard that contributed zero rows is a
+//! *false-live*: the summary graph failed to prune it (Bloom false positive
+//! or a constant combination present but disconnected), which the service
+//! layer exports as `turbohom_summary_prune_errors_total`.
+//!
+//! Reports serialize to a stable JSON document (`turbohom-explain/1`) that
+//! the HTTP server returns for `explain=1` and splices into the SPARQL-JSON
+//! body for `analyze=1`.
+
+use crate::error::StoreError;
+use crate::plan::{ComponentPlan, QueryPlan};
+use crate::results::{json_escape, QueryResults};
+use crate::sharded::{AnyStore, ShardedPlan, ShardedStore};
+use crate::store::{EngineKind, Store};
+use turbohom_core::candidate_region::explore_candidate_region;
+use turbohom_core::query_tree::QueryTree;
+use turbohom_core::start_vertex::choose_start_vertex;
+use turbohom_core::{MatchStats, MatchingOrder, TurboHomConfig};
+use turbohom_partition::{labeled_footprint, summary_verdict, Anchor, SummaryVerdict};
+use turbohom_sparql::{parse_query, Query};
+use turbohom_trace::Trace;
+
+/// Schema identifier embedded in every report.
+pub const EXPLAIN_SCHEMA: &str = "turbohom-explain/1";
+
+/// The q-error of one cardinality estimate: `max(e/a, a/e)` with both sides
+/// clamped to at least 1 (an estimate of 0 against an actual of 0 is a
+/// perfect 1.0; a zero on one side only is penalized as if it were 1).
+pub fn qerror(estimate: u64, actual: u64) -> f64 {
+    let e = estimate.max(1) as f64;
+    let a = actual.max(1) as f64;
+    (e / a).max(a / e)
+}
+
+/// A structured EXPLAIN (or ANALYZE) report.
+#[derive(Debug, Clone)]
+pub struct ExplainReport {
+    /// The engine the plan was prepared for.
+    pub engine: EngineKind,
+    /// `"single"` or `"sharded"`.
+    pub store_flavor: &'static str,
+    /// `"graph"` for the matching engines, `"join"` for the baselines.
+    pub plan_type: &'static str,
+    /// `true` once actuals have been attached (ANALYZE).
+    pub analyzed: bool,
+    /// The query's `LIMIT`, if any.
+    pub limit: Option<usize>,
+    /// `true` when the LIMIT is pushed into the enumerator (no `OFFSET`
+    /// shifts the window); `false` when absent or blocked.
+    pub limit_pushdown: bool,
+    /// One entry per transformed connected component (single-store path;
+    /// empty for join plans and sharded reports).
+    pub components: Vec<ComponentExplain>,
+    /// One entry per shard (sharded path; empty on single stores).
+    pub shards: Vec<ShardExplain>,
+    /// The sharding anchor (`"?var"` or the constant term), sharded only.
+    pub anchor: Option<String>,
+    /// Execution actuals (ANALYZE only).
+    pub actual: Option<ActualSummary>,
+}
+
+/// The static plan of one transformed connected component.
+#[derive(Debug, Clone)]
+pub struct ComponentExplain {
+    /// Union branch index.
+    pub branch: usize,
+    /// Component index within the branch.
+    pub component: usize,
+    /// `"type-aware"` or `"direct"`.
+    pub graph: &'static str,
+    /// Query-graph vertex count.
+    pub vertices: usize,
+    /// Query-graph edge count.
+    pub edges: usize,
+    /// Why the component short-circuits without a matching order, if it does.
+    pub note: Option<&'static str>,
+    /// The chosen start query vertex.
+    pub start: Option<StartExplain>,
+    /// Total candidate vertices in the first non-empty candidate region.
+    pub region_candidates: Option<usize>,
+    /// The matching order, one entry per position.
+    pub steps: Vec<StepExplain>,
+}
+
+/// The start-vertex choice of one component.
+#[derive(Debug, Clone)]
+pub struct StartExplain {
+    /// The chosen start query vertex (paper: `ChooseStartQueryVertex`).
+    pub query_vertex: usize,
+    /// Its SPARQL variable name, if it is a variable.
+    pub variable: Option<String>,
+    /// Number of starting data vertices enumerated for it.
+    pub candidates: usize,
+}
+
+/// One matching-order position.
+#[derive(Debug, Clone)]
+pub struct StepExplain {
+    /// Position in the matching order (0 = start vertex).
+    pub position: usize,
+    /// The query vertex matched at this position.
+    pub query_vertex: usize,
+    /// Its SPARQL variable name, if any.
+    pub variable: Option<String>,
+    /// The candidate-count estimate that justified the order: `|CR(u)|` of
+    /// the first non-empty region (EXPLAIN), or summed over all explored
+    /// regions (ANALYZE).
+    pub estimate: u64,
+    /// Partial mappings actually extended at this step (ANALYZE only).
+    pub rows: Option<u64>,
+    /// `qerror(estimate, rows)` (ANALYZE only).
+    pub qerror: Option<f64>,
+}
+
+/// One shard's verdict (sharded stores).
+#[derive(Debug, Clone)]
+pub struct ShardExplain {
+    /// Shard index.
+    pub shard: usize,
+    /// Triples in the shard (including halo replicas).
+    pub triples: usize,
+    /// `"live"`, `"pruned"` or `"routed-away"`.
+    pub verdict: &'static str,
+    /// The summary check that pruned the shard (`"predicate"`, `"class"`,
+    /// `"term"`), pruned only.
+    pub check: Option<&'static str>,
+    /// How that check probes (`"exact"` or `"bloom"`), pruned only.
+    pub probe: Option<&'static str>,
+    /// The query constant that no summary entry matched, pruned only.
+    pub term: Option<String>,
+    /// The shard-local component plans, live only.
+    pub components: Vec<ComponentExplain>,
+    /// Rows the shard contributed after the ownership filter (ANALYZE only).
+    pub rows: Option<u64>,
+    /// `true` when the shard was live yet contributed zero rows — the
+    /// summary graph failed to prune it (ANALYZE only).
+    pub false_live: Option<bool>,
+}
+
+/// Execution actuals attached by ANALYZE.
+#[derive(Debug, Clone)]
+pub struct ActualSummary {
+    /// Solutions found.
+    pub solutions: u64,
+    /// Result rows rendered (differs from `solutions` under count-only).
+    pub rows: u64,
+    /// Wall-clock execution time in microseconds.
+    pub elapsed_us: u64,
+    /// Adjacency-intersection operations (+INT).
+    pub intersections: u64,
+    /// Search-tree recursions.
+    pub recursions: u64,
+    /// Morsels dispatched across workers.
+    pub morsels: u64,
+    /// Morsels obtained by work stealing.
+    pub steals: u64,
+    /// The worst per-step q-error, if step telemetry was recorded.
+    pub max_qerror: Option<f64>,
+    /// Live shards that contributed zero rows (sharded ANALYZE only).
+    pub false_live_shards: u64,
+}
+
+impl ExplainReport {
+    fn new(
+        engine: EngineKind,
+        store_flavor: &'static str,
+        plan_type: &'static str,
+        limit: Option<usize>,
+        limit_pushdown: bool,
+    ) -> Self {
+        ExplainReport {
+            engine,
+            store_flavor,
+            plan_type,
+            analyzed: false,
+            limit,
+            limit_pushdown,
+            components: Vec::new(),
+            shards: Vec::new(),
+            anchor: None,
+            actual: None,
+        }
+    }
+
+    /// The worst per-step q-error across the whole report (ANALYZE only).
+    pub fn max_qerror(&self) -> Option<f64> {
+        self.actual.as_ref().and_then(|a| a.max_qerror)
+    }
+
+    /// Every per-step q-error recorded by ANALYZE, in matching-order
+    /// position order (what the service feeds its q-error histogram).
+    pub fn step_qerrors(&self) -> Vec<f64> {
+        self.all_components()
+            .flat_map(|c| c.steps.iter().filter_map(|s| s.qerror))
+            .collect()
+    }
+
+    /// Number of live shards that contributed zero rows (ANALYZE only).
+    pub fn false_live_shards(&self) -> u64 {
+        self.actual.as_ref().map_or(0, |a| a.false_live_shards)
+    }
+
+    fn all_components(&self) -> impl Iterator<Item = &ComponentExplain> {
+        self.components
+            .iter()
+            .chain(self.shards.iter().flat_map(|s| s.components.iter()))
+    }
+
+    /// Annotates the report with one execution's actuals. Per-step row
+    /// counts are attached when exactly one component carries a matching
+    /// order (the common case — the merged counters cannot be split across
+    /// several components); the summary counters are attached always.
+    fn attach_actuals(&mut self, results: &QueryResults) {
+        self.analyzed = true;
+        let max_qerror = results
+            .step_estimates
+            .iter()
+            .zip(&results.step_rows)
+            .map(|(&e, &a)| qerror(e, a))
+            .fold(None, |m: Option<f64>, q| Some(m.map_or(q, |m| m.max(q))));
+        let mut with_steps: Vec<&mut ComponentExplain> = self
+            .components
+            .iter_mut()
+            .chain(self.shards.iter_mut().flat_map(|s| s.components.iter_mut()))
+            .filter(|c| !c.steps.is_empty())
+            .collect();
+        if let [component] = with_steps.as_mut_slice() {
+            for step in component.steps.iter_mut() {
+                let est = results.step_estimates.get(step.position).copied();
+                let act = results.step_rows.get(step.position).copied();
+                if let Some(est) = est {
+                    step.estimate = est;
+                }
+                step.rows = act;
+                step.qerror = match (est.or(Some(step.estimate)), act) {
+                    (Some(e), Some(a)) => Some(qerror(e, a)),
+                    _ => None,
+                };
+            }
+        }
+        self.actual = Some(ActualSummary {
+            solutions: results.solution_count as u64,
+            rows: results.rows.len() as u64,
+            elapsed_us: results.elapsed.as_micros() as u64,
+            intersections: results.stats.intersection_ops as u64,
+            recursions: results.stats.search_recursions as u64,
+            morsels: results.stats.morsels as u64,
+            steals: results.stats.morsels_stolen as u64,
+            max_qerror,
+            false_live_shards: 0,
+        });
+    }
+
+    /// Serializes the report as a `turbohom-explain/1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\"schema\":\"");
+        out.push_str(EXPLAIN_SCHEMA);
+        out.push_str("\",\"mode\":\"");
+        out.push_str(if self.analyzed { "analyze" } else { "explain" });
+        out.push_str("\",\"engine\":\"");
+        out.push_str(self.engine.name());
+        out.push_str("\",\"store\":\"");
+        out.push_str(self.store_flavor);
+        out.push_str("\",\"plan\":\"");
+        out.push_str(self.plan_type);
+        out.push_str("\",\"limit\":");
+        match self.limit {
+            Some(l) => out.push_str(&l.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"limit_pushdown\":");
+        out.push_str(if self.limit_pushdown { "true" } else { "false" });
+        if let Some(anchor) = &self.anchor {
+            out.push_str(",\"anchor\":\"");
+            out.push_str(&json_escape(anchor));
+            out.push('"');
+        }
+        out.push_str(",\"components\":[");
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            c.append_json(&mut out);
+        }
+        out.push(']');
+        if !self.shards.is_empty() {
+            out.push_str(",\"shards\":[");
+            for (i, s) in self.shards.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                s.append_json(&mut out);
+            }
+            out.push(']');
+        }
+        if let Some(a) = &self.actual {
+            out.push_str(",\"actual\":{\"solutions\":");
+            out.push_str(&a.solutions.to_string());
+            out.push_str(",\"rows\":");
+            out.push_str(&a.rows.to_string());
+            out.push_str(",\"elapsed_us\":");
+            out.push_str(&a.elapsed_us.to_string());
+            out.push_str(",\"intersections\":");
+            out.push_str(&a.intersections.to_string());
+            out.push_str(",\"recursions\":");
+            out.push_str(&a.recursions.to_string());
+            out.push_str(",\"morsels\":");
+            out.push_str(&a.morsels.to_string());
+            out.push_str(",\"steals\":");
+            out.push_str(&a.steals.to_string());
+            out.push_str(",\"max_qerror\":");
+            match a.max_qerror {
+                Some(q) => out.push_str(&format_f64(q)),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"false_live_shards\":");
+            out.push_str(&a.false_live_shards.to_string());
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Formats an f64 for JSON: finite shortest-round-trip representation,
+/// with an explicit `.0` kept so the value stays a JSON number either way.
+fn format_f64(v: f64) -> String {
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+impl ComponentExplain {
+    fn append_json(&self, out: &mut String) {
+        out.push_str("{\"branch\":");
+        out.push_str(&self.branch.to_string());
+        out.push_str(",\"component\":");
+        out.push_str(&self.component.to_string());
+        out.push_str(",\"graph\":\"");
+        out.push_str(self.graph);
+        out.push_str("\",\"vertices\":");
+        out.push_str(&self.vertices.to_string());
+        out.push_str(",\"edges\":");
+        out.push_str(&self.edges.to_string());
+        if let Some(note) = self.note {
+            out.push_str(",\"note\":\"");
+            out.push_str(&json_escape(note));
+            out.push('"');
+        }
+        if let Some(start) = &self.start {
+            out.push_str(",\"start\":{\"query_vertex\":");
+            out.push_str(&start.query_vertex.to_string());
+            out.push_str(",\"variable\":");
+            append_opt_str(out, start.variable.as_deref());
+            out.push_str(",\"candidates\":");
+            out.push_str(&start.candidates.to_string());
+            out.push('}');
+        }
+        if let Some(rc) = self.region_candidates {
+            out.push_str(",\"region_candidates\":");
+            out.push_str(&rc.to_string());
+        }
+        out.push_str(",\"steps\":[");
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"position\":");
+            out.push_str(&s.position.to_string());
+            out.push_str(",\"query_vertex\":");
+            out.push_str(&s.query_vertex.to_string());
+            out.push_str(",\"variable\":");
+            append_opt_str(out, s.variable.as_deref());
+            out.push_str(",\"estimate\":");
+            out.push_str(&s.estimate.to_string());
+            if let Some(rows) = s.rows {
+                out.push_str(",\"rows\":");
+                out.push_str(&rows.to_string());
+            }
+            if let Some(q) = s.qerror {
+                out.push_str(",\"qerror\":");
+                out.push_str(&format_f64(q));
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+}
+
+impl ShardExplain {
+    fn append_json(&self, out: &mut String) {
+        out.push_str("{\"shard\":");
+        out.push_str(&self.shard.to_string());
+        out.push_str(",\"triples\":");
+        out.push_str(&self.triples.to_string());
+        out.push_str(",\"verdict\":\"");
+        out.push_str(self.verdict);
+        out.push('"');
+        if let Some(check) = self.check {
+            out.push_str(",\"check\":\"");
+            out.push_str(check);
+            out.push_str("\",\"probe\":\"");
+            out.push_str(self.probe.unwrap_or("exact"));
+            out.push('"');
+        }
+        if let Some(term) = &self.term {
+            out.push_str(",\"term\":\"");
+            out.push_str(&json_escape(term));
+            out.push('"');
+        }
+        if !self.components.is_empty() {
+            out.push_str(",\"components\":[");
+            for (i, c) in self.components.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                c.append_json(out);
+            }
+            out.push(']');
+        }
+        if let Some(rows) = self.rows {
+            out.push_str(",\"rows\":");
+            out.push_str(&rows.to_string());
+        }
+        if let Some(fl) = self.false_live {
+            out.push_str(",\"false_live\":");
+            out.push_str(if fl { "true" } else { "false" });
+        }
+        out.push('}');
+    }
+}
+
+fn append_opt_str(out: &mut String, v: Option<&str>) {
+    match v {
+        Some(s) => {
+            out.push('"');
+            out.push_str(&json_escape(s));
+            out.push('"');
+        }
+        None => out.push_str("null"),
+    }
+}
+
+/// Builds the static plan tree of one transformed component by mirroring
+/// the engine prologue: guards, start-vertex choice, query tree, first
+/// non-empty candidate region, matching order — everything short of
+/// enumeration.
+fn explain_component(
+    store: &Store,
+    config: &TurboHomConfig,
+    comp: &ComponentPlan,
+    branch: usize,
+    index: usize,
+) -> ComponentExplain {
+    let graph = if comp.use_direct() {
+        store.direct_graph()
+    } else {
+        store.type_aware_graph()
+    };
+    let tq = comp.transformed();
+    let mut ce = ComponentExplain {
+        branch,
+        component: index,
+        graph: if comp.use_direct() {
+            "direct"
+        } else {
+            "type-aware"
+        },
+        vertices: tq.graph.vertex_count(),
+        edges: tq.graph.edge_count(),
+        note: None,
+        start: None,
+        region_candidates: None,
+        steps: Vec::new(),
+    };
+    // The same guards `execute_with_order_traced` applies, in the same order.
+    if tq.unsatisfiable || tq.graph.vertex_count() == 0 {
+        ce.note = Some("unsatisfiable: a query constant does not occur in the data");
+        return ce;
+    }
+    if !tq.graph.is_connected() {
+        ce.note = Some("disconnected query graph");
+        return ce;
+    }
+    if tq.vertex_clause.iter().all(|c| c.is_some()) {
+        ce.note = Some("no required part (every vertex is OPTIONAL)");
+        return ce;
+    }
+    let mut stats = MatchStats::default();
+    let selection = choose_start_vertex(graph, config, tq, &mut stats);
+    ce.start = Some(StartExplain {
+        query_vertex: selection.query_vertex,
+        variable: tq.graph.vertex(selection.query_vertex).variable.clone(),
+        candidates: selection.start_vertices.len(),
+    });
+    if selection.start_vertices.is_empty() {
+        ce.note = Some("start vertex has no candidate data vertices");
+        return ce;
+    }
+    let tree = QueryTree::build(&tq.graph, selection.query_vertex);
+    // `+REUSE`: the order is determined from the first non-empty region.
+    let region = selection
+        .start_vertices
+        .iter()
+        .find_map(|&s| explore_candidate_region(graph, config, tq, &tree, s, &mut stats));
+    let Some(region) = region else {
+        ce.note = Some("every candidate region is empty");
+        return ce;
+    };
+    ce.region_candidates = Some(region.total_candidates());
+    let order = MatchingOrder::determine(tq, &tree, &region);
+    ce.steps = order
+        .order
+        .iter()
+        .enumerate()
+        .map(|(position, &u)| StepExplain {
+            position,
+            query_vertex: u,
+            variable: tq.graph.vertex(u).variable.clone(),
+            estimate: region.count(u) as u64,
+            rows: None,
+            qerror: None,
+        })
+        .collect();
+    ce
+}
+
+/// All component plans of one prepared single-store plan, explained.
+fn explain_plan_components(store: &Store, plan: &QueryPlan) -> Vec<ComponentExplain> {
+    let Some((config, branches)) = plan.graph_parts() else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for (b, branch) in branches.iter().enumerate() {
+        for (c, comp) in branch.components().iter().enumerate() {
+            out.push(explain_component(store, config, comp, b, c));
+        }
+    }
+    out
+}
+
+impl Store {
+    /// Explains a query **without executing it**: the structured plan tree
+    /// the chosen engine would run (see the module docs for what it holds).
+    pub fn explain(&self, sparql: &str, kind: EngineKind) -> Result<ExplainReport, StoreError> {
+        let query = parse_query(sparql)?;
+        let plan = self.plan_query(&query, kind)?;
+        Ok(self.explain_plan(&query, &plan))
+    }
+
+    /// Builds the EXPLAIN report for an already prepared plan.
+    pub(crate) fn explain_plan(&self, query: &Query, plan: &QueryPlan) -> ExplainReport {
+        let plan_type = if plan.join_strategy().is_some() {
+            "join"
+        } else {
+            "graph"
+        };
+        let mut report = ExplainReport::new(
+            plan.kind(),
+            "single",
+            plan_type,
+            query.limit,
+            plan.limit().is_some(),
+        );
+        report.components = explain_plan_components(self, plan);
+        report
+    }
+
+    /// Executes a query and returns the results together with the EXPLAIN
+    /// tree annotated with actuals (per-step rows, q-errors, matcher
+    /// counters). The embedded-API counterpart of the server's `analyze=1`.
+    pub fn analyze(
+        &self,
+        sparql: &str,
+        kind: EngineKind,
+        threads: Option<usize>,
+    ) -> Result<(QueryResults, ExplainReport), StoreError> {
+        let query = parse_query(sparql)?;
+        let plan = self.plan_query(&query, kind)?;
+        let mut report = self.explain_plan(&query, &plan);
+        let results = self.run_plan_with(&plan, threads)?;
+        report.attach_actuals(&results);
+        Ok((results, report))
+    }
+}
+
+impl ShardedStore {
+    /// Explains a query **without executing it**: per-shard summary
+    /// verdicts (naming the check that pruned each shard), the ownership
+    /// route, and the shard-local plan trees of the live shards.
+    pub fn explain(&self, sparql: &str, kind: EngineKind) -> Result<ExplainReport, StoreError> {
+        let query = parse_query(sparql)?;
+        let plan = self.prepare_plan(sparql, kind)?;
+        Ok(self.explain_plan(&query, &plan))
+    }
+
+    /// Builds the EXPLAIN report for an already prepared sharded plan.
+    pub(crate) fn explain_plan(&self, query: &Query, plan: &ShardedPlan) -> ExplainReport {
+        let plan_type = match plan.kind() {
+            EngineKind::TurboHomPlusPlus | EngineKind::TurboHom => "graph",
+            EngineKind::MergeJoin | EngineKind::HashJoin => "join",
+        };
+        let mut report = ExplainReport::new(
+            plan.kind(),
+            "sharded",
+            plan_type,
+            query.limit,
+            plan.limit().is_some(),
+        );
+        report.anchor = Some(match plan.anchor() {
+            Anchor::Variable(v) => format!("?{v}"),
+            Anchor::Constant(t) => t.to_string(),
+        });
+        let fp = labeled_footprint(query);
+        let mut scratch = String::new();
+        let route = match plan.anchor() {
+            Anchor::Constant(term) => Some(self.ownership().owner(term, &mut scratch)),
+            Anchor::Variable(_) => None,
+        };
+        for (i, summary) in self.summaries().iter().enumerate() {
+            let mut se = ShardExplain {
+                shard: i,
+                triples: self.shard(i).triple_count(),
+                verdict: "live",
+                check: None,
+                probe: None,
+                term: None,
+                components: Vec::new(),
+                rows: None,
+                false_live: None,
+            };
+            if route.is_some_and(|owner| owner != i) {
+                // The constant anchor's owner is another shard; the summary
+                // was never probed (same order as plan preparation). The
+                // deciding check is the ownership route on the anchor term.
+                se.verdict = "routed-away";
+                se.check = Some("ownership-route");
+                if let Anchor::Constant(term) = plan.anchor() {
+                    se.term = Some(term.to_string());
+                }
+            } else {
+                match summary_verdict(summary, &fp) {
+                    SummaryVerdict::Live => {
+                        if let Some(shard_plan) = plan.shard_plan(i) {
+                            se.components = explain_plan_components(self.shard(i), shard_plan);
+                        }
+                    }
+                    SummaryVerdict::Pruned { check, term } => {
+                        se.verdict = "pruned";
+                        se.check = Some(check.name());
+                        se.probe = Some(check.mode());
+                        se.term = Some(term);
+                    }
+                }
+            }
+            report.shards.push(se);
+        }
+        report
+    }
+
+    /// Executes a query and annotates the EXPLAIN tree with actuals,
+    /// including per-shard row counts and the false-live verdicts (a live
+    /// shard that contributed zero rows was a summary-pruning miss).
+    pub fn analyze(
+        &self,
+        sparql: &str,
+        kind: EngineKind,
+        threads: Option<usize>,
+    ) -> Result<(QueryResults, ExplainReport), StoreError> {
+        let query = parse_query(sparql)?;
+        let plan = self.prepare_plan(sparql, kind)?;
+        let mut report = self.explain_plan(&query, &plan);
+        // A coarse trace records the per-shard `shard_execute` roll-ups,
+        // which carry exactly the per-shard row counts ANALYZE needs.
+        let trace = Trace::new(0);
+        let results = self.run_plan_traced(&plan, threads, &trace)?;
+        let trace_report = trace.finish();
+        let mut false_live = 0u64;
+        for span in trace_report
+            .spans
+            .iter()
+            .filter(|s| s.name == "shard_execute")
+        {
+            let shard = span.counters.iter().find(|(n, _)| *n == "shard");
+            let rows = span.counters.iter().find(|(n, _)| *n == "rows");
+            if let (Some(&(_, shard)), Some(&(_, rows))) = (shard, rows) {
+                if let Some(se) = report.shards.iter_mut().find(|s| s.shard == shard as usize) {
+                    se.rows = Some(rows);
+                    let fl = se.verdict == "live" && rows == 0;
+                    se.false_live = Some(fl);
+                    if fl {
+                        false_live += 1;
+                    }
+                }
+            }
+        }
+        report.attach_actuals(&results);
+        if let Some(actual) = &mut report.actual {
+            actual.false_live_shards = false_live;
+        }
+        Ok((results, report))
+    }
+}
+
+impl AnyStore {
+    /// `"single"` or `"sharded"` (the store-flavor label on per-engine
+    /// metrics and EXPLAIN reports).
+    pub fn flavor_name(&self) -> &'static str {
+        match self {
+            AnyStore::Single(_) => "single",
+            AnyStore::Sharded(_) => "sharded",
+        }
+    }
+
+    /// Dispatches [`Store::explain`] / [`ShardedStore::explain`].
+    pub fn explain(&self, sparql: &str, kind: EngineKind) -> Result<ExplainReport, StoreError> {
+        match self {
+            AnyStore::Single(s) => s.explain(sparql, kind),
+            AnyStore::Sharded(s) => s.explain(sparql, kind),
+        }
+    }
+
+    /// Dispatches [`Store::analyze`] / [`ShardedStore::analyze`].
+    pub fn analyze(
+        &self,
+        sparql: &str,
+        kind: EngineKind,
+        threads: Option<usize>,
+    ) -> Result<(QueryResults, ExplainReport), StoreError> {
+        match self {
+            AnyStore::Single(s) => s.analyze(sparql, kind, threads),
+            AnyStore::Sharded(s) => s.analyze(sparql, kind, threads),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sharded::ShardedOptions;
+    use crate::store::StoreOptions;
+    use std::sync::Arc;
+    use turbohom_rdf::{vocab, Dataset};
+
+    fn ub(l: &str) -> String {
+        format!("http://ub.org/{l}")
+    }
+
+    fn sample_dataset() -> Dataset {
+        let mut ds = Dataset::new();
+        ds.insert_iris(
+            &ub("GraduateStudent"),
+            vocab::RDFS_SUBCLASSOF,
+            &ub("Student"),
+        );
+        for d in 0..2 {
+            let dept = ub(&format!("dept{d}"));
+            ds.insert_iris(&dept, vocab::RDF_TYPE, &ub("Department"));
+            ds.insert_iris(&dept, &ub("subOrganizationOf"), &ub("univ0"));
+            for i in 0..5 {
+                let s = ub(&format!("student{d}_{i}"));
+                ds.insert_iris(&s, vocab::RDF_TYPE, &ub("GraduateStudent"));
+                ds.insert_iris(&s, &ub("memberOf"), &dept);
+            }
+        }
+        ds.insert_iris(&ub("univ0"), vocab::RDF_TYPE, &ub("University"));
+        ds
+    }
+
+    fn sample_store() -> Store {
+        Store::from_dataset_with(
+            sample_dataset(),
+            StoreOptions {
+                inference: true,
+                threads: 1,
+            },
+        )
+    }
+
+    const Q: &str = r#"PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+                       PREFIX ub: <http://ub.org/>
+                       SELECT ?x ?d WHERE { ?x rdf:type ub:Student . ?x ub:memberOf ?d . }"#;
+
+    #[test]
+    fn explain_builds_a_static_plan_without_executing() {
+        let store = sample_store();
+        let report = store.explain(Q, EngineKind::TurboHomPlusPlus).unwrap();
+        assert!(!report.analyzed);
+        assert_eq!(report.store_flavor, "single");
+        assert_eq!(report.plan_type, "graph");
+        assert_eq!(report.components.len(), 1);
+        let c = &report.components[0];
+        assert_eq!(c.graph, "type-aware");
+        // The type-aware transform folds the rdf:type pattern into ?x's
+        // label set: 2 vertices, 1 edge.
+        assert_eq!(c.vertices, 2);
+        assert_eq!(c.edges, 1);
+        assert!(c.note.is_none());
+        let start = c.start.as_ref().unwrap();
+        assert!(start.candidates > 0);
+        // One step per query vertex, position 0 is the start vertex, every
+        // step carries an estimate and no actuals.
+        assert_eq!(c.steps.len(), 2);
+        assert_eq!(c.steps[0].query_vertex, start.query_vertex);
+        assert!(c.steps.iter().all(|s| s.estimate > 0));
+        assert!(c
+            .steps
+            .iter()
+            .all(|s| s.rows.is_none() && s.qerror.is_none()));
+        assert!(report.actual.is_none());
+        let json = report.to_json();
+        assert!(json.contains("\"schema\":\"turbohom-explain/1\""));
+        assert!(json.contains("\"mode\":\"explain\""));
+        assert!(!json.contains("\"actual\""));
+    }
+
+    #[test]
+    fn explain_notes_unsatisfiable_and_join_plans() {
+        let store = sample_store();
+        let gone = r#"PREFIX ub: <http://ub.org/>
+                      SELECT ?x WHERE { ?x ub:nonexistent ?y . }"#;
+        let report = store.explain(gone, EngineKind::TurboHomPlusPlus).unwrap();
+        assert_eq!(report.components.len(), 1);
+        assert!(report.components[0].note.unwrap().contains("unsatisfiable"));
+        assert!(report.components[0].steps.is_empty());
+        // Join baselines have no graph plan to explain.
+        let join = store.explain(Q, EngineKind::MergeJoin).unwrap();
+        assert_eq!(join.plan_type, "join");
+        assert!(join.components.is_empty());
+    }
+
+    #[test]
+    fn explain_reports_limit_pushdown_status() {
+        let store = sample_store();
+        let limited = format!("{Q} LIMIT 3");
+        let report = store
+            .explain(&limited, EngineKind::TurboHomPlusPlus)
+            .unwrap();
+        assert_eq!(report.limit, Some(3));
+        assert!(report.limit_pushdown);
+        let offset = format!("{Q} LIMIT 3 OFFSET 1");
+        let report = store
+            .explain(&offset, EngineKind::TurboHomPlusPlus)
+            .unwrap();
+        assert_eq!(report.limit, Some(3));
+        assert!(!report.limit_pushdown);
+    }
+
+    #[test]
+    fn analyze_attaches_per_step_actuals_and_qerror() {
+        let store = sample_store();
+        let (results, report) = store
+            .analyze(Q, EngineKind::TurboHomPlusPlus, None)
+            .unwrap();
+        assert_eq!(results.len(), 10);
+        assert!(report.analyzed);
+        let c = &report.components[0];
+        assert!(c.steps.iter().all(|s| s.rows.is_some()));
+        assert!(c.steps.iter().all(|s| s.qerror.unwrap() >= 1.0));
+        // The final step's actual equals the solution count for this query.
+        assert_eq!(c.steps.last().unwrap().rows, Some(10));
+        let actual = report.actual.as_ref().unwrap();
+        assert_eq!(actual.solutions, 10);
+        assert!(actual.max_qerror.unwrap() >= 1.0);
+        assert_eq!(report.step_qerrors().len(), c.steps.len());
+        let json = report.to_json();
+        assert!(json.contains("\"mode\":\"analyze\""));
+        assert!(json.contains("\"qerror\":"));
+        assert!(json.contains("\"actual\":{"));
+    }
+
+    #[test]
+    fn sharded_explain_names_the_deciding_check_per_shard() {
+        let sharded = ShardedStore::from_dataset_with(
+            sample_dataset(),
+            ShardedOptions {
+                shards: 4,
+                inference: true,
+                threads: 1,
+                ..ShardedOptions::default()
+            },
+        )
+        .unwrap();
+        // Constant anchor: exactly one shard owns dept0, the rest are
+        // routed away before their summaries are probed.
+        let routed = r#"PREFIX ub: <http://ub.org/>
+                        SELECT ?x WHERE { ?x ub:memberOf <http://ub.org/dept0> . }"#;
+        let report = sharded
+            .explain(routed, EngineKind::TurboHomPlusPlus)
+            .unwrap();
+        assert_eq!(report.store_flavor, "sharded");
+        assert_eq!(report.shards.len(), 4);
+        let routed_away: Vec<_> = report
+            .shards
+            .iter()
+            .filter(|s| s.verdict == "routed-away")
+            .collect();
+        assert_eq!(routed_away.len(), 3);
+        for s in &routed_away {
+            assert_eq!(s.check, Some("ownership-route"));
+            assert_eq!(s.term.as_deref(), Some("<http://ub.org/dept0>"));
+        }
+        let live: Vec<_> = report
+            .shards
+            .iter()
+            .filter(|s| s.verdict == "live")
+            .collect();
+        assert_eq!(live.len(), 1);
+        assert!(!live[0].components.is_empty());
+        assert_eq!(report.anchor.as_deref(), Some("<http://ub.org/dept0>"));
+
+        // An absent predicate: every shard is pruned by the exact predicate
+        // check, and the verdict names the term.
+        let gone = r#"PREFIX ub: <http://ub.org/>
+                      SELECT ?x WHERE { ?x ub:nonexistent ?y . }"#;
+        let report = sharded.explain(gone, EngineKind::TurboHomPlusPlus).unwrap();
+        for s in &report.shards {
+            assert_eq!(s.verdict, "pruned");
+            assert_eq!(s.check, Some("predicate"));
+            assert_eq!(s.probe, Some("exact"));
+            assert_eq!(s.term.as_deref(), Some("<http://ub.org/nonexistent>"));
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"verdict\":\"pruned\""));
+        assert!(json.contains("\"check\":\"predicate\""));
+    }
+
+    #[test]
+    fn sharded_analyze_reports_per_shard_rows_and_false_lives() {
+        let sharded = ShardedStore::from_dataset_with(
+            sample_dataset(),
+            ShardedOptions {
+                shards: 3,
+                inference: true,
+                threads: 1,
+                ..ShardedOptions::default()
+            },
+        )
+        .unwrap();
+        let (results, report) = sharded
+            .analyze(Q, EngineKind::TurboHomPlusPlus, None)
+            .unwrap();
+        assert_eq!(results.len(), 10);
+        // Every live shard got a row count; their sum is the result size
+        // (the ownership filter makes the shard rows a partition).
+        let live: Vec<_> = report
+            .shards
+            .iter()
+            .filter(|s| s.verdict == "live")
+            .collect();
+        assert!(!live.is_empty());
+        let total: u64 = live.iter().map(|s| s.rows.unwrap()).sum();
+        assert_eq!(total, 10);
+        // false_live is set for every live shard, and counted in the summary.
+        let false_lives = live.iter().filter(|s| s.false_live == Some(true)).count() as u64;
+        assert_eq!(report.false_live_shards(), false_lives);
+        assert!(report.actual.is_some());
+    }
+
+    #[test]
+    fn any_store_dispatches_explain_and_analyze() {
+        let single = AnyStore::Single(Arc::new(sample_store()));
+        let sharded = AnyStore::Sharded(Arc::new(
+            ShardedStore::from_dataset_with(
+                sample_dataset(),
+                ShardedOptions {
+                    shards: 2,
+                    inference: true,
+                    threads: 1,
+                    ..ShardedOptions::default()
+                },
+            )
+            .unwrap(),
+        ));
+        assert_eq!(single.flavor_name(), "single");
+        assert_eq!(sharded.flavor_name(), "sharded");
+        for store in [&single, &sharded] {
+            let report = store.explain(Q, EngineKind::TurboHomPlusPlus).unwrap();
+            assert_eq!(report.store_flavor, store.flavor_name());
+            let (results, report) = store
+                .analyze(Q, EngineKind::TurboHomPlusPlus, None)
+                .unwrap();
+            assert_eq!(results.len(), 10);
+            assert!(report.analyzed);
+        }
+    }
+
+    #[test]
+    fn qerror_is_symmetric_and_zero_guarded() {
+        assert_eq!(qerror(10, 10), 1.0);
+        assert_eq!(qerror(100, 10), 10.0);
+        assert_eq!(qerror(10, 100), 10.0);
+        assert_eq!(qerror(0, 0), 1.0);
+        assert_eq!(qerror(0, 5), 5.0);
+        assert_eq!(qerror(5, 0), 5.0);
+    }
+}

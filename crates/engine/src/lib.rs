@@ -10,6 +10,7 @@
 
 pub mod backend;
 pub mod error;
+pub mod explain;
 pub mod plan;
 pub mod results;
 pub mod sharded;
@@ -17,6 +18,10 @@ pub mod store;
 
 pub use backend::{HeapBackend, SnapshotBackend, StorageBackend};
 pub use error::StoreError;
+pub use explain::{
+    qerror, ActualSummary, ComponentExplain, ExplainReport, ShardExplain, StartExplain,
+    StepExplain, EXPLAIN_SCHEMA,
+};
 pub use plan::QueryPlan;
 pub use results::{json_escape, QueryResults, ResultRow};
 pub use sharded::{AnyPlan, AnyStore, ShardedOptions, ShardedPlan, ShardedStore};

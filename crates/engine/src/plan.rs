@@ -24,7 +24,7 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Instant;
 use turbohom_baseline::JoinStrategy;
-use turbohom_core::{MatchStats, MatchingOrder, TurboHomConfig, TurboHomEngine};
+use turbohom_core::{merge_step_counts, MatchStats, MatchingOrder, TurboHomConfig, TurboHomEngine};
 use turbohom_sparql::{EvalContext, Expression, GroupPattern, Query};
 use turbohom_trace::{SpanId, Trace};
 use turbohom_transform::{TransformKind, TransformedQuery};
@@ -119,6 +119,43 @@ impl QueryPlan {
                 .count(),
             PlanMode::Join { .. } => 0,
         }
+    }
+
+    /// The graph-engine half of the plan: the TurboHOM configuration and the
+    /// transformed branches (`None` for join-baseline plans). The EXPLAIN
+    /// builder walks these without executing anything.
+    pub(crate) fn graph_parts(&self) -> Option<(&TurboHomConfig, &[BranchPlan])> {
+        match &self.mode {
+            PlanMode::Graph { config, branches } => Some((config, branches)),
+            PlanMode::Join { .. } => None,
+        }
+    }
+
+    /// The join strategy (`None` for graph-engine plans).
+    pub(crate) fn join_strategy(&self) -> Option<JoinStrategy> {
+        match &self.mode {
+            PlanMode::Graph { .. } => None,
+            PlanMode::Join { strategy, .. } => Some(*strategy),
+        }
+    }
+}
+
+impl BranchPlan {
+    /// The branch's connected components.
+    pub(crate) fn components(&self) -> &[ComponentPlan] {
+        &self.components
+    }
+}
+
+impl ComponentPlan {
+    /// `true` when the component matches over the direct graph.
+    pub(crate) fn use_direct(&self) -> bool {
+        self.use_direct
+    }
+
+    /// The transformed query graph of this component.
+    pub(crate) fn transformed(&self) -> &TransformedQuery {
+        &self.transformed
     }
 }
 
@@ -337,16 +374,20 @@ impl Store {
         let mut rows: Vec<ResultRow> = Vec::new();
         let mut count = 0usize;
         let mut stats = MatchStats::default();
+        let mut step_rows: Vec<u64> = Vec::new();
+        let mut step_estimates: Vec<u64> = Vec::new();
         for branch in branches {
             let remaining = limit.map(|l| l.saturating_sub(count));
             if remaining == Some(0) {
                 break;
             }
-            let (mut branch_rows, branch_count, branch_stats) =
+            let mut partial =
                 self.run_branch_plan(branch, config, &projected, remaining, trace, parent)?;
-            rows.append(&mut branch_rows);
-            count += branch_count;
-            stats.merge(&branch_stats);
+            rows.append(&mut partial.rows);
+            count += partial.count;
+            stats.merge(&partial.stats);
+            merge_step_counts(&mut step_rows, &partial.step_rows);
+            merge_step_counts(&mut step_estimates, &partial.step_estimates);
         }
         Ok(QueryResults {
             variables: projected,
@@ -354,6 +395,8 @@ impl Store {
             solution_count: count,
             elapsed: start.elapsed(),
             stats,
+            step_rows,
+            step_estimates,
         })
     }
 
@@ -371,7 +414,7 @@ impl Store {
         limit: Option<usize>,
         trace: &Trace,
         parent: Option<SpanId>,
-    ) -> Result<(Vec<ResultRow>, usize, MatchStats), StoreError> {
+    ) -> Result<PartialRun, StoreError> {
         if let [component] = branch.components.as_slice() {
             // Single connected component: the limit goes straight into the
             // enumerator as a solution cap, so search stops early.
@@ -387,11 +430,15 @@ impl Store {
         // Evaluate each component over its own variables.
         let mut partials: Vec<(&[String], Vec<ResultRow>)> = Vec::new();
         let mut stats = MatchStats::default();
+        let mut step_rows: Vec<u64> = Vec::new();
+        let mut step_estimates: Vec<u64> = Vec::new();
         for component in &branch.components {
-            let (rows, _, component_stats) =
+            let partial =
                 self.run_component_plan(component, config, &component.vars, trace, parent)?;
-            stats.merge(&component_stats);
-            partials.push((&component.vars, rows));
+            stats.merge(&partial.stats);
+            merge_step_counts(&mut step_rows, &partial.step_rows);
+            merge_step_counts(&mut step_estimates, &partial.step_estimates);
+            partials.push((&component.vars, partial.rows));
         }
         // Cartesian product of the component results.
         let all_vars: Vec<String> = partials
@@ -446,7 +493,13 @@ impl Store {
             rows.truncate(l);
         }
         let count = rows.len();
-        Ok((rows, count, stats))
+        Ok(PartialRun {
+            rows,
+            count,
+            stats,
+            step_rows,
+            step_estimates,
+        })
     }
 
     /// Runs one transformed component, reusing (or memoizing) its matching
@@ -458,7 +511,7 @@ impl Store {
         out_vars: &[String],
         trace: &Trace,
         parent: Option<SpanId>,
-    ) -> Result<(Vec<ResultRow>, usize, MatchStats), StoreError> {
+    ) -> Result<PartialRun, StoreError> {
         let graph = if component.use_direct {
             self.direct_graph()
         } else {
@@ -480,8 +533,24 @@ impl Store {
         }
         let mut rows = Vec::new();
         self.append_rows(&mut rows, graph, &component.transformed, &result, out_vars);
-        Ok((rows, result.solution_count, result.stats))
+        Ok(PartialRun {
+            rows,
+            count: result.solution_count,
+            stats: result.stats,
+            step_rows: result.step_rows,
+            step_estimates: result.step_estimates,
+        })
     }
+}
+
+/// The intermediate result of one branch or component run: the rendered
+/// rows plus every counter the merged [`QueryResults`] accumulates.
+struct PartialRun {
+    rows: Vec<ResultRow>,
+    count: usize,
+    stats: MatchStats,
+    step_rows: Vec<u64>,
+    step_estimates: Vec<u64>,
 }
 
 #[cfg(test)]

@@ -30,6 +30,14 @@ pub struct QueryResults {
     /// do not run the matcher). The benchmark flight recorder persists these
     /// alongside the timings.
     pub stats: MatchStats,
+    /// Per matching-order position: partial mappings extended at that step,
+    /// merged across branches, components, workers and shards (empty for the
+    /// join baselines). The ANALYZE actuals.
+    pub step_rows: Vec<u64>,
+    /// Per matching-order position: the candidate-count estimates that
+    /// justified the order (`|CR(u)|` summed over explored regions). Same
+    /// length as [`step_rows`](QueryResults::step_rows); the q-error inputs.
+    pub step_estimates: Vec<u64>,
 }
 
 impl QueryResults {
@@ -169,7 +177,7 @@ mod tests {
             ],
             solution_count: 2,
             elapsed: Duration::from_millis(1),
-            stats: MatchStats::default(),
+            ..Default::default()
         }
     }
 
@@ -221,7 +229,7 @@ mod tests {
             ],
             solution_count: 2,
             elapsed: Duration::ZERO,
-            stats: MatchStats::default(),
+            ..Default::default()
         };
         let json = r.to_sparql_json();
         assert!(json.contains(r#"{"type":"bnode","value":"b0"}"#));

@@ -32,7 +32,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
-use turbohom_core::MatchStats;
+use turbohom_core::{merge_step_counts, MatchStats};
 use turbohom_partition::{
     analyze_query, footprint, partition_dataset, summary_prunes, Anchor, Manifest, Ownership,
     PartitionConfig, PartitionerKind, ShardSummary, DEFAULT_HALO,
@@ -257,6 +257,17 @@ impl ShardedStore {
         !self.shards.is_empty() && self.shards.iter().all(|s| s.is_mapped())
     }
 
+    /// The per-shard summary graphs (the EXPLAIN builder probes them to name
+    /// the check that prunes each shard).
+    pub(crate) fn summaries(&self) -> &[ShardSummary] {
+        &self.summaries
+    }
+
+    /// The term → shard ownership assignment.
+    pub(crate) fn ownership(&self) -> &Ownership {
+        &self.ownership
+    }
+
     /// Parses a SPARQL query and builds the sharded plan for `kind`.
     pub fn prepare_plan(&self, sparql: &str, kind: EngineKind) -> Result<ShardedPlan, StoreError> {
         self.prepare_plan_traced(sparql, kind, &Trace::disabled())
@@ -414,6 +425,8 @@ impl ShardedStore {
         let mut merge = trace.span_under("merge", parent);
         let mut rows = Vec::new();
         let mut stats = MatchStats::default();
+        let mut step_rows: Vec<u64> = Vec::new();
+        let mut step_estimates: Vec<u64> = Vec::new();
         let mut elapsed_max = std::time::Duration::ZERO;
         for (slot, result) in slots.into_iter().enumerate() {
             let result = result.expect("every live slot is executed")?;
@@ -428,6 +441,8 @@ impl ShardedStore {
             );
             elapsed_max = elapsed_max.max(result.elapsed);
             stats.merge(&result.stats);
+            merge_step_counts(&mut step_rows, &result.step_rows);
+            merge_step_counts(&mut step_estimates, &result.step_estimates);
             rows.extend(result.rows);
         }
         stats.shards_executed = plan.live.len();
@@ -452,6 +467,8 @@ impl ShardedStore {
             rows,
             elapsed: start.elapsed().max(elapsed_max),
             stats,
+            step_rows,
+            step_estimates,
         };
         span.counter("solutions", results.solution_count as u64);
         span.counter("rows", results.rows.len() as u64);
@@ -549,6 +566,17 @@ impl ShardedPlan {
     /// The anchor the shardability analysis picked.
     pub fn anchor(&self) -> &Anchor {
         &self.anchor
+    }
+
+    /// The single-store plan prepared for one shard (`None` for pruned
+    /// shards). The EXPLAIN builder walks the live shards' plans.
+    pub(crate) fn shard_plan(&self, shard: usize) -> Option<&Arc<QueryPlan>> {
+        self.per_shard.get(shard).and_then(|p| p.as_ref())
+    }
+
+    /// The merge-time LIMIT, mirroring [`QueryPlan::limit`].
+    pub fn limit(&self) -> Option<usize> {
+        self.limit
     }
 }
 

@@ -440,7 +440,7 @@ impl Store {
             solution_count: rows.len(),
             rows,
             elapsed: start.elapsed(),
-            stats: Default::default(),
+            ..Default::default()
         }
     }
 

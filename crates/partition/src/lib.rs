@@ -36,7 +36,10 @@ pub use partitioner::{
     DEFAULT_HALO, GREEDY_BUCKETS,
 };
 pub use query::{analyze_query, Anchor, ShardQuery};
-pub use summary::{footprint, summary_prunes, Bloom, QueryFootprint, ShardSummary};
+pub use summary::{
+    footprint, labeled_footprint, summary_prunes, summary_verdict, Bloom, LabeledConstant,
+    LabeledFootprint, PruneCheck, QueryFootprint, ShardSummary, SummaryVerdict,
+};
 
 use turbohom_rdf::{vocab, Term};
 

@@ -140,21 +140,66 @@ pub struct QueryFootprint {
     pub terms: Vec<u64>,
 }
 
+/// One pre-hashed constant together with its human-readable rendering, so a
+/// prune verdict can *name* the deciding term rather than print a hash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabeledConstant {
+    /// The [`term_hash`] probed against the summary.
+    pub hash: u64,
+    /// The term's N-Triples rendering (what the hash was computed over).
+    pub label: String,
+}
+
+/// A [`QueryFootprint`] that keeps the term renderings alongside the hashes.
+/// Used by EXPLAIN, where verdicts must be legible; the hot path keeps the
+/// hash-only [`QueryFootprint`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LabeledFootprint {
+    /// Constant non-type, non-schema predicates.
+    pub predicates: Vec<LabeledConstant>,
+    /// Constant classes (`rdf:type` objects).
+    pub classes: Vec<LabeledConstant>,
+    /// Constant subject/object terms of non-schema triples.
+    pub terms: Vec<LabeledConstant>,
+}
+
+impl LabeledFootprint {
+    /// Drops the labels, yielding the probe-only footprint.
+    pub fn to_footprint(&self) -> QueryFootprint {
+        QueryFootprint {
+            predicates: self.predicates.iter().map(|c| c.hash).collect(),
+            classes: self.classes.iter().map(|c| c.hash).collect(),
+            terms: self.terms.iter().map(|c| c.hash).collect(),
+        }
+    }
+}
+
 /// Extracts the prunable constants of `query`'s required part. `OPTIONAL`
 /// groups and schema triples (replicated everywhere) contribute nothing.
 pub fn footprint(query: &Query) -> QueryFootprint {
-    let mut fp = QueryFootprint::default();
+    labeled_footprint(query).to_footprint()
+}
+
+/// Like [`footprint`], but keeping each constant's rendering so verdicts can
+/// name the term that decided a prune.
+pub fn labeled_footprint(query: &Query) -> LabeledFootprint {
+    let mut fp = LabeledFootprint::default();
     collect_group(&query.pattern, &mut fp);
-    fp.predicates.sort_unstable();
-    fp.predicates.dedup();
-    fp.classes.sort_unstable();
-    fp.classes.dedup();
-    fp.terms.sort_unstable();
-    fp.terms.dedup();
+    for list in [&mut fp.predicates, &mut fp.classes, &mut fp.terms] {
+        list.sort_unstable_by(|a, b| a.hash.cmp(&b.hash).then_with(|| a.label.cmp(&b.label)));
+        list.dedup();
+    }
     fp
 }
 
-fn collect_group(group: &GroupPattern, fp: &mut QueryFootprint) {
+fn labeled(term: &Term) -> LabeledConstant {
+    LabeledConstant {
+        hash: term_hash(term),
+        label: term.to_string(),
+    }
+}
+
+fn collect_group(group: &GroupPattern, fp: &mut LabeledFootprint) {
     for t in &group.triples {
         let predicate_iri = t.predicate.as_constant().and_then(Term::as_iri);
         if predicate_iri.is_some_and(is_schema_predicate) {
@@ -163,18 +208,18 @@ fn collect_group(group: &GroupPattern, fp: &mut QueryFootprint) {
         let is_type = predicate_iri == Some(vocab::RDF_TYPE);
         if is_type {
             if let Some(class) = t.object.as_constant() {
-                fp.classes.push(term_hash(class));
+                fp.classes.push(labeled(class));
             }
             if let Some(s) = t.subject.as_constant() {
-                fp.terms.push(term_hash(s));
+                fp.terms.push(labeled(s));
             }
         } else {
             if let Some(p) = t.predicate.as_constant() {
-                fp.predicates.push(term_hash(p));
+                fp.predicates.push(labeled(p));
             }
             for endpoint in [&t.subject, &t.object] {
                 if let Some(c) = endpoint.as_constant() {
-                    fp.terms.push(term_hash(c));
+                    fp.terms.push(labeled(c));
                 }
             }
         }
@@ -194,6 +239,90 @@ pub fn summary_prunes(summary: &ShardSummary, fp: &QueryFootprint) -> bool {
         .any(|&h| !summary.contains_predicate(h))
         || fp.classes.iter().any(|&h| !summary.contains_class(h))
         || fp.terms.iter().any(|&h| !summary.may_contain_term(h))
+}
+
+/// Which summary structure decided a prune.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PruneCheck {
+    /// The exact predicate-hash set lacked a constant predicate.
+    Predicate,
+    /// The exact class-hash set lacked a constant `rdf:type` object.
+    Class,
+    /// The Bloom filter over subject/object terms proved a constant absent.
+    Term,
+}
+
+impl PruneCheck {
+    /// Short machine-readable name of the check (`"predicate"`, `"class"`,
+    /// `"term"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PruneCheck::Predicate => "predicate",
+            PruneCheck::Class => "class",
+            PruneCheck::Term => "term",
+        }
+    }
+
+    /// Whether the check is exact set membership or a Bloom-filter probe.
+    pub fn mode(&self) -> &'static str {
+        match self {
+            PruneCheck::Predicate | PruneCheck::Class => "exact",
+            PruneCheck::Term => "bloom",
+        }
+    }
+}
+
+/// The outcome of probing one shard summary with a query footprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SummaryVerdict {
+    /// No check fired: the shard may hold results and must be executed.
+    Live,
+    /// A check proved the shard empty for this query.
+    Pruned {
+        /// Which summary structure fired.
+        check: PruneCheck,
+        /// The rendering of the constant that was proven absent.
+        term: String,
+    },
+}
+
+impl SummaryVerdict {
+    /// `true` when the verdict is [`SummaryVerdict::Pruned`].
+    pub fn is_pruned(&self) -> bool {
+        matches!(self, SummaryVerdict::Pruned { .. })
+    }
+}
+
+/// Like [`summary_prunes`], but reporting *which* check fired and on which
+/// constant. Probes in the same order as `summary_prunes`, so
+/// `summary_verdict(..).is_pruned() == summary_prunes(..)` for the same
+/// query.
+pub fn summary_verdict(summary: &ShardSummary, fp: &LabeledFootprint) -> SummaryVerdict {
+    for c in &fp.predicates {
+        if !summary.contains_predicate(c.hash) {
+            return SummaryVerdict::Pruned {
+                check: PruneCheck::Predicate,
+                term: c.label.clone(),
+            };
+        }
+    }
+    for c in &fp.classes {
+        if !summary.contains_class(c.hash) {
+            return SummaryVerdict::Pruned {
+                check: PruneCheck::Class,
+                term: c.label.clone(),
+            };
+        }
+    }
+    for c in &fp.terms {
+        if !summary.may_contain_term(c.hash) {
+            return SummaryVerdict::Pruned {
+                check: PruneCheck::Term,
+                term: c.label.clone(),
+            };
+        }
+    }
+    SummaryVerdict::Live
 }
 
 #[cfg(test)]
@@ -279,5 +408,76 @@ mod tests {
         let open = parse_query("SELECT ?s WHERE { ?s ?p ?o . }").unwrap();
         assert_eq!(footprint(&open), QueryFootprint::default());
         assert!(!summary_prunes(&summary, &footprint(&open)));
+    }
+
+    #[test]
+    fn verdict_names_the_deciding_check_and_term() {
+        let summary = ShardSummary::build(&sample_dataset());
+        let miss_pred =
+            parse_query("SELECT ?x WHERE { ?x <http://ex/advisor> <http://ex/d1> . }").unwrap();
+        assert_eq!(
+            summary_verdict(&summary, &labeled_footprint(&miss_pred)),
+            SummaryVerdict::Pruned {
+                check: PruneCheck::Predicate,
+                term: "<http://ex/advisor>".to_string(),
+            }
+        );
+        let miss_class = parse_query(&format!(
+            "SELECT ?x WHERE {{ ?x <{}> <http://ex/Professor> . }}",
+            vocab::RDF_TYPE
+        ))
+        .unwrap();
+        assert_eq!(
+            summary_verdict(&summary, &labeled_footprint(&miss_class)),
+            SummaryVerdict::Pruned {
+                check: PruneCheck::Class,
+                term: "<http://ex/Professor>".to_string(),
+            }
+        );
+        let miss_term =
+            parse_query("SELECT ?x WHERE { ?x <http://ex/memberOf> <http://ex/d9> . }").unwrap();
+        let verdict = summary_verdict(&summary, &labeled_footprint(&miss_term));
+        assert_eq!(
+            verdict,
+            SummaryVerdict::Pruned {
+                check: PruneCheck::Term,
+                term: "<http://ex/d9>".to_string(),
+            }
+        );
+        match verdict {
+            SummaryVerdict::Pruned { check, .. } => {
+                assert_eq!(check.name(), "term");
+                assert_eq!(check.mode(), "bloom");
+            }
+            SummaryVerdict::Live => unreachable!(),
+        }
+        assert_eq!(PruneCheck::Predicate.mode(), "exact");
+        assert_eq!(PruneCheck::Class.mode(), "exact");
+        let hit =
+            parse_query("SELECT ?x WHERE { ?x <http://ex/memberOf> <http://ex/d1> . }").unwrap();
+        assert_eq!(
+            summary_verdict(&summary, &labeled_footprint(&hit)),
+            SummaryVerdict::Live
+        );
+    }
+
+    #[test]
+    fn verdict_agrees_with_summary_prunes() {
+        let summary = ShardSummary::build(&sample_dataset());
+        for q in [
+            "SELECT ?x WHERE { ?x <http://ex/memberOf> <http://ex/d1> . }",
+            "SELECT ?x WHERE { ?x <http://ex/advisor> <http://ex/d1> . }",
+            "SELECT ?x WHERE { ?x <http://ex/memberOf> <http://ex/d9> . }",
+            "SELECT ?s WHERE { ?s ?p ?o . }",
+        ] {
+            let query = parse_query(q).unwrap();
+            let lf = labeled_footprint(&query);
+            assert_eq!(lf.to_footprint(), footprint(&query), "{q}");
+            assert_eq!(
+                summary_verdict(&summary, &lf).is_pruned(),
+                summary_prunes(&summary, &footprint(&query)),
+                "{q}"
+            );
+        }
     }
 }

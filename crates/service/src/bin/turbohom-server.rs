@@ -11,9 +11,12 @@
 //! curl 'http://127.0.0.1:7878/healthz'
 //! curl 'http://127.0.0.1:7878/query' --data-urlencode 'query=SELECT ?x WHERE { ?x ?p ?o . }'
 //! curl 'http://127.0.0.1:7878/query?profile=1' --data-urlencode 'query=…'   # span tree + stage timings
+//! curl 'http://127.0.0.1:7878/query?explain=1' --data-urlencode 'query=…'   # plan tree, not executed
+//! curl 'http://127.0.0.1:7878/query?analyze=1' --data-urlencode 'query=…'   # plan tree + actuals + q-errors
 //! curl 'http://127.0.0.1:7878/stats'
 //! curl 'http://127.0.0.1:7878/metrics'      # Prometheus text exposition
 //! curl 'http://127.0.0.1:7878/debug/slow'   # slow-query recorder ring
+//! curl 'http://127.0.0.1:7878/debug/events' # structured event journal (JSONL)
 //! ```
 
 use std::process::ExitCode;
@@ -41,6 +44,7 @@ struct Args {
     engine: EngineKind,
     slow_ms: Option<f64>,
     slow_capacity: usize,
+    journal: Option<String>,
     access_log: bool,
 }
 
@@ -65,6 +69,8 @@ fn usage() -> &'static str {
      \x20                   /debug/slow and stderr; 0 records everything,\n\
      \x20                   `off` disables the recorder (default 500)\n\
      \x20 --slow-capacity N slow-query ring size (default 32)\n\
+     \x20 --journal FILE    tee every /debug/events journal event to FILE\n\
+     \x20                   as JSONL (appended) for post-mortem analysis\n\
      \x20 --access-log      log one stderr line per request\n\
      \x20 --help            print this help"
 }
@@ -85,6 +91,7 @@ fn parse_args() -> Result<Args, String> {
         engine: EngineKind::TurboHomPlusPlus,
         slow_ms: Some(500.0),
         slow_capacity: 32,
+        journal: None,
         access_log: false,
     };
     let mut it = std::env::args().skip(1);
@@ -151,6 +158,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--slow-capacity expects an integer")?
             }
+            "--journal" => args.journal = Some(value("--journal")?),
             "--access-log" => args.access_log = true,
             "--help" | "-h" => {
                 println!("{}", usage());
@@ -314,19 +322,31 @@ fn main() -> ExitCode {
         (None, Some(path)) => path.clone(),
         (None, None) => format!("lubm-{}", args.lubm_scale),
     };
-    let service = Arc::new(
-        QueryService::with_any_store(
-            store,
-            ServiceConfig {
-                plan_cache_capacity: args.cache,
-                default_engine: args.engine,
-                slow_query: args.slow_ms.map(|ms| Duration::from_secs_f64(ms / 1000.0)),
-                slow_log_capacity: args.slow_capacity,
-                ..ServiceConfig::default()
-            },
-        )
-        .with_dataset_label(dataset_label),
-    );
+    let mut service = QueryService::with_any_store(
+        store,
+        ServiceConfig {
+            plan_cache_capacity: args.cache,
+            default_engine: args.engine,
+            slow_query: args.slow_ms.map(|ms| Duration::from_secs_f64(ms / 1000.0)),
+            slow_log_capacity: args.slow_capacity,
+            ..ServiceConfig::default()
+        },
+    )
+    .with_dataset_label(dataset_label);
+    if let Some(path) = &args.journal {
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            Ok(file) => service = service.with_journal_tee(file),
+            Err(e) => {
+                eprintln!("turbohom-server: cannot open journal file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let service = Arc::new(service);
     let server = match HttpServer::bind(args.bind.as_str(), service) {
         Ok(server) => server.with_access_log(args.access_log),
         Err(e) => {
@@ -336,7 +356,7 @@ fn main() -> ExitCode {
     };
     match server.local_addr() {
         Ok(addr) => eprintln!(
-            "listening on http://{addr} (endpoints: /query /healthz /stats /metrics /debug/slow)"
+            "listening on http://{addr} (endpoints: /query /healthz /stats /metrics /debug/slow /debug/events)"
         ),
         Err(_) => eprintln!("listening on {}", args.bind),
     }

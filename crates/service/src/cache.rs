@@ -28,6 +28,17 @@ struct Entry {
     last_used: u64,
 }
 
+/// What [`PlanCache::insert_tracked`] did.
+pub struct InsertOutcome {
+    /// The plan now cached under the key (the first writer wins a race).
+    pub plan: AnyPlan,
+    /// Whether this call stored the plan (false on races, existing entries
+    /// and zero-capacity caches).
+    pub inserted: bool,
+    /// The entry evicted to make room, if any.
+    pub evicted: Option<PlanKey>,
+}
+
 struct Inner {
     map: HashMap<PlanKey, Entry>,
     tick: u64,
@@ -80,15 +91,31 @@ impl PlanCache {
     /// Returns the plan that is now cached under `key` (an insert racing
     /// with another thread keeps the first plan, so callers agree).
     pub fn insert(&self, key: PlanKey, plan: AnyPlan) -> AnyPlan {
+        self.insert_tracked(key, plan).plan
+    }
+
+    /// Like [`insert`](Self::insert), but also reports what happened so the
+    /// caller can journal it: whether this call stored the plan, and which
+    /// entry (if any) was evicted to make room.
+    pub fn insert_tracked(&self, key: PlanKey, plan: AnyPlan) -> InsertOutcome {
         if self.capacity == 0 {
-            return plan;
+            return InsertOutcome {
+                plan,
+                inserted: false,
+                evicted: None,
+            };
         }
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(existing) = inner.map.get(&key) {
-            return existing.plan.clone();
+            return InsertOutcome {
+                plan: existing.plan.clone(),
+                inserted: false,
+                evicted: None,
+            };
         }
+        let mut evicted = None;
         if inner.map.len() >= self.capacity {
             // O(n) victim scan — plan caches are small (tens to hundreds of
             // entries), so a scan beats maintaining an intrusive list.
@@ -100,6 +127,7 @@ impl PlanCache {
             {
                 inner.map.remove(&victim);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
+                evicted = Some(victim);
             }
         }
         inner.map.insert(
@@ -109,7 +137,11 @@ impl PlanCache {
                 last_used: tick,
             },
         );
-        plan
+        InsertOutcome {
+            plan,
+            inserted: true,
+            evicted,
+        }
     }
 
     /// Number of cached plans.
@@ -221,6 +253,23 @@ mod tests {
         };
         assert!(Arc::ptr_eq(a, b));
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn tracked_insert_reports_the_evicted_key() {
+        let store = store();
+        let cache = PlanCache::new(1);
+        let q = "SELECT ?x WHERE { ?x <http://p> ?y . }";
+        let first = cache.insert_tracked(key("a"), plan_for(&store, q));
+        assert!(first.inserted);
+        assert!(first.evicted.is_none());
+        let second = cache.insert_tracked(key("b"), plan_for(&store, q));
+        assert!(second.inserted);
+        assert_eq!(second.evicted.unwrap().canonical, "a");
+        // Re-inserting under an existing key stores (and evicts) nothing.
+        let repeat = cache.insert_tracked(key("b"), plan_for(&store, q));
+        assert!(!repeat.inserted);
+        assert!(repeat.evicted.is_none());
     }
 
     #[test]

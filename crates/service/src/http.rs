@@ -3,11 +3,16 @@
 //!
 //! Endpoints (mirroring the SPARQL-protocol shape oxigraph's server exposes):
 //!
-//! * `GET /query?query=…&engine=…&threads=…&profile=…` — execute a query;
-//!   returns `application/sparql-results+json` plus `X-Cache: HIT|MISS`,
-//!   `X-Engine`, `X-Fingerprint` and `X-Trace-Id` headers. With `profile=1`
-//!   the JSON gains a top-level `"profile"` object: the request's span tree
-//!   and per-stage timings.
+//! * `GET /query?query=…&engine=…&threads=…&profile=…&explain=…&analyze=…`
+//!   — execute a query; returns `application/sparql-results+json` plus
+//!   `X-Cache: HIT|MISS`, `X-Engine`, `X-Fingerprint` and `X-Trace-Id`
+//!   headers. With `profile=1` the JSON gains a top-level `"profile"`
+//!   object: the request's span tree and per-stage timings. With
+//!   `explain=1` the query is **not executed**: the response is the
+//!   structured plan tree (`turbohom-explain/1` JSON). With `analyze=1`
+//!   the query executes outside the plan cache and the SPARQL-JSON gains a
+//!   top-level `"explain"` object: the plan tree annotated with actuals
+//!   (per-step rows and q-errors, per-shard rows, matcher counters).
 //! * `POST /query` — same; the query comes either as an
 //!   `application/x-www-form-urlencoded` body (`query=…`) or raw as
 //!   `application/sparql-query`.
@@ -16,6 +21,9 @@
 //! * `GET /stats` — the [`StatsSnapshot`](crate::StatsSnapshot) as JSON.
 //! * `GET /metrics` — Prometheus text exposition (version 0.0.4).
 //! * `GET /debug/slow` — the slow-query recorder ring as JSON.
+//! * `GET /debug/events` — the structured event journal as JSONL (one JSON
+//!   object per line, oldest first, each carrying a trace id where one
+//!   exists).
 //!
 //! Every endpoint also answers `HEAD` with the same headers (including
 //! `Content-Length`) and no body. The optional access log writes one stderr
@@ -313,16 +321,28 @@ fn respond(request: &Request, service: &QueryService) -> Routed {
         ("GET" | "HEAD", "/debug/slow") => {
             Routed::new(200, json_response(200, &service.slow_log().to_json(), &[]))
         }
+        ("GET" | "HEAD", "/debug/events") => Routed::new(
+            200,
+            build_response(
+                200,
+                "application/x-ndjson",
+                &service.journal().to_jsonl(),
+                &[],
+            ),
+        ),
         ("GET" | "POST", "/query") => respond_query(request, service),
         ("GET" | "HEAD", "/") => Routed::new(
             200,
             json_response(
                 200,
-                "{\"service\":\"turbohom\",\"endpoints\":[\"/query\",\"/healthz\",\"/stats\",\"/metrics\",\"/debug/slow\"]}",
+                "{\"service\":\"turbohom\",\"endpoints\":[\"/query\",\"/healthz\",\"/stats\",\"/metrics\",\"/debug/slow\",\"/debug/events\"]}",
                 &[],
             ),
         ),
-        (_, "/healthz" | "/stats" | "/metrics" | "/debug/slow" | "/query" | "/") => Routed::new(
+        (
+            _,
+            "/healthz" | "/stats" | "/metrics" | "/debug/slow" | "/debug/events" | "/query" | "/",
+        ) => Routed::new(
             405,
             error_response(405, &format!("method {} not allowed", request.method)),
         ),
@@ -376,17 +396,56 @@ fn respond_query(request: &Request, service: &QueryService) -> Routed {
             _ => return bad("`threads` must be a positive integer"),
         },
     };
-    let profile = match param("profile").map(str::to_ascii_lowercase).as_deref() {
-        None | Some("0") | Some("false") | Some("no") | Some("") => false,
-        Some("1") | Some("true") | Some("yes") => true,
-        Some(_) => return bad("`profile` must be a boolean (1/0, true/false, yes/no)"),
+    let bool_param = |name: &str| match param(name).map(str::to_ascii_lowercase).as_deref() {
+        None | Some("0") | Some("false") | Some("no") | Some("") => Ok(false),
+        Some("1") | Some("true") | Some("yes") => Ok(true),
+        Some(_) => Err(format!(
+            "`{name}` must be a boolean (1/0, true/false, yes/no)"
+        )),
     };
+    let (profile, explain, analyze) = match (
+        bool_param("profile"),
+        bool_param("explain"),
+        bool_param("analyze"),
+    ) {
+        (Ok(p), Ok(e), Ok(a)) => (p, e, a),
+        (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => return bad(&e),
+    };
+    if explain && analyze {
+        return bad("`explain` and `analyze` are mutually exclusive (explain never executes)");
+    }
+    if explain {
+        // EXPLAIN: build and return the plan tree without executing.
+        return match service.explain(
+            sparql,
+            QueryOptions {
+                engine,
+                threads,
+                ..QueryOptions::default()
+            },
+        ) {
+            Ok(response) => {
+                let headers = [
+                    ("X-Engine", response.engine.to_string()),
+                    ("X-Fingerprint", format!("{:016x}", response.fingerprint)),
+                    ("X-Trace-Id", format_trace_id(response.trace_id)),
+                ];
+                Routed {
+                    bytes: json_response(200, &response.report.to_json(), &headers),
+                    status: 200,
+                    trace_id: Some(response.trace_id),
+                }
+            }
+            Err(e) => bad(&e.to_string()),
+        };
+    }
     match service.query(
         sparql,
         QueryOptions {
             engine,
             threads,
             profile,
+            analyze,
         },
     ) {
         Ok(response) => {
@@ -398,12 +457,19 @@ fn respond_query(request: &Request, service: &QueryService) -> Routed {
                 ("X-Trace-Id", format_trace_id(response.trace_id)),
             ];
             let mut body = response.results.to_sparql_json();
+            // Splice the profile / explain reports in as top-level members,
+            // next to the standard "head"/"results" pair.
             if let Some(report) = &response.profile {
-                // Splice the profile report in as a top-level member, next
-                // to the standard "head"/"results" pair.
                 debug_assert!(body.ends_with('}'));
                 body.truncate(body.len() - 1);
                 body.push_str(",\"profile\":");
+                body.push_str(&report.to_json());
+                body.push('}');
+            }
+            if let Some(report) = &response.explain {
+                debug_assert!(body.ends_with('}'));
+                body.truncate(body.len() - 1);
+                body.push_str(",\"explain\":");
                 body.push_str(&report.to_json());
                 body.push('}');
             }

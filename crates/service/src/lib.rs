@@ -16,12 +16,17 @@
 //!   histograms (p50/p95/p99) plus cache hit/miss counters, served as JSON,
 //! * **observability** — every request runs under a span trace
 //!   (`turbohom-trace`): `profile=1` returns the full span tree inline,
-//!   [`metrics::ServiceMetrics`] renders Prometheus text exposition, and a
-//!   [`slow::SlowQueryLog`] ring keeps the slowest offenders,
+//!   `explain=1` returns the structured plan tree without executing,
+//!   `analyze=1` executes and annotates that tree with actuals (feeding the
+//!   estimate-vs-actual q-error histogram), [`metrics::ServiceMetrics`]
+//!   renders Prometheus text exposition, a [`slow::SlowQueryLog`] ring keeps
+//!   the slowest offenders, and an [`journal::EventJournal`] ring records
+//!   typed lifecycle events (query admitted/completed, plan cached/evicted,
+//!   store loaded, shards pruned, slow query) correlated by trace id,
 //! * an **HTTP/1.1 endpoint** ([`HttpServer`]) on `std::net::TcpListener` —
 //!   `GET`/`POST /query` returning SPARQL-JSON, `/healthz`, `/stats`,
-//!   `/metrics`, `/debug/slow` — and the `turbohom-server` binary wiring it
-//!   to a LUBM or N-Triples store.
+//!   `/metrics`, `/debug/slow`, `/debug/events` — and the `turbohom-server`
+//!   binary wiring it to a LUBM or N-Triples store.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -44,20 +49,23 @@
 
 pub mod cache;
 pub mod http;
+pub mod journal;
 pub mod metrics;
 pub mod service;
 pub mod slow;
 
-pub use cache::{PlanCache, PlanKey};
+pub use cache::{InsertOutcome, PlanCache, PlanKey};
 pub use http::{HttpServer, ServerHandle};
-pub use metrics::{EngineMetrics, LatencyHistogram, ServiceMetrics, StageTotals};
+pub use journal::{EventJournal, JournalEntry, JournalEvent};
+pub use metrics::{EngineMetrics, LatencyHistogram, QErrorHistogram, ServiceMetrics, StageTotals};
 pub use service::{
-    EngineStats, QueryOptions, QueryResponse, QueryService, ServiceConfig, StatsSnapshot,
+    EngineStats, ExplainResponse, QueryOptions, QueryResponse, QueryService, ServiceConfig,
+    StatsSnapshot,
 };
 pub use slow::{SlowQueryEntry, SlowQueryLog};
-// Re-exported so HTTP-layer consumers can work with profile reports and
-// trace ids without a direct engine/trace dependency.
-pub use turbohom_engine::{format_trace_id, Trace, TraceReport};
+// Re-exported so HTTP-layer consumers can work with profile/explain reports
+// and trace ids without a direct engine/trace dependency.
+pub use turbohom_engine::{format_trace_id, ExplainReport, Trace, TraceReport};
 
 /// The service is shared across worker threads; keep that provable.
 const fn assert_send_sync<T: Send + Sync>() {}
@@ -66,4 +74,5 @@ const _: () = {
     assert_send_sync::<PlanCache>();
     assert_send_sync::<ServiceMetrics>();
     assert_send_sync::<SlowQueryLog>();
+    assert_send_sync::<EventJournal>();
 };

@@ -127,6 +127,74 @@ impl LatencyHistogram {
     }
 }
 
+/// Number of log₂ q-error buckets: covers ratios 1 … 2¹⁵ (an estimate more
+/// than 32768× off lands in the saturating top bucket).
+const QERROR_BUCKETS: usize = 16;
+
+/// A log₂-bucketed histogram of estimate-vs-actual q-errors (ratios ≥ 1),
+/// fed by `analyze=1` requests. Bucket `i` covers ratios in `[2^i, 2^(i+1))`
+/// — a perfectly estimated step lands in bucket 0 (`le="2"`).
+pub struct QErrorHistogram {
+    buckets: [AtomicU64; QERROR_BUCKETS],
+    count: AtomicU64,
+    /// Sum in thousandths, so the atomic stays integer.
+    sum_milli: AtomicU64,
+}
+
+impl Default for QErrorHistogram {
+    fn default() -> Self {
+        QErrorHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_milli: AtomicU64::new(0),
+        }
+    }
+}
+
+impl QErrorHistogram {
+    /// Records one per-step q-error (clamped to ≥ 1).
+    pub fn record(&self, qerror: f64) {
+        let q = if qerror.is_finite() {
+            qerror.max(1.0)
+        } else {
+            1.0
+        };
+        let idx = (q.log2() as usize).min(QERROR_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_milli
+            .fetch_add((q * 1000.0).min(u64::MAX as f64) as u64, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Appends the histogram as a cumulative Prometheus `_bucket` series
+    /// (plus `_sum` and `_count`) for metric `name`. Bucket `i`'s upper
+    /// bound is `2^(i+1)`; the saturating top bucket becomes `+Inf`.
+    pub fn render_prometheus(&self, out: &mut String, name: &str) {
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if i + 1 == QERROR_BUCKETS {
+                out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+            } else {
+                out.push_str(&format!(
+                    "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                    1u64 << (i + 1)
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "{name}_sum {}\n",
+            self.sum_milli.load(Ordering::Relaxed) as f64 / 1000.0
+        ));
+        out.push_str(&format!("{name}_count {cumulative}\n"));
+    }
+}
+
 /// Cumulative wall-clock time per pipeline stage, fed by every request's
 /// trace (coarse traces are always on, so these are exact totals, not
 /// samples). Lock-free like everything else here.
@@ -188,6 +256,11 @@ pub struct EngineMetrics {
 pub struct ServiceMetrics {
     per_engine: [EngineMetrics; EngineKind::COUNT],
     stages: StageTotals,
+    /// Per-step estimate-vs-actual q-errors from `analyze=1` requests.
+    qerror: QErrorHistogram,
+    /// Live shards that contributed zero rows (summary-pruning misses),
+    /// exported as `turbohom_summary_prune_errors_total`.
+    summary_prune_errors: AtomicU64,
     started: Instant,
 }
 
@@ -203,8 +276,35 @@ impl ServiceMetrics {
         ServiceMetrics {
             per_engine: Default::default(),
             stages: StageTotals::default(),
+            qerror: QErrorHistogram::default(),
+            summary_prune_errors: AtomicU64::new(0),
             started: Instant::now(),
         }
+    }
+
+    /// Records the per-step q-errors of one `analyze=1` request.
+    pub fn record_qerrors(&self, qerrors: &[f64]) {
+        for &q in qerrors {
+            self.qerror.record(q);
+        }
+    }
+
+    /// The q-error histogram.
+    pub fn qerror(&self) -> &QErrorHistogram {
+        &self.qerror
+    }
+
+    /// Counts `n` false-live shards (live verdict, zero rows) from one
+    /// `analyze=1` request.
+    pub fn record_false_lives(&self, n: u64) {
+        if n > 0 {
+            self.summary_prune_errors.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Total summary-pruning misses observed by `analyze=1` requests.
+    pub fn summary_prune_errors(&self) -> u64 {
+        self.summary_prune_errors.load(Ordering::Relaxed)
     }
 
     /// The metrics of one engine.
@@ -266,10 +366,13 @@ impl ServiceMetrics {
     }
 
     /// Appends everything this struct tracks in Prometheus text exposition
-    /// format (version 0.0.4): uptime, per-engine counters, per-stage time
-    /// totals, and one latency histogram per engine. The service layer
-    /// appends its own cache/store series after this.
-    pub fn render_prometheus(&self, out: &mut String) {
+    /// format (version 0.0.4): uptime, per-engine counters (labeled with
+    /// `store` — the `"single"`/`"sharded"` flavor, so dashboards never
+    /// blur the two execution paths), per-stage time totals, one latency
+    /// histogram per engine, the `analyze=1` q-error histogram, and the
+    /// summary-prune-error counter. The service layer appends its own
+    /// cache/store series after this.
+    pub fn render_prometheus(&self, out: &mut String, store: &str) {
         out.push_str("# HELP turbohom_uptime_seconds Seconds since the service started.\n");
         out.push_str("# TYPE turbohom_uptime_seconds gauge\n");
         out.push_str(&format!(
@@ -282,7 +385,7 @@ impl ServiceMetrics {
                 out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
                 for kind in EngineKind::all() {
                     out.push_str(&format!(
-                        "{name}{{engine=\"{}\"}} {}\n",
+                        "{name}{{engine=\"{}\",store=\"{store}\"}} {}\n",
                         kind.name(),
                         value(self.engine(kind))
                     ));
@@ -344,9 +447,25 @@ impl ServiceMetrics {
             self.engine(kind).latency.render_prometheus(
                 out,
                 "turbohom_query_latency_seconds",
-                &format!("engine=\"{}\"", kind.name()),
+                &format!("engine=\"{}\",store=\"{store}\"", kind.name()),
             );
         }
+
+        out.push_str(
+            "# HELP turbohom_estimate_qerror Per-step estimate-vs-actual q-error (analyze=1 requests).\n",
+        );
+        out.push_str("# TYPE turbohom_estimate_qerror histogram\n");
+        self.qerror
+            .render_prometheus(out, "turbohom_estimate_qerror");
+
+        out.push_str(
+            "# HELP turbohom_summary_prune_errors_total Live shards that contributed zero rows (summary-pruning misses seen by analyze=1).\n",
+        );
+        out.push_str("# TYPE turbohom_summary_prune_errors_total counter\n");
+        out.push_str(&format!(
+            "turbohom_summary_prune_errors_total {}\n",
+            self.summary_prune_errors()
+        ));
     }
 }
 
@@ -476,8 +595,10 @@ mod tests {
             },
         );
         m.record_error(EngineKind::HashJoin);
+        m.record_qerrors(&[1.0, 3.0]);
+        m.record_false_lives(2);
         let mut out = String::new();
-        m.render_prometheus(&mut out);
+        m.render_prometheus(&mut out, "single");
         for family in [
             "turbohom_uptime_seconds",
             "turbohom_queries_total",
@@ -488,22 +609,54 @@ mod tests {
             "turbohom_morsels_stolen_total",
             "turbohom_stage_seconds_total",
             "turbohom_query_latency_seconds",
+            "turbohom_estimate_qerror",
+            "turbohom_summary_prune_errors_total",
         ] {
             assert!(
                 out.contains(&format!("# TYPE {family} ")),
                 "missing TYPE line for {family}"
             );
         }
-        assert!(out.contains("turbohom_queries_total{engine=\"turbohom++\"} 1"));
-        assert!(out.contains("turbohom_query_errors_total{engine=\"hashjoin\"} 1"));
-        assert!(out.contains("turbohom_solutions_total{engine=\"turbohom++\"} 2"));
+        assert!(out.contains("turbohom_queries_total{engine=\"turbohom++\",store=\"single\"} 1"));
+        assert!(out.contains("turbohom_query_errors_total{engine=\"hashjoin\",store=\"single\"} 1"));
+        assert!(out.contains("turbohom_solutions_total{engine=\"turbohom++\",store=\"single\"} 2"));
         assert!(out.contains("turbohom_stage_seconds_total{stage=\"execute\"} 0"));
-        assert!(out.contains("turbohom_query_latency_seconds_count{engine=\"turbohom++\"} 1"));
+        assert!(out.contains(
+            "turbohom_query_latency_seconds_count{engine=\"turbohom++\",store=\"single\"} 1"
+        ));
+        assert!(out.contains("turbohom_estimate_qerror_count 2"));
+        assert!(out.contains("turbohom_summary_prune_errors_total 2"));
         // Every non-comment line is `name{labels} value` or `name value`.
         for line in out.lines().filter(|l| !l.starts_with('#')) {
             let (series, value) = line.rsplit_once(' ').unwrap();
             assert!(!series.is_empty());
             assert!(value.parse::<f64>().is_ok(), "bad value in line: {line}");
+        }
+    }
+
+    #[test]
+    fn qerror_histogram_buckets_by_log2_ratio() {
+        let h = QErrorHistogram::default();
+        h.record(1.0); // bucket 0 (le=2)
+        h.record(1.9); // bucket 0
+        h.record(5.0); // bucket 2 (le=8)
+        h.record(0.5); // clamps to 1 → bucket 0
+        h.record(f64::INFINITY); // clamps to 1 instead of overflowing
+        h.record(1e12); // saturates into the top (+Inf) bucket
+        assert_eq!(h.count(), 6);
+        let mut out = String::new();
+        h.render_prometheus(&mut out, "q");
+        assert!(out.contains("q_bucket{le=\"2\"} 4"));
+        assert!(out.contains("q_bucket{le=\"4\"} 4"));
+        assert!(out.contains("q_bucket{le=\"8\"} 5"));
+        assert!(out.contains("q_bucket{le=\"+Inf\"} 6"));
+        assert!(out.contains("q_count 6"));
+        // Cumulative counts never decrease.
+        let mut last = 0u64;
+        for line in out.lines().filter(|l| l.starts_with("q_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last);
+            last = v;
         }
     }
 

@@ -16,13 +16,15 @@
 //! tests assert on: repeated queries must not re-parse or re-transform.
 
 use crate::cache::{PlanCache, PlanKey};
+use crate::journal::{EventJournal, JournalEvent};
 use crate::metrics::ServiceMetrics;
 use crate::slow::{SlowQueryEntry, SlowQueryLog};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use turbohom_engine::{
-    json_escape, AnyStore, EngineKind, QueryResults, Store, StoreError, Trace, TraceReport,
+    json_escape, AnyStore, EngineKind, ExplainReport, QueryResults, Store, StoreError, Trace,
+    TraceReport,
 };
 use turbohom_sparql::{fingerprint, QueryFingerprint};
 
@@ -41,6 +43,8 @@ pub struct ServiceConfig {
     pub slow_query: Option<Duration>,
     /// Ring capacity of the slow-query recorder.
     pub slow_log_capacity: usize,
+    /// Ring capacity of the structured event journal (`/debug/events`).
+    pub journal_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -51,6 +55,7 @@ impl Default for ServiceConfig {
             max_threads: 64,
             slow_query: Some(Duration::from_millis(500)),
             slow_log_capacity: 32,
+            journal_capacity: 256,
         }
     }
 }
@@ -65,6 +70,12 @@ pub struct QueryOptions {
     /// PROFILE mode: collect a detailed trace (per-stage and per-worker
     /// spans) and return it in [`QueryResponse::profile`].
     pub profile: bool,
+    /// ANALYZE mode: execute the query outside the plan cache and return
+    /// the EXPLAIN tree annotated with actuals (per-step rows, q-errors,
+    /// per-shard rows) in [`QueryResponse::explain`]. The per-step q-errors
+    /// feed the `turbohom_estimate_qerror` histogram and false-live shards
+    /// feed `turbohom_summary_prune_errors_total`.
+    pub analyze: bool,
 }
 
 /// The outcome of one service query.
@@ -84,6 +95,24 @@ pub struct QueryResponse {
     pub trace_id: u64,
     /// The detailed trace, present when [`QueryOptions::profile`] was set.
     pub profile: Option<TraceReport>,
+    /// The EXPLAIN tree annotated with actuals, present when
+    /// [`QueryOptions::analyze`] was set.
+    pub explain: Option<ExplainReport>,
+}
+
+/// The outcome of one `explain=1` request ([`QueryService::explain`]):
+/// the static plan tree, built **without executing** the query.
+pub struct ExplainResponse {
+    /// The structured plan tree.
+    pub report: ExplainReport,
+    /// The engine the plan was built for.
+    pub engine: EngineKind,
+    /// The 64-bit fingerprint of the normalized query.
+    pub fingerprint: u64,
+    /// The request's trace id (`X-Trace-Id`).
+    pub trace_id: u64,
+    /// Wall clock for building the report.
+    pub elapsed: Duration,
 }
 
 /// A point-in-time view of the service counters (served as `/stats`).
@@ -91,6 +120,8 @@ pub struct QueryResponse {
 pub struct StatsSnapshot {
     /// Seconds since the service started.
     pub uptime_seconds: f64,
+    /// Store flavor answering the queries: `"single"` or `"sharded"`.
+    pub store_flavor: &'static str,
     /// Triples in the underlying store.
     pub triples: usize,
     /// Plan-cache hits.
@@ -112,6 +143,10 @@ pub struct StatsSnapshot {
 pub struct EngineStats {
     /// The engine.
     pub kind: EngineKind,
+    /// The store flavor the counters were accumulated against (`"single"`
+    /// or `"sharded"` — one service only ever runs one flavor, the label
+    /// keeps aggregated dashboards honest).
+    pub store: &'static str,
     /// Successfully answered queries.
     pub queries: u64,
     /// Failed queries.
@@ -141,8 +176,9 @@ impl StatsSnapshot {
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(512);
         out.push_str(&format!(
-            "{{\"uptime_seconds\":{:.3},\"triples\":{},\"plan_cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"size\":{}}},\"plans_prepared\":{},\"engines\":{{",
+            "{{\"uptime_seconds\":{:.3},\"store\":\"{}\",\"triples\":{},\"plan_cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"size\":{}}},\"plans_prepared\":{},\"engines\":{{",
             self.uptime_seconds,
+            self.store_flavor,
             self.triples,
             self.cache_hits,
             self.cache_misses,
@@ -155,8 +191,9 @@ impl StatsSnapshot {
                 out.push(',');
             }
             out.push_str(&format!(
-                "\"{}\":{{\"queries\":{},\"errors\":{},\"qps\":{:.3},\"latency_ms\":{{\"mean\":{:.3},\"p50\":{:.3},\"p95\":{:.3},\"p99\":{:.3}}},\"matcher\":{{\"solutions\":{},\"intersection_ops\":{},\"morsels\":{},\"morsels_stolen\":{}}}}}",
+                "\"{}\":{{\"store\":\"{}\",\"queries\":{},\"errors\":{},\"qps\":{:.3},\"latency_ms\":{{\"mean\":{:.3},\"p50\":{:.3},\"p95\":{:.3},\"p99\":{:.3}}},\"matcher\":{{\"solutions\":{},\"intersection_ops\":{},\"morsels\":{},\"morsels_stolen\":{}}}}}",
                 json_escape(e.kind.name()),
+                e.store,
                 e.queries,
                 e.errors,
                 e.qps,
@@ -189,6 +226,7 @@ pub struct QueryService {
     /// Shards that actually executed, summed likewise.
     shards_executed: AtomicU64,
     slow_log: SlowQueryLog,
+    journal: EventJournal,
     next_trace_id: AtomicU64,
     dataset_label: String,
 }
@@ -207,18 +245,45 @@ impl QueryService {
     /// Creates a service over either store flavor (the server uses this to
     /// boot `--shards=k`).
     pub fn with_any_store(store: AnyStore, config: ServiceConfig) -> Self {
-        QueryService {
-            store,
+        let service = QueryService {
             cache: PlanCache::new(config.plan_cache_capacity),
             metrics: ServiceMetrics::new(),
             plans_prepared: AtomicU64::new(0),
             shards_pruned: AtomicU64::new(0),
             shards_executed: AtomicU64::new(0),
             slow_log: SlowQueryLog::new(config.slow_log_capacity, config.slow_query),
+            journal: EventJournal::new(config.journal_capacity),
             next_trace_id: AtomicU64::new(1),
             dataset_label: "unnamed".into(),
             config,
+            store,
+        };
+        service.journal.record(
+            None,
+            0.0,
+            JournalEvent::StoreLoaded {
+                flavor: service.store.flavor_name(),
+                backend: service.store.backend_name(),
+                triples: service.store.triple_count(),
+                mapped: service.store.is_mapped(),
+            },
+        );
+        service
+    }
+
+    /// Tees every journal event to `file` as JSONL (builder style, the
+    /// server's `--journal FILE`). The startup `store_loaded` event already
+    /// sits in the ring and is replayed into the file first, so the tee is
+    /// complete.
+    pub fn with_journal_tee(mut self, file: std::fs::File) -> Self {
+        let replay = self.journal.snapshot();
+        let capacity = self.journal.capacity();
+        self.journal = EventJournal::new(capacity).with_tee(file);
+        for entry in replay {
+            self.journal
+                .record(entry.trace_id, entry.uptime_secs, entry.event);
         }
+        self
     }
 
     /// Sets the dataset label reported by `/healthz` (builder style, e.g.
@@ -253,6 +318,11 @@ impl QueryService {
         &self.slow_log
     }
 
+    /// The structured event journal (served as `/debug/events`).
+    pub fn journal(&self) -> &EventJournal {
+        &self.journal
+    }
+
     /// Seconds since the service started.
     pub fn uptime(&self) -> Duration {
         self.metrics.uptime()
@@ -268,21 +338,28 @@ impl QueryService {
         let engine = options.engine.unwrap_or(self.config.default_engine);
         let threads = options.threads.map(|t| t.clamp(1, self.config.max_threads));
         let trace_id = self.next_trace_id.fetch_add(1, Ordering::Relaxed);
+        let mode = if options.analyze {
+            "analyze"
+        } else if options.profile {
+            "profile"
+        } else {
+            "query"
+        };
+        self.journal_event(Some(trace_id), JournalEvent::QueryAdmitted { engine, mode });
+        if options.analyze {
+            return self.run_analyze(sparql, engine, threads, trace_id);
+        }
         let trace = if options.profile {
             Trace::detailed(trace_id)
         } else {
             Trace::new(trace_id)
         };
         let start = Instant::now();
-        let outcome = self.run(sparql, engine, threads, &trace);
+        let outcome = self.run(sparql, engine, threads, &trace, trace_id);
         match outcome {
             Ok((results, cache_hit, fp)) => {
                 let elapsed = start.elapsed();
-                self.metrics.record_success(engine, elapsed, &results.stats);
-                self.shards_pruned
-                    .fetch_add(results.stats.shards_pruned as u64, Ordering::Relaxed);
-                self.shards_executed
-                    .fetch_add(results.stats.shards_executed as u64, Ordering::Relaxed);
+                self.record_query_success(engine, cache_hit, elapsed, &results, trace_id);
                 let report = trace.finish();
                 self.metrics.record_stages(&report);
                 if self.slow_log.is_slow(elapsed) {
@@ -296,13 +373,150 @@ impl QueryService {
                     elapsed,
                     trace_id,
                     profile: options.profile.then_some(report),
+                    explain: None,
                 })
             }
-            Err(e) => {
-                self.metrics.record_error(engine);
-                Err(e)
-            }
+            Err(e) => Err(self.record_query_error(engine, trace_id, e)),
         }
+    }
+
+    /// Builds the EXPLAIN plan tree for a query **without executing it**
+    /// (the `explain=1` request path). Bypasses the plan cache — EXPLAIN
+    /// should show what a cold request would decide — and records no
+    /// success metrics since nothing ran; failures still count as errors.
+    pub fn explain(
+        &self,
+        sparql: &str,
+        options: QueryOptions,
+    ) -> Result<ExplainResponse, StoreError> {
+        let engine = options.engine.unwrap_or(self.config.default_engine);
+        let trace_id = self.next_trace_id.fetch_add(1, Ordering::Relaxed);
+        self.journal_event(
+            Some(trace_id),
+            JournalEvent::QueryAdmitted {
+                engine,
+                mode: "explain",
+            },
+        );
+        let start = Instant::now();
+        let fp = match fingerprint(sparql) {
+            Ok(fp) => fp,
+            Err(e) => return Err(self.record_query_error(engine, trace_id, e.into())),
+        };
+        match self.store.explain(sparql, engine) {
+            Ok(report) => {
+                let elapsed = start.elapsed();
+                self.journal_event(
+                    Some(trace_id),
+                    JournalEvent::QueryCompleted {
+                        engine,
+                        cache_hit: false,
+                        solutions: 0,
+                        total_ms: elapsed.as_secs_f64() * 1000.0,
+                    },
+                );
+                Ok(ExplainResponse {
+                    report,
+                    engine,
+                    fingerprint: fp.hash,
+                    trace_id,
+                    elapsed,
+                })
+            }
+            Err(e) => Err(self.record_query_error(engine, trace_id, e)),
+        }
+    }
+
+    /// The `analyze=1` request path: execute outside the plan cache,
+    /// annotate the plan tree with actuals, and feed the estimate-vs-actual
+    /// telemetry (q-error histogram, false-live counter).
+    fn run_analyze(
+        &self,
+        sparql: &str,
+        engine: EngineKind,
+        threads: Option<usize>,
+        trace_id: u64,
+    ) -> Result<QueryResponse, StoreError> {
+        let start = Instant::now();
+        let fp = match fingerprint(sparql) {
+            Ok(fp) => fp,
+            Err(e) => return Err(self.record_query_error(engine, trace_id, e.into())),
+        };
+        match self.store.analyze(sparql, engine, threads) {
+            Ok((results, report)) => {
+                let elapsed = start.elapsed();
+                self.record_query_success(engine, false, elapsed, &results, trace_id);
+                self.metrics.record_qerrors(&report.step_qerrors());
+                self.metrics.record_false_lives(report.false_live_shards());
+                Ok(QueryResponse {
+                    results,
+                    engine,
+                    cache_hit: false,
+                    fingerprint: fp.hash,
+                    elapsed,
+                    trace_id,
+                    profile: None,
+                    explain: Some(report),
+                })
+            }
+            Err(e) => Err(self.record_query_error(engine, trace_id, e)),
+        }
+    }
+
+    /// Success bookkeeping shared by the query and analyze paths: engine
+    /// metrics, shard counters, and the journal's completion (and, for
+    /// sharded queries, pruning) events.
+    fn record_query_success(
+        &self,
+        engine: EngineKind,
+        cache_hit: bool,
+        elapsed: Duration,
+        results: &QueryResults,
+        trace_id: u64,
+    ) {
+        self.metrics.record_success(engine, elapsed, &results.stats);
+        self.shards_pruned
+            .fetch_add(results.stats.shards_pruned as u64, Ordering::Relaxed);
+        self.shards_executed
+            .fetch_add(results.stats.shards_executed as u64, Ordering::Relaxed);
+        if results.stats.shards_pruned + results.stats.shards_executed > 0 {
+            self.journal_event(
+                Some(trace_id),
+                JournalEvent::ShardsPruned {
+                    pruned: results.stats.shards_pruned,
+                    executed: results.stats.shards_executed,
+                },
+            );
+        }
+        self.journal_event(
+            Some(trace_id),
+            JournalEvent::QueryCompleted {
+                engine,
+                cache_hit,
+                solutions: results.stats.solutions,
+                total_ms: elapsed.as_secs_f64() * 1000.0,
+            },
+        );
+    }
+
+    /// Error bookkeeping: the error counter plus the journal's failure
+    /// event. Returns the error for `?`-style pass-through.
+    fn record_query_error(&self, engine: EngineKind, trace_id: u64, e: StoreError) -> StoreError {
+        self.metrics.record_error(engine);
+        self.journal_event(
+            Some(trace_id),
+            JournalEvent::QueryFailed {
+                engine,
+                error: e.to_string(),
+            },
+        );
+        e
+    }
+
+    /// Records one journal event stamped with the current uptime.
+    fn journal_event(&self, trace_id: Option<u64>, event: JournalEvent) {
+        self.journal
+            .record(trace_id, self.metrics.uptime().as_secs_f64(), event);
     }
 
     fn run(
@@ -311,6 +525,7 @@ impl QueryService {
         engine: EngineKind,
         threads: Option<usize>,
         trace: &Trace,
+        trace_id: u64,
     ) -> Result<(QueryResults, bool, QueryFingerprint), StoreError> {
         let fp = {
             let mut span = trace.span("fingerprint");
@@ -337,7 +552,26 @@ impl QueryService {
         let plan = self.store.prepare_plan_traced(sparql, engine, trace)?;
         self.plans_prepared.fetch_add(1, Ordering::Relaxed);
         let results = self.store.run_plan_traced(&plan, threads, trace)?;
-        self.cache.insert(key, plan);
+        let canonical = key.canonical.clone();
+        let outcome = self.cache.insert_tracked(key, plan);
+        if let Some(victim) = outcome.evicted {
+            self.journal_event(
+                Some(trace_id),
+                JournalEvent::PlanEvicted {
+                    engine: victim.kind,
+                    query: victim.canonical,
+                },
+            );
+        }
+        if outcome.inserted {
+            self.journal_event(
+                Some(trace_id),
+                JournalEvent::PlanCached {
+                    engine,
+                    query: canonical,
+                },
+            );
+        }
         Ok((results, false, fp))
     }
 
@@ -365,8 +599,11 @@ impl QueryService {
             solutions: results.stats.solutions,
             uptime_secs: self.metrics.uptime().as_secs_f64(),
         };
+        let trace_id = entry.trace_id;
+        let total_ms = entry.total_ms;
         let line = entry.to_log_line();
         if self.slow_log.record(entry) {
+            self.journal_event(Some(trace_id), JournalEvent::SlowQuery { engine, total_ms });
             eprintln!("{line}");
         }
     }
@@ -376,7 +613,8 @@ impl QueryService {
     /// time totals, plan-cache and store series.
     pub fn prometheus(&self) -> String {
         let mut out = String::with_capacity(8192);
-        self.metrics.render_prometheus(&mut out);
+        self.metrics
+            .render_prometheus(&mut out, self.store.flavor_name());
         out.push_str("# HELP turbohom_plan_cache_hits_total Plan-cache hits.\n");
         out.push_str("# TYPE turbohom_plan_cache_hits_total counter\n");
         out.push_str(&format!(
@@ -459,6 +697,14 @@ impl QueryService {
             "turbohom_slow_queries_total {}\n",
             self.slow_log.recorded()
         ));
+        out.push_str(
+            "# HELP turbohom_journal_events_total Events recorded by the structured event journal.\n",
+        );
+        out.push_str("# TYPE turbohom_journal_events_total counter\n");
+        out.push_str(&format!(
+            "turbohom_journal_events_total {}\n",
+            self.journal.recorded()
+        ));
         out
     }
 
@@ -471,6 +717,7 @@ impl QueryService {
                 let ms = |d: Duration| d.as_secs_f64() * 1000.0;
                 EngineStats {
                     kind,
+                    store: self.store.flavor_name(),
                     queries: m.queries.load(Ordering::Relaxed),
                     errors: m.errors.load(Ordering::Relaxed),
                     qps: self.metrics.qps(kind),
@@ -487,6 +734,7 @@ impl QueryService {
             .collect();
         StatsSnapshot {
             uptime_seconds: self.metrics.uptime().as_secs_f64(),
+            store_flavor: self.store.flavor_name(),
             triples: self.store.triple_count(),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
@@ -597,9 +845,8 @@ mod tests {
             .query(
                 Q,
                 QueryOptions {
-                    engine: None,
                     threads: Some(1_000_000),
-                    profile: false,
+                    ..QueryOptions::default()
                 },
             )
             .unwrap();
@@ -742,8 +989,10 @@ mod tests {
         assert!(out.contains("turbohom_plans_prepared_total 1\n"));
         assert!(out.contains("turbohom_triples 6\n"));
         assert!(out.contains("turbohom_storage_backend{backend=\"heap\",snapshot=\"\"} 1\n"));
-        assert!(out.contains("turbohom_queries_total{engine=\"turbohom++\"} 2\n"));
-        assert!(out.contains("turbohom_query_latency_seconds_count{engine=\"turbohom++\"} 2\n"));
+        assert!(out.contains("turbohom_queries_total{engine=\"turbohom++\",store=\"single\"} 2\n"));
+        assert!(out.contains(
+            "turbohom_query_latency_seconds_count{engine=\"turbohom++\",store=\"single\"} 2\n"
+        ));
         assert_eq!(svc.dataset_label(), "test-ds");
     }
 
@@ -756,9 +1005,103 @@ mod tests {
         assert!(json.contains("\"plan_cache\""));
         assert!(json.contains("\"turbohom++\""));
         assert!(json.contains("\"p99\""));
+        // Satellite: the store flavor labels the snapshot and every engine.
+        assert!(json.contains("\"store\":\"single\""));
+        assert_eq!(svc.stats().store_flavor, "single");
         // Balanced braces (cheap sanity check without a JSON parser).
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();
         assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn explain_builds_the_plan_without_executing() {
+        let svc = service();
+        let r = svc.explain(Q, QueryOptions::default()).unwrap();
+        assert!(!r.report.analyzed);
+        assert_eq!(r.report.store_flavor, "single");
+        assert!(r.report.to_json().contains("\"mode\":\"explain\""));
+        // Nothing ran: no success metrics, no plan prepared, no cache entry.
+        let stats = svc.stats();
+        assert_eq!(
+            stats.engines[EngineKind::TurboHomPlusPlus.index()].queries,
+            0
+        );
+        assert_eq!(stats.plans_prepared, 0);
+        assert_eq!(stats.cache_size, 0);
+        // But the request is journaled with its trace id.
+        let jsonl = svc.journal().to_jsonl();
+        assert!(jsonl.contains("\"mode\":\"explain\""));
+        assert!(jsonl.contains(&format!(
+            "\"trace\":\"{}\"",
+            crate::format_trace_id(r.trace_id)
+        )));
+    }
+
+    #[test]
+    fn analyze_executes_and_feeds_qerror_telemetry() {
+        let svc = service();
+        let r = svc
+            .query(
+                Q,
+                QueryOptions {
+                    analyze: true,
+                    ..QueryOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(r.results.len(), 3);
+        let report = r.explain.as_ref().unwrap();
+        assert!(report.analyzed);
+        assert!(report.max_qerror().is_some());
+        // The per-step q-errors landed in the histogram …
+        assert!(svc.metrics().qerror().count() > 0);
+        let exposition = svc.prometheus();
+        assert!(exposition.contains("# TYPE turbohom_estimate_qerror histogram"));
+        assert!(exposition.contains("turbohom_estimate_qerror_count"));
+        assert!(exposition.contains("turbohom_summary_prune_errors_total 0"));
+        // … and the run still counted as a normal successful query.
+        assert_eq!(
+            svc.stats().engines[EngineKind::TurboHomPlusPlus.index()].queries,
+            1
+        );
+    }
+
+    #[test]
+    fn journal_records_the_query_lifecycle_with_trace_ids() {
+        let svc = service();
+        let ok = svc.query(Q, QueryOptions::default()).unwrap();
+        assert!(svc
+            .query("SELECT WHERE {", QueryOptions::default())
+            .is_err());
+        let jsonl = svc.journal().to_jsonl();
+        // Startup + admitted/cached/completed + admitted/failed.
+        assert!(jsonl.contains("\"event\":\"store_loaded\""));
+        assert!(jsonl.contains("\"event\":\"query_admitted\""));
+        assert!(jsonl.contains("\"event\":\"plan_cached\""));
+        assert!(jsonl.contains("\"event\":\"query_completed\""));
+        assert!(jsonl.contains("\"event\":\"query_failed\""));
+        let id = crate::format_trace_id(ok.trace_id);
+        // The successful request's admitted/cached/completed lines share
+        // one trace id.
+        assert!(
+            jsonl
+                .lines()
+                .filter(|l| l.contains(&format!("\"trace\":\"{id}\"")))
+                .count()
+                >= 3
+        );
+        assert!(svc.prometheus().contains("turbohom_journal_events_total"));
+    }
+
+    #[test]
+    fn prometheus_engine_counters_carry_the_store_flavor() {
+        let svc = service();
+        svc.query(Q, QueryOptions::default()).unwrap();
+        let out = svc.prometheus();
+        assert!(out.contains("turbohom_queries_total{engine=\"turbohom++\",store=\"single\"} 1"));
+        assert!(out.contains(
+            "turbohom_query_latency_seconds_count{engine=\"turbohom++\",store=\"single\"} 1"
+        ));
     }
 }

@@ -356,7 +356,7 @@ fn metrics_endpoint_serves_prometheus_exposition() {
     assert_eq!(status, "HTTP/1.1 200 OK");
     assert!(headers.contains("Content-Type: text/plain; version=0.0.4"));
     assert!(body.contains("# TYPE turbohom_queries_total counter"));
-    assert!(body.contains("turbohom_queries_total{engine=\"turbohom++\"} 2"));
+    assert!(body.contains("turbohom_queries_total{engine=\"turbohom++\",store=\"single\"} 2"));
     assert!(body.contains("# TYPE turbohom_query_latency_seconds histogram"));
     assert!(body.contains("le=\"+Inf\""));
     assert!(body.contains("turbohom_plan_cache_hits_total 1"));
@@ -425,7 +425,14 @@ fn healthz_reports_identity_and_head_works_everywhere() {
             .parse()
             .unwrap()
     };
-    for path in ["/", "/healthz", "/stats", "/metrics", "/debug/slow"] {
+    for path in [
+        "/",
+        "/healthz",
+        "/stats",
+        "/metrics",
+        "/debug/slow",
+        "/debug/events",
+    ] {
         let (status, headers, body) = http_request(
             addr,
             &format!("HEAD {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"),
@@ -452,6 +459,133 @@ fn healthz_reports_identity_and_head_works_everywhere() {
         "GET / HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
     );
     assert!(root.contains("/metrics") && root.contains("/debug/slow"));
+    assert!(root.contains("/debug/events"));
+
+    handle.shutdown();
+}
+
+#[test]
+fn explain_over_http_returns_the_plan_tree_without_executing() {
+    let (service, handle) = lubm_service();
+    let addr = handle.addr();
+    let q = &lubm::queries()[0].sparql;
+
+    let request = format!(
+        "GET /query?query={}&engine={}&explain=1 HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+        urlencode(q),
+        urlencode("turbohom++"),
+    );
+    let (status, headers, body) = http_request(addr, &request);
+    assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
+    assert!(headers.contains("X-Trace-Id: "));
+    assert!(headers.contains("X-Engine: turbohom++"));
+    assert!(body.contains("\"schema\":\"turbohom-explain/1\""));
+    assert!(body.contains("\"mode\":\"explain\""));
+    assert!(body.contains("\"store\":\"single\""));
+    assert!(body.contains("\"steps\":[{\"position\":0"));
+    assert!(body.contains("\"estimate\":"));
+    // Nothing executed: no SPARQL bindings, no execution counters moved.
+    assert!(!body.contains("\"bindings\""));
+    let stats = service.stats();
+    assert_eq!(
+        stats.engines[EngineKind::TurboHomPlusPlus.index()].queries,
+        0
+    );
+    assert_eq!(stats.plans_prepared, 0);
+    assert_eq!(stats.cache_size, 0);
+
+    // explain and analyze together are rejected.
+    let request = format!(
+        "GET /query?query={}&explain=1&analyze=1 HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+        urlencode(q),
+    );
+    let (status, _, _) = http_request(addr, &request);
+    assert_eq!(status, "HTTP/1.1 400 Bad Request");
+
+    handle.shutdown();
+}
+
+#[test]
+fn analyze_over_http_splices_actuals_and_feeds_qerror_metrics() {
+    let (service, handle) = lubm_service();
+    let addr = handle.addr();
+    let q = &lubm::queries()[1].sparql; // Q2: multi-step plan with real joins
+
+    let request = format!(
+        "GET /query?query={}&engine={}&analyze=1 HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+        urlencode(q),
+        urlencode("turbohom++"),
+    );
+    let (status, _, body) = http_request(addr, &request);
+    assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
+    // The SPARQL-JSON body carries the bindings plus the annotated tree.
+    assert!(body.contains("\"bindings\""));
+    assert!(body.contains(",\"explain\":{"));
+    assert!(body.contains("\"mode\":\"analyze\""));
+    assert!(body.contains("\"actual\""));
+    // The actuals match what the embedded API returns for the same query.
+    let want = service
+        .store()
+        .execute(q, EngineKind::TurboHomPlusPlus)
+        .unwrap()
+        .len();
+    assert!(
+        body.contains(&format!("\"actual\":{{\"solutions\":{want}")),
+        "{body}"
+    );
+
+    // One analyze query is enough to populate the q-error histogram.
+    let (_, _, metrics) = http_request(
+        addr,
+        "GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+    );
+    assert!(metrics.contains("# TYPE turbohom_estimate_qerror histogram"));
+    assert!(metrics.contains("turbohom_estimate_qerror_count"));
+    assert!(!metrics.contains("turbohom_estimate_qerror_count 0\n"));
+    assert!(metrics.contains("turbohom_summary_prune_errors_total"));
+
+    handle.shutdown();
+}
+
+#[test]
+fn debug_events_serves_the_journal_as_jsonl_with_trace_ids() {
+    let (_service, handle) = lubm_service();
+    let addr = handle.addr();
+    let q = &lubm::queries()[0].sparql;
+    let (_, headers, _) = get_query(addr, q, "turbohom++");
+    let trace_id = headers
+        .lines()
+        .find_map(|l| l.strip_prefix("X-Trace-Id: "))
+        .unwrap()
+        .to_string();
+
+    let (status, headers, body) = http_request(
+        addr,
+        "GET /debug/events HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(headers.contains("Content-Type: application/x-ndjson"));
+    // One JSON object per line, each carrying a monotone sequence number.
+    assert!(body.ends_with('\n'));
+    for line in body.lines() {
+        assert!(
+            line.starts_with("{\"seq\":") && line.ends_with('}'),
+            "{line}"
+        );
+    }
+    // The lifecycle is there, correlated by the request's trace id.
+    assert!(body.contains("\"event\":\"store_loaded\""));
+    assert!(body.contains("\"event\":\"query_admitted\""));
+    assert!(body.contains("\"event\":\"plan_cached\""));
+    assert!(body.contains("\"event\":\"query_completed\""));
+    let correlated = body
+        .lines()
+        .filter(|l| l.contains(&format!("\"trace\":\"{trace_id}\"")))
+        .count();
+    assert!(
+        correlated >= 3,
+        "{correlated} events for {trace_id}:\n{body}"
+    );
 
     handle.shutdown();
 }

@@ -531,6 +531,53 @@ mod tests {
         assert_eq!(format_trace_id(0x2a), "000000000000002a");
     }
 
+    /// Pins the exact member order of every span object. Consumers of
+    /// `profile=1`, `/debug/slow` and the journal join on this shape — a
+    /// reordered or renamed member is a breaking change, so spell it out.
+    #[test]
+    fn span_objects_keep_their_member_order_and_nesting() {
+        let trace = Trace::detailed(0xbeef);
+        {
+            let parent = trace.span("execute");
+            {
+                let mut child = trace.span_under("shard_execute", parent.id());
+                child.counter("shard", 3);
+                child.counter("rows", 7);
+            }
+        }
+        let report = trace.finish();
+        let json = report.to_json();
+        assert!(json.starts_with("{\"trace_id\":\"000000000000beef\",\"total_us\":"));
+
+        // Exactly the documented members, in order, in every span object.
+        let spans_at = json.find(",\"spans\":[").expect("spans array present");
+        let spans = &json[spans_at + ",\"spans\":[".len()..];
+        for obj in spans.trim_end_matches("]}").split("},{") {
+            let mut pos = 0;
+            for key in [
+                "\"id\":",
+                "\"parent\":",
+                "\"name\":",
+                "\"start_us\":",
+                "\"dur_us\":",
+                "\"counters\":",
+            ] {
+                match obj[pos..].find(key) {
+                    Some(at) => pos += at + key.len(),
+                    None => panic!("{key} missing or out of order in {obj}"),
+                }
+            }
+        }
+
+        // The child points at its parent and keeps insertion-ordered
+        // counters.
+        let parent_span = &report.spans[0];
+        let child_span = &report.spans[1];
+        assert_eq!(parent_span.name, "execute");
+        assert_eq!(child_span.parent, Some(parent_span.id));
+        assert!(json.contains("\"counters\":{\"shard\":3,\"rows\":7}"));
+    }
+
     #[test]
     fn microsecond_formatting_keeps_nanosecond_precision() {
         let mut out = String::new();
